@@ -1,0 +1,1332 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is a per-forward-pass tape. Leaves are either constants
+//! ([`Graph::input`]) or trainable [`Parameter`]s ([`Graph::param`]); every
+//! operation appends a node holding its computed value and enough structure
+//! to propagate gradients. [`Graph::backward`] walks the tape in reverse,
+//! accumulating parameter gradients into the shared [`Parameter`] storage so
+//! an optimizer can apply them afterwards.
+//!
+//! # Examples
+//!
+//! ```
+//! use hero_autograd::{Graph, Parameter, Tensor};
+//!
+//! let w = Parameter::new("w", Tensor::from_vec(vec![1, 1], vec![3.0]));
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::from_vec(vec![1, 1], vec![2.0]));
+//! let wn = g.param(&w);
+//! let y = g.matmul(x, wn); // y = w * x = 6
+//! let loss = g.sum(y);
+//! g.backward(loss);
+//! assert_eq!(g.value(y).item(), 6.0);
+//! assert_eq!(w.grad().item(), 2.0); // dy/dw = x
+//! ```
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+use parking_lot::{MappedRwLockReadGuard, RwLock, RwLockReadGuard};
+
+use crate::tensor::{matmul as tensor_matmul, Tensor};
+
+/// Identifier of a node on a [`Graph`] tape.
+///
+/// Only meaningful for the graph that produced it; using it with another
+/// graph panics or yields nonsense values.
+pub type NodeId = usize;
+
+struct ParamInner {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A trainable tensor shared between graphs and an optimizer.
+///
+/// Cloning a `Parameter` is cheap and yields a handle to the *same*
+/// underlying storage (like `Arc`). Gradients accumulate across
+/// [`Graph::backward`] calls until [`Parameter::zero_grad`] resets them.
+/// Parameters are `Send + Sync`, so whole agents can be trained on worker
+/// threads (the paper trains the low-level skills in parallel
+/// environments).
+#[derive(Clone)]
+pub struct Parameter(Arc<RwLock<ParamInner>>);
+
+impl Parameter {
+    /// Creates a parameter with an initial value and a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().to_vec());
+        Self(Arc::new(RwLock::new(ParamInner {
+            name: name.into(),
+            value,
+            grad,
+        })))
+    }
+
+    /// The human-readable name given at construction.
+    pub fn name(&self) -> String {
+        self.0.read().name.clone()
+    }
+
+    /// The parameter's shape.
+    pub fn shape(&self) -> Vec<usize> {
+        self.0.read().value.shape().to_vec()
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.0.read().value.len()
+    }
+
+    /// Whether the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read-locks the current value.
+    pub fn value(&self) -> MappedRwLockReadGuard<'_, Tensor> {
+        RwLockReadGuard::map(self.0.read(), |p| &p.value)
+    }
+
+    /// Read-locks the accumulated gradient.
+    pub fn grad(&self) -> MappedRwLockReadGuard<'_, Tensor> {
+        RwLockReadGuard::map(self.0.read(), |p| &p.grad)
+    }
+
+    /// Replaces the value, keeping the gradient buffer (re-shaped to match).
+    pub fn set_value(&self, value: Tensor) {
+        let mut inner = self.0.write();
+        inner.grad = Tensor::zeros(value.shape().to_vec());
+        inner.value = value;
+    }
+
+    /// Runs `f` with mutable access to the value and shared access to the
+    /// gradient — the hook used by optimizers.
+    pub fn apply_update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
+        let inner = &mut *self.0.write();
+        f(&mut inner.value, &inner.grad);
+    }
+
+    /// Scales the accumulated gradient in place (used for gradient clipping).
+    pub fn scale_grad(&self, factor: f32) {
+        self.0.write().grad.scale_assign(factor);
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&self) {
+        self.0.write().grad.zero_();
+    }
+
+    /// Whether two handles refer to the same underlying parameter storage.
+    pub fn same_storage(&self, other: &Parameter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    fn accumulate_grad(&self, g: &Tensor) {
+        self.0.write().grad.add_assign(g);
+    }
+}
+
+impl fmt::Debug for Parameter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.0.read();
+        write!(
+            f,
+            "Parameter(name={:?}, shape={:?})",
+            inner.name,
+            inner.value.shape()
+        )
+    }
+}
+
+/// Zeroes the gradients of every parameter in a slice.
+pub fn zero_grads(params: &[Parameter]) {
+    for p in params {
+        p.zero_grad();
+    }
+}
+
+/// Copies the values of `src` into `dst` element-wise (hard update, used to
+/// initialize target networks).
+///
+/// # Panics
+///
+/// Panics when the slices differ in length or any pair differs in shape.
+pub fn copy_params(src: &[Parameter], dst: &[Parameter]) {
+    assert_eq!(src.len(), dst.len(), "parameter count mismatch");
+    for (s, d) in src.iter().zip(dst) {
+        d.set_value(s.value().clone());
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Conv2dSpec {
+    batch: usize,
+    in_channels: usize,
+    in_h: usize,
+    in_w: usize,
+    out_channels: usize,
+    k_h: usize,
+    k_w: usize,
+    stride: usize,
+    padding: usize,
+    out_h: usize,
+    out_w: usize,
+}
+
+enum Op {
+    Input,
+    Param(Parameter),
+    Add(NodeId, NodeId),
+    AddBias(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Neg(NodeId),
+    Scale(NodeId, f32),
+    AddScalar(NodeId),
+    MatMul(NodeId, NodeId),
+    Transpose(NodeId),
+    Relu(NodeId),
+    Tanh(NodeId),
+    Sigmoid(NodeId),
+    Exp(NodeId),
+    Ln(NodeId),
+    Softplus(NodeId),
+    Clamp(NodeId, f32, f32),
+    Softmax(NodeId),
+    LogSoftmax(NodeId),
+    Sum(NodeId),
+    Mean(NodeId),
+    SumRows(NodeId),
+    ConcatCols(NodeId, NodeId),
+    SliceCols(NodeId, Range<usize>),
+    RowScale(NodeId, NodeId),
+    Minimum(NodeId, NodeId),
+    Reshape(NodeId),
+    Conv2d(NodeId, NodeId, NodeId, Conv2dSpec),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// A single-use autodiff tape. See the [module docs](self) for an example.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+const LN_EPS: f32 = 1e-12;
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The computed value of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not produced by this graph.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.nodes.push(Node { value, op });
+        self.nodes.len() - 1
+    }
+
+    /// Records a constant leaf (no gradient flows into it).
+    pub fn input(&mut self, value: Tensor) -> NodeId {
+        self.push(value, Op::Input)
+    }
+
+    /// Records a trainable leaf; [`Graph::backward`] accumulates its
+    /// gradient into the [`Parameter`].
+    pub fn param(&mut self, p: &Parameter) -> NodeId {
+        let value = p.value().clone();
+        self.push(value, Op::Param(p.clone()))
+    }
+
+    /// Element-wise addition of two same-shaped nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+        assert_eq!(va.shape(), vb.shape(), "add shape mismatch");
+        let data = va
+            .data()
+            .iter()
+            .zip(vb.data())
+            .map(|(x, y)| x + y)
+            .collect();
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Adds a rank-1 bias `[n]` to every row of a `[m, n]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a` is rank-2, `bias` is rank-1, and widths match.
+    pub fn add_bias(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a].value, &self.nodes[bias].value);
+        assert_eq!(va.rank(), 2, "add_bias lhs must be rank-2");
+        assert_eq!(vb.rank(), 1, "add_bias bias must be rank-1");
+        let (m, n) = (va.shape()[0], va.shape()[1]);
+        assert_eq!(vb.len(), n, "add_bias width mismatch");
+        let mut data = Vec::with_capacity(m * n);
+        for i in 0..m {
+            for j in 0..n {
+                data.push(va.data()[i * n + j] + vb.data()[j]);
+            }
+        }
+        let value = Tensor::from_vec(vec![m, n], data);
+        self.push(value, Op::AddBias(a, bias))
+    }
+
+    /// Element-wise subtraction `a - b` of two same-shaped nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+        assert_eq!(va.shape(), vb.shape(), "sub shape mismatch");
+        let data = va
+            .data()
+            .iter()
+            .zip(vb.data())
+            .map(|(x, y)| x - y)
+            .collect();
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Element-wise (Hadamard) product of two same-shaped nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+        assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
+        let data = va
+            .data()
+            .iter()
+            .zip(vb.data())
+            .map(|(x, y)| x * y)
+            .collect();
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// Element-wise negation.
+    pub fn neg(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a].value;
+        let value = Tensor::from_vec(va.shape().to_vec(), va.data().iter().map(|x| -x).collect());
+        self.push(value, Op::Neg(a))
+    }
+
+    /// Multiplication by a compile-time constant scalar.
+    pub fn scale(&mut self, a: NodeId, factor: f32) -> NodeId {
+        let va = &self.nodes[a].value;
+        let value = Tensor::from_vec(
+            va.shape().to_vec(),
+            va.data().iter().map(|x| x * factor).collect(),
+        );
+        self.push(value, Op::Scale(a, factor))
+    }
+
+    /// Addition of a constant scalar to every element.
+    pub fn add_scalar(&mut self, a: NodeId, constant: f32) -> NodeId {
+        let va = &self.nodes[a].value;
+        let value = Tensor::from_vec(
+            va.shape().to_vec(),
+            va.data().iter().map(|x| x + constant).collect(),
+        );
+        self.push(value, Op::AddScalar(a))
+    }
+
+    /// Matrix product of a `[m, k]` node and a `[k, n]` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching inner dims.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = tensor_matmul(&self.nodes[a].value, &self.nodes[b].value);
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// Matrix transpose of a rank-2 node.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the operand is rank-2.
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let value = self.nodes[a].value.transposed();
+        self.push(value, Op::Transpose(a))
+    }
+
+    /// Rectified linear unit, `max(x, 0)`.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a].value;
+        let value = Tensor::from_vec(
+            va.shape().to_vec(),
+            va.data().iter().map(|x| x.max(0.0)).collect(),
+        );
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a].value;
+        let value = Tensor::from_vec(
+            va.shape().to_vec(),
+            va.data().iter().map(|x| x.tanh()).collect(),
+        );
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a].value;
+        let value = Tensor::from_vec(
+            va.shape().to_vec(),
+            va.data().iter().map(|x| sigmoid(*x)).collect(),
+        );
+        self.push(value, Op::Sigmoid(a))
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a].value;
+        let value = Tensor::from_vec(
+            va.shape().to_vec(),
+            va.data().iter().map(|x| x.exp()).collect(),
+        );
+        self.push(value, Op::Exp(a))
+    }
+
+    /// Element-wise natural logarithm, clamped below at `1e-12` for
+    /// numerical safety.
+    pub fn ln(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a].value;
+        let value = Tensor::from_vec(
+            va.shape().to_vec(),
+            va.data().iter().map(|x| x.max(LN_EPS).ln()).collect(),
+        );
+        self.push(value, Op::Ln(a))
+    }
+
+    /// Numerically stable softplus `ln(1 + e^x)`.
+    pub fn softplus(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a].value;
+        let value = Tensor::from_vec(
+            va.shape().to_vec(),
+            va.data().iter().map(|x| softplus(*x)).collect(),
+        );
+        self.push(value, Op::Softplus(a))
+    }
+
+    /// Element-wise clamp into `[lo, hi]`; gradients pass only where the
+    /// input lies strictly inside the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi`.
+    pub fn clamp(&mut self, a: NodeId, lo: f32, hi: f32) -> NodeId {
+        assert!(lo <= hi, "clamp requires lo <= hi");
+        let va = &self.nodes[a].value;
+        let value = Tensor::from_vec(
+            va.shape().to_vec(),
+            va.data().iter().map(|x| x.clamp(lo, hi)).collect(),
+        );
+        self.push(value, Op::Clamp(a, lo, hi))
+    }
+
+    /// Row-wise softmax of a `[m, n]` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the operand is rank-2.
+    pub fn softmax(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a].value;
+        assert_eq!(va.rank(), 2, "softmax expects rank-2 input");
+        let value = rowwise(va, softmax_row);
+        self.push(value, Op::Softmax(a))
+    }
+
+    /// Row-wise log-softmax of a `[m, n]` node (numerically stable).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the operand is rank-2.
+    pub fn log_softmax(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a].value;
+        assert_eq!(va.rank(), 2, "log_softmax expects rank-2 input");
+        let value = rowwise(va, log_softmax_row);
+        self.push(value, Op::LogSoftmax(a))
+    }
+
+    /// Sum of all elements, producing a scalar node.
+    pub fn sum(&mut self, a: NodeId) -> NodeId {
+        let value = Tensor::scalar(self.nodes[a].value.sum());
+        self.push(value, Op::Sum(a))
+    }
+
+    /// Mean of all elements, producing a scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty operands.
+    pub fn mean(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a].value;
+        assert!(!va.is_empty(), "mean of empty tensor");
+        let value = Tensor::scalar(va.mean());
+        self.push(value, Op::Mean(a))
+    }
+
+    /// Per-row sum of a `[m, n]` node, producing `[m, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the operand is rank-2.
+    pub fn sum_rows(&mut self, a: NodeId) -> NodeId {
+        let va = &self.nodes[a].value;
+        assert_eq!(va.rank(), 2, "sum_rows expects rank-2 input");
+        let (m, n) = (va.shape()[0], va.shape()[1]);
+        let mut data = Vec::with_capacity(m);
+        for i in 0..m {
+            data.push(va.data()[i * n..(i + 1) * n].iter().sum());
+        }
+        let value = Tensor::from_vec(vec![m, 1], data);
+        self.push(value, Op::SumRows(a))
+    }
+
+    /// Concatenates two rank-2 nodes with equal row counts along columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with equal row counts.
+    pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+        assert_eq!(va.rank(), 2, "concat_cols lhs must be rank-2");
+        assert_eq!(vb.rank(), 2, "concat_cols rhs must be rank-2");
+        assert_eq!(va.shape()[0], vb.shape()[0], "concat_cols row mismatch");
+        let (m, na, nb) = (va.shape()[0], va.shape()[1], vb.shape()[1]);
+        let mut data = Vec::with_capacity(m * (na + nb));
+        for i in 0..m {
+            data.extend_from_slice(&va.data()[i * na..(i + 1) * na]);
+            data.extend_from_slice(&vb.data()[i * nb..(i + 1) * nb]);
+        }
+        let value = Tensor::from_vec(vec![m, na + nb], data);
+        self.push(value, Op::ConcatCols(a, b))
+    }
+
+    /// Concatenates any number of rank-2 nodes along columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or shapes are incompatible.
+    pub fn concat_cols_many(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_cols_many requires >= 1 part");
+        let mut acc = parts[0];
+        for &p in &parts[1..] {
+            acc = self.concat_cols(acc, p);
+        }
+        acc
+    }
+
+    /// Column slice `[m, cols]` → `[m, range.len()]` of a rank-2 node.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the operand is rank-2 and the range is in bounds.
+    pub fn slice_cols(&mut self, a: NodeId, range: Range<usize>) -> NodeId {
+        let va = &self.nodes[a].value;
+        assert_eq!(va.rank(), 2, "slice_cols expects rank-2 input");
+        let (m, n) = (va.shape()[0], va.shape()[1]);
+        assert!(range.end <= n, "slice_cols range out of bounds");
+        let width = range.end - range.start;
+        let mut data = Vec::with_capacity(m * width);
+        for i in 0..m {
+            data.extend_from_slice(&va.data()[i * n + range.start..i * n + range.end]);
+        }
+        let value = Tensor::from_vec(vec![m, width], data);
+        self.push(value, Op::SliceCols(a, range))
+    }
+
+    /// Scales each row `i` of a `[m, n]` node by the scalar `w[i]` from a
+    /// `[m, 1]` node (broadcast multiply along columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a` is `[m, n]` and `w` is `[m, 1]`.
+    pub fn row_scale(&mut self, a: NodeId, w: NodeId) -> NodeId {
+        let (va, vw) = (&self.nodes[a].value, &self.nodes[w].value);
+        assert_eq!(va.rank(), 2, "row_scale lhs must be rank-2");
+        assert_eq!(vw.shape(), &[va.shape()[0], 1], "row_scale weights must be [m, 1]");
+        let (m, n) = (va.shape()[0], va.shape()[1]);
+        let mut data = Vec::with_capacity(m * n);
+        for i in 0..m {
+            let wi = vw.data()[i];
+            for j in 0..n {
+                data.push(va.data()[i * n + j] * wi);
+            }
+        }
+        let value = Tensor::from_vec(vec![m, n], data);
+        self.push(value, Op::RowScale(a, w))
+    }
+
+    /// Element-wise minimum of two same-shaped nodes; on ties the gradient
+    /// flows to the first operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn minimum(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+        assert_eq!(va.shape(), vb.shape(), "minimum shape mismatch");
+        let data = va
+            .data()
+            .iter()
+            .zip(vb.data())
+            .map(|(x, y)| x.min(*y))
+            .collect();
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
+        self.push(value, Op::Minimum(a, b))
+    }
+
+    /// Reshapes a node to a new shape with the same element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the element counts differ.
+    pub fn reshape(&mut self, a: NodeId, shape: Vec<usize>) -> NodeId {
+        let value = self.nodes[a].value.reshaped(shape).expect("reshape element count mismatch");
+        self.push(value, Op::Reshape(a))
+    }
+
+    /// 2D convolution of a `[N, C, H, W]` input with `[F, C, KH, KW]`
+    /// filters and a `[F]` bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or channel mismatches, or when the kernel (with
+    /// padding) does not fit the input.
+    pub fn conv2d(
+        &mut self,
+        input: NodeId,
+        weight: NodeId,
+        bias: NodeId,
+        stride: usize,
+        padding: usize,
+    ) -> NodeId {
+        assert!(stride > 0, "conv2d stride must be positive");
+        let (vi, vw, vb) = (
+            &self.nodes[input].value,
+            &self.nodes[weight].value,
+            &self.nodes[bias].value,
+        );
+        assert_eq!(vi.rank(), 4, "conv2d input must be [N, C, H, W]");
+        assert_eq!(vw.rank(), 4, "conv2d weight must be [F, C, KH, KW]");
+        assert_eq!(vb.rank(), 1, "conv2d bias must be [F]");
+        let (batch, in_channels, in_h, in_w) =
+            (vi.shape()[0], vi.shape()[1], vi.shape()[2], vi.shape()[3]);
+        let (out_channels, w_c, k_h, k_w) =
+            (vw.shape()[0], vw.shape()[1], vw.shape()[2], vw.shape()[3]);
+        assert_eq!(in_channels, w_c, "conv2d channel mismatch");
+        assert_eq!(vb.len(), out_channels, "conv2d bias length mismatch");
+        let padded_h = in_h + 2 * padding;
+        let padded_w = in_w + 2 * padding;
+        assert!(
+            padded_h >= k_h && padded_w >= k_w,
+            "conv2d kernel larger than padded input"
+        );
+        let out_h = (padded_h - k_h) / stride + 1;
+        let out_w = (padded_w - k_w) / stride + 1;
+        let spec = Conv2dSpec {
+            batch,
+            in_channels,
+            in_h,
+            in_w,
+            out_channels,
+            k_h,
+            k_w,
+            stride,
+            padding,
+            out_h,
+            out_w,
+        };
+        let value = conv2d_forward(vi, vw, vb, spec);
+        self.push(value, Op::Conv2d(input, weight, bias, spec))
+    }
+
+    /// Runs reverse-mode differentiation from a scalar `loss` node,
+    /// accumulating into every reachable [`Parameter`]'s gradient buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loss` is not a single-element node.
+    pub fn backward(&mut self, loss: NodeId) {
+        assert_eq!(
+            self.nodes[loss].value.len(),
+            1,
+            "backward requires a scalar loss node"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss] = Some(Tensor::full(self.nodes[loss].value.shape().to_vec(), 1.0));
+
+        for id in (0..self.nodes.len()).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            match &self.nodes[id].op {
+                Op::Input => {}
+                Op::Param(p) => p.accumulate_grad(&g),
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    accumulate(&mut grads, a, g.clone());
+                    accumulate(&mut grads, b, g);
+                }
+                Op::AddBias(a, bias) => {
+                    let (a, bias) = (*a, *bias);
+                    let n = self.nodes[id].value.shape()[1];
+                    let m = self.nodes[id].value.shape()[0];
+                    let mut gb = vec![0.0f32; n];
+                    for i in 0..m {
+                        for j in 0..n {
+                            gb[j] += g.data()[i * n + j];
+                        }
+                    }
+                    accumulate(&mut grads, a, g);
+                    accumulate(&mut grads, bias, Tensor::from_vec(vec![n], gb));
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let gneg = Tensor::from_vec(
+                        g.shape().to_vec(),
+                        g.data().iter().map(|x| -x).collect(),
+                    );
+                    accumulate(&mut grads, a, g);
+                    accumulate(&mut grads, b, gneg);
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = elementwise(&g, &self.nodes[b].value, |g, y| g * y);
+                    let gb = elementwise(&g, &self.nodes[a].value, |g, x| g * x);
+                    accumulate(&mut grads, a, ga);
+                    accumulate(&mut grads, b, gb);
+                }
+                Op::Neg(a) => {
+                    let a = *a;
+                    let ga = Tensor::from_vec(
+                        g.shape().to_vec(),
+                        g.data().iter().map(|x| -x).collect(),
+                    );
+                    accumulate(&mut grads, a, ga);
+                }
+                Op::Scale(a, f) => {
+                    let (a, f) = (*a, *f);
+                    let ga = Tensor::from_vec(
+                        g.shape().to_vec(),
+                        g.data().iter().map(|x| x * f).collect(),
+                    );
+                    accumulate(&mut grads, a, ga);
+                }
+                Op::AddScalar(a) => {
+                    let a = *a;
+                    accumulate(&mut grads, a, g);
+                }
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let bt = self.nodes[b].value.transposed();
+                    let at = self.nodes[a].value.transposed();
+                    let ga = tensor_matmul(&g, &bt);
+                    let gb = tensor_matmul(&at, &g);
+                    accumulate(&mut grads, a, ga);
+                    accumulate(&mut grads, b, gb);
+                }
+                Op::Transpose(a) => {
+                    let a = *a;
+                    accumulate(&mut grads, a, g.transposed());
+                }
+                Op::Relu(a) => {
+                    let a = *a;
+                    let ga = elementwise(&g, &self.nodes[a].value, |g, x| {
+                        if x > 0.0 {
+                            g
+                        } else {
+                            0.0
+                        }
+                    });
+                    accumulate(&mut grads, a, ga);
+                }
+                Op::Tanh(a) => {
+                    let a = *a;
+                    let ga = elementwise(&g, &self.nodes[id].value, |g, y| g * (1.0 - y * y));
+                    accumulate(&mut grads, a, ga);
+                }
+                Op::Sigmoid(a) => {
+                    let a = *a;
+                    let ga = elementwise(&g, &self.nodes[id].value, |g, y| g * y * (1.0 - y));
+                    accumulate(&mut grads, a, ga);
+                }
+                Op::Exp(a) => {
+                    let a = *a;
+                    let ga = elementwise(&g, &self.nodes[id].value, |g, y| g * y);
+                    accumulate(&mut grads, a, ga);
+                }
+                Op::Ln(a) => {
+                    let a = *a;
+                    let ga = elementwise(&g, &self.nodes[a].value, |g, x| g / x.max(LN_EPS));
+                    accumulate(&mut grads, a, ga);
+                }
+                Op::Softplus(a) => {
+                    let a = *a;
+                    let ga = elementwise(&g, &self.nodes[a].value, |g, x| g * sigmoid(x));
+                    accumulate(&mut grads, a, ga);
+                }
+                Op::Clamp(a, lo, hi) => {
+                    let (a, lo, hi) = (*a, *lo, *hi);
+                    let ga = elementwise(&g, &self.nodes[a].value, |g, x| {
+                        if x > lo && x < hi {
+                            g
+                        } else {
+                            0.0
+                        }
+                    });
+                    accumulate(&mut grads, a, ga);
+                }
+                Op::Softmax(a) => {
+                    let a = *a;
+                    let y = &self.nodes[id].value;
+                    let (m, n) = (y.shape()[0], y.shape()[1]);
+                    let mut ga = vec![0.0f32; m * n];
+                    for i in 0..m {
+                        let yr = &y.data()[i * n..(i + 1) * n];
+                        let gr = &g.data()[i * n..(i + 1) * n];
+                        let dot: f32 = yr.iter().zip(gr).map(|(y, g)| y * g).sum();
+                        for j in 0..n {
+                            ga[i * n + j] = yr[j] * (gr[j] - dot);
+                        }
+                    }
+                    accumulate(&mut grads, a, Tensor::from_vec(vec![m, n], ga));
+                }
+                Op::LogSoftmax(a) => {
+                    let a = *a;
+                    let y = &self.nodes[id].value;
+                    let (m, n) = (y.shape()[0], y.shape()[1]);
+                    let mut ga = vec![0.0f32; m * n];
+                    for i in 0..m {
+                        let yr = &y.data()[i * n..(i + 1) * n];
+                        let gr = &g.data()[i * n..(i + 1) * n];
+                        let gsum: f32 = gr.iter().sum();
+                        for j in 0..n {
+                            ga[i * n + j] = gr[j] - yr[j].exp() * gsum;
+                        }
+                    }
+                    accumulate(&mut grads, a, Tensor::from_vec(vec![m, n], ga));
+                }
+                Op::Sum(a) => {
+                    let a = *a;
+                    let shape = self.nodes[a].value.shape().to_vec();
+                    accumulate(&mut grads, a, Tensor::full(shape, g.item()));
+                }
+                Op::Mean(a) => {
+                    let a = *a;
+                    let shape = self.nodes[a].value.shape().to_vec();
+                    let len = self.nodes[a].value.len() as f32;
+                    accumulate(&mut grads, a, Tensor::full(shape, g.item() / len));
+                }
+                Op::SumRows(a) => {
+                    let a = *a;
+                    let (m, n) = {
+                        let s = self.nodes[a].value.shape();
+                        (s[0], s[1])
+                    };
+                    let mut ga = vec![0.0f32; m * n];
+                    for i in 0..m {
+                        let gi = g.data()[i];
+                        for j in 0..n {
+                            ga[i * n + j] = gi;
+                        }
+                    }
+                    accumulate(&mut grads, a, Tensor::from_vec(vec![m, n], ga));
+                }
+                Op::ConcatCols(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let na = self.nodes[a].value.shape()[1];
+                    let nb = self.nodes[b].value.shape()[1];
+                    let m = self.nodes[a].value.shape()[0];
+                    let mut ga = Vec::with_capacity(m * na);
+                    let mut gb = Vec::with_capacity(m * nb);
+                    let n = na + nb;
+                    for i in 0..m {
+                        ga.extend_from_slice(&g.data()[i * n..i * n + na]);
+                        gb.extend_from_slice(&g.data()[i * n + na..(i + 1) * n]);
+                    }
+                    accumulate(&mut grads, a, Tensor::from_vec(vec![m, na], ga));
+                    accumulate(&mut grads, b, Tensor::from_vec(vec![m, nb], gb));
+                }
+                Op::SliceCols(a, range) => {
+                    let (a, range) = (*a, range.clone());
+                    let (m, n) = {
+                        let s = self.nodes[a].value.shape();
+                        (s[0], s[1])
+                    };
+                    let width = range.end - range.start;
+                    let mut ga = vec![0.0f32; m * n];
+                    for i in 0..m {
+                        for j in 0..width {
+                            ga[i * n + range.start + j] = g.data()[i * width + j];
+                        }
+                    }
+                    accumulate(&mut grads, a, Tensor::from_vec(vec![m, n], ga));
+                }
+                Op::RowScale(a, w) => {
+                    let (a, w) = (*a, *w);
+                    let (m, n) = {
+                        let s = self.nodes[a].value.shape();
+                        (s[0], s[1])
+                    };
+                    let va = &self.nodes[a].value;
+                    let vw = &self.nodes[w].value;
+                    let mut ga = vec![0.0f32; m * n];
+                    let mut gw = vec![0.0f32; m];
+                    for i in 0..m {
+                        let wi = vw.data()[i];
+                        for j in 0..n {
+                            let gij = g.data()[i * n + j];
+                            ga[i * n + j] = gij * wi;
+                            gw[i] += gij * va.data()[i * n + j];
+                        }
+                    }
+                    accumulate(&mut grads, a, Tensor::from_vec(vec![m, n], ga));
+                    accumulate(&mut grads, w, Tensor::from_vec(vec![m, 1], gw));
+                }
+                Op::Minimum(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let va = &self.nodes[a].value;
+                    let vb = &self.nodes[b].value;
+                    let mut ga = vec![0.0f32; g.len()];
+                    let mut gb = vec![0.0f32; g.len()];
+                    for i in 0..g.len() {
+                        if va.data()[i] <= vb.data()[i] {
+                            ga[i] = g.data()[i];
+                        } else {
+                            gb[i] = g.data()[i];
+                        }
+                    }
+                    let shape = va.shape().to_vec();
+                    accumulate(&mut grads, a, Tensor::from_vec(shape.clone(), ga));
+                    accumulate(&mut grads, b, Tensor::from_vec(shape, gb));
+                }
+                Op::Reshape(a) => {
+                    let a = *a;
+                    let shape = self.nodes[a].value.shape().to_vec();
+                    let ga = Tensor::from_vec(shape, g.data().to_vec());
+                    accumulate(&mut grads, a, ga);
+                }
+                Op::Conv2d(input, weight, bias, spec) => {
+                    let (input, weight, bias, spec) = (*input, *weight, *bias, *spec);
+                    let (gi, gw, gb) = conv2d_backward(
+                        &g,
+                        &self.nodes[input].value,
+                        &self.nodes[weight].value,
+                        spec,
+                    );
+                    accumulate(&mut grads, input, gi);
+                    accumulate(&mut grads, weight, gw);
+                    accumulate(&mut grads, bias, gb);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph({} nodes)", self.nodes.len())
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], id: NodeId, g: Tensor) {
+    match &mut grads[id] {
+        Some(existing) => existing.add_assign(&g),
+        slot => *slot = Some(g),
+    }
+}
+
+fn elementwise(g: &Tensor, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    debug_assert_eq!(g.shape(), other.shape());
+    let data = g
+        .data()
+        .iter()
+        .zip(other.data())
+        .map(|(&a, &b)| f(a, b))
+        .collect();
+    Tensor::from_vec(g.shape().to_vec(), data)
+}
+
+fn rowwise(t: &Tensor, f: impl Fn(&[f32], &mut [f32])) -> Tensor {
+    let (m, n) = (t.shape()[0], t.shape()[1]);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        f(&t.data()[i * n..(i + 1) * n], &mut out[i * n..(i + 1) * n]);
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+fn softmax_row(row: &[f32], out: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for (o, &x) in out.iter_mut().zip(row) {
+        *o = (x - max).exp();
+        sum += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+fn log_softmax_row(row: &[f32], out: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+    for (o, &x) in out.iter_mut().zip(row) {
+        *o = x - max - log_sum;
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn softplus(x: f32) -> f32 {
+    x.max(0.0) + (-x.abs()).exp().ln_1p()
+}
+
+fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, s: Conv2dSpec) -> Tensor {
+    let mut out = vec![0.0f32; s.batch * s.out_channels * s.out_h * s.out_w];
+    let in_plane = s.in_h * s.in_w;
+    let out_plane = s.out_h * s.out_w;
+    for n in 0..s.batch {
+        for f in 0..s.out_channels {
+            for oy in 0..s.out_h {
+                for ox in 0..s.out_w {
+                    let mut acc = bias.data()[f];
+                    for c in 0..s.in_channels {
+                        for ky in 0..s.k_h {
+                            let iy = (oy * s.stride + ky) as isize - s.padding as isize;
+                            if iy < 0 || iy >= s.in_h as isize {
+                                continue;
+                            }
+                            for kx in 0..s.k_w {
+                                let ix = (ox * s.stride + kx) as isize - s.padding as isize;
+                                if ix < 0 || ix >= s.in_w as isize {
+                                    continue;
+                                }
+                                let ival = input.data()[n * s.in_channels * in_plane
+                                    + c * in_plane
+                                    + iy as usize * s.in_w
+                                    + ix as usize];
+                                let wval = weight.data()[f * s.in_channels * s.k_h * s.k_w
+                                    + c * s.k_h * s.k_w
+                                    + ky * s.k_w
+                                    + kx];
+                                acc += ival * wval;
+                            }
+                        }
+                    }
+                    out[n * s.out_channels * out_plane + f * out_plane + oy * s.out_w + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![s.batch, s.out_channels, s.out_h, s.out_w], out)
+}
+
+fn conv2d_backward(
+    g: &Tensor,
+    input: &Tensor,
+    weight: &Tensor,
+    s: Conv2dSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let in_plane = s.in_h * s.in_w;
+    let out_plane = s.out_h * s.out_w;
+    let mut gi = vec![0.0f32; input.len()];
+    let mut gw = vec![0.0f32; weight.len()];
+    let mut gb = vec![0.0f32; s.out_channels];
+    for n in 0..s.batch {
+        for f in 0..s.out_channels {
+            for oy in 0..s.out_h {
+                for ox in 0..s.out_w {
+                    let go =
+                        g.data()[n * s.out_channels * out_plane + f * out_plane + oy * s.out_w + ox];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    gb[f] += go;
+                    for c in 0..s.in_channels {
+                        for ky in 0..s.k_h {
+                            let iy = (oy * s.stride + ky) as isize - s.padding as isize;
+                            if iy < 0 || iy >= s.in_h as isize {
+                                continue;
+                            }
+                            for kx in 0..s.k_w {
+                                let ix = (ox * s.stride + kx) as isize - s.padding as isize;
+                                if ix < 0 || ix >= s.in_w as isize {
+                                    continue;
+                                }
+                                let i_idx = n * s.in_channels * in_plane
+                                    + c * in_plane
+                                    + iy as usize * s.in_w
+                                    + ix as usize;
+                                let w_idx = f * s.in_channels * s.k_h * s.k_w
+                                    + c * s.k_h * s.k_w
+                                    + ky * s.k_w
+                                    + kx;
+                                gi[i_idx] += go * weight.data()[w_idx];
+                                gw[w_idx] += go * input.data()[i_idx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec(input.shape().to_vec(), gi),
+        Tensor::from_vec(weight.shape().to_vec(), gw),
+        Tensor::from_vec(vec![s.out_channels], gb),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_input(g: &mut Graph, v: f32) -> NodeId {
+        g.input(Tensor::from_vec(vec![1, 1], vec![v]))
+    }
+
+    #[test]
+    fn add_and_backward_through_param() {
+        let p = Parameter::new("p", Tensor::from_vec(vec![1, 1], vec![5.0]));
+        let mut g = Graph::new();
+        let x = scalar_input(&mut g, 2.0);
+        let pn = g.param(&p);
+        let y = g.add(x, pn);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert_eq!(g.value(y).item(), 7.0);
+        assert_eq!(p.grad().item(), 1.0);
+    }
+
+    #[test]
+    fn grads_accumulate_across_backward_calls() {
+        let p = Parameter::new("p", Tensor::from_vec(vec![1, 1], vec![1.0]));
+        for _ in 0..3 {
+            let mut g = Graph::new();
+            let pn = g.param(&p);
+            let loss = g.sum(pn);
+            g.backward(loss);
+        }
+        assert_eq!(p.grad().item(), 3.0);
+        p.zero_grad();
+        assert_eq!(p.grad().item(), 0.0);
+    }
+
+    #[test]
+    fn shared_param_used_twice_accumulates_both_paths() {
+        // loss = p * p => dloss/dp = 2p
+        let p = Parameter::new("p", Tensor::from_vec(vec![1, 1], vec![3.0]));
+        let mut g = Graph::new();
+        let a = g.param(&p);
+        let b = g.param(&p);
+        let y = g.mul(a, b);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert_eq!(p.grad().item(), 6.0);
+    }
+
+    #[test]
+    fn matmul_gradients_match_manual() {
+        // loss = sum(A @ B); dA = 1 @ B^T, dB = A^T @ 1
+        let a = Parameter::new("a", Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]));
+        let b = Parameter::new("b", Tensor::from_vec(vec![2, 2], vec![5.0, 6.0, 7.0, 8.0]));
+        let mut g = Graph::new();
+        let an = g.param(&a);
+        let bn = g.param(&b);
+        let y = g.matmul(an, bn);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert_eq!(a.grad().data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(b.grad().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let y = g.softmax(x);
+        for i in 0..2 {
+            let s: f32 = g.value(y).row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let mut g = Graph::new();
+        let t = Tensor::from_vec(vec![1, 4], vec![0.5, -1.0, 2.0, 0.0]);
+        let x = g.input(t.clone());
+        let x2 = g.input(t);
+        let ls = g.log_softmax(x);
+        let sm = g.softmax(x2);
+        for j in 0..4 {
+            assert!((g.value(ls).data()[j] - g.value(sm).data()[j].ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn minimum_routes_gradient_to_smaller() {
+        let a = Parameter::new("a", Tensor::from_vec(vec![1, 2], vec![1.0, 5.0]));
+        let b = Parameter::new("b", Tensor::from_vec(vec![1, 2], vec![2.0, 4.0]));
+        let mut g = Graph::new();
+        let an = g.param(&a);
+        let bn = g.param(&b);
+        let m = g.minimum(an, bn);
+        let loss = g.sum(m);
+        g.backward(loss);
+        assert_eq!(a.grad().data(), &[1.0, 0.0]);
+        assert_eq!(b.grad().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip_gradients() {
+        let a = Parameter::new("a", Tensor::from_vec(vec![2, 2], vec![1.0; 4]));
+        let b = Parameter::new("b", Tensor::from_vec(vec![2, 1], vec![1.0; 2]));
+        let mut g = Graph::new();
+        let an = g.param(&a);
+        let bn = g.param(&b);
+        let c = g.concat_cols(an, bn);
+        assert_eq!(g.value(c).shape(), &[2, 3]);
+        let right = g.slice_cols(c, 2..3);
+        let loss = g.sum(right);
+        g.backward(loss);
+        assert_eq!(a.grad().data(), &[0.0; 4]);
+        assert_eq!(b.grad().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn row_scale_weights_gradient() {
+        let a = Parameter::new("a", Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]));
+        let w = Parameter::new("w", Tensor::from_vec(vec![2, 1], vec![10.0, 20.0]));
+        let mut g = Graph::new();
+        let an = g.param(&a);
+        let wn = g.param(&w);
+        let y = g.row_scale(an, wn);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert_eq!(a.grad().data(), &[10.0, 10.0, 20.0, 20.0]);
+        assert_eq!(w.grad().data(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn clamp_blocks_gradient_outside_range() {
+        let p = Parameter::new("p", Tensor::from_vec(vec![1, 3], vec![-5.0, 0.5, 5.0]));
+        let mut g = Graph::new();
+        let pn = g.param(&p);
+        let c = g.clamp(pn, -1.0, 1.0);
+        let loss = g.sum(c);
+        g.backward(loss);
+        assert_eq!(p.grad().data(), &[0.0, 1.0, 0.0]);
+        assert_eq!(g.value(c).data(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 1x1x3x3 input, single 2x2 filter of ones, stride 1, no padding:
+        // each output is the sum of a 2x2 patch.
+        let mut g = Graph::new();
+        let input = g.input(Tensor::from_vec(
+            vec![1, 1, 3, 3],
+            (1..=9).map(|v| v as f32).collect(),
+        ));
+        let weight = g.input(Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0; 4]));
+        let bias = g.input(Tensor::from_vec(vec![1], vec![0.0]));
+        let y = g.conv2d(input, weight, bias, 1, 0);
+        assert_eq!(g.value(y).shape(), &[1, 1, 2, 2]);
+        assert_eq!(g.value(y).data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv2d_padding_preserves_size() {
+        let mut g = Graph::new();
+        let input = g.input(Tensor::ones(vec![2, 1, 4, 4]));
+        let weight = g.input(Tensor::ones(vec![3, 1, 3, 3]));
+        let bias = g.input(Tensor::zeros(vec![3]));
+        let y = g.conv2d(input, weight, bias, 1, 1);
+        assert_eq!(g.value(y).shape(), &[2, 3, 4, 4]);
+        // Center cells see the full 3x3 = 9 ones.
+        assert_eq!(g.value(y).get(&[0, 0, 1, 1]), 9.0);
+        // Corner cells see a 2x2 patch.
+        assert_eq!(g.value(y).get(&[0, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn conv2d_bias_gradient_counts_outputs() {
+        let w = Parameter::new("w", Tensor::ones(vec![1, 1, 2, 2]));
+        let b = Parameter::new("b", Tensor::zeros(vec![1]));
+        let mut g = Graph::new();
+        let input = g.input(Tensor::ones(vec![1, 1, 3, 3]));
+        let wn = g.param(&w);
+        let bn = g.param(&b);
+        let y = g.conv2d(input, wn, bn, 1, 0);
+        let loss = g.sum(y);
+        g.backward(loss);
+        // 2x2 output positions each contribute 1 to the bias gradient.
+        assert_eq!(b.grad().item(), 4.0);
+        // Every weight sees 4 patches of ones.
+        assert_eq!(w.grad().data(), &[4.0; 4]);
+    }
+
+    #[test]
+    fn copy_params_hard_update() {
+        let src = vec![Parameter::new("s", Tensor::from_slice(&[1.0, 2.0]))];
+        let dst = vec![Parameter::new("d", Tensor::from_slice(&[0.0, 0.0]))];
+        copy_params(&src, &dst);
+        assert_eq!(dst[0].value().data(), &[1.0, 2.0]);
+        assert!(!src[0].same_storage(&dst[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]));
+        g.backward(x);
+    }
+}

@@ -1,0 +1,265 @@
+//! Gradient-descent optimizers operating on shared [`Parameter`]s.
+//!
+//! An optimizer owns an ordered list of parameter handles plus any per-
+//! parameter state (Adam moments). The usual loop is: build a graph, call
+//! [`Graph::backward`](crate::Graph::backward), then [`Optimizer::step`]
+//! (which consumes and zeroes the accumulated gradients).
+
+use crate::graph::Parameter;
+
+/// Common interface of [`Sgd`] and [`Adam`].
+pub trait Optimizer {
+    /// Applies one update from the accumulated gradients, then zeroes them.
+    fn step(&mut self);
+
+    /// The parameters this optimizer updates.
+    fn parameters(&self) -> &[Parameter];
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Parameter>,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over `params` with learning rate `lr` and
+    /// no momentum.
+    pub fn new(params: Vec<Parameter>, lr: f32) -> Self {
+        Self::with_momentum(params, lr, 0.0)
+    }
+
+    /// Creates an SGD optimizer with classical momentum.
+    pub fn with_momentum(params: Vec<Parameter>, lr: f32, momentum: f32) -> Self {
+        let velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        Self {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (p, vel) in self.params.iter().zip(&mut self.velocity) {
+            p.apply_update(|value, grad| {
+                if self.momentum == 0.0 {
+                    for (v, g) in value.data_mut().iter_mut().zip(grad.data()) {
+                        *v -= self.lr * g;
+                    }
+                } else {
+                    for ((v, g), m) in value.data_mut().iter_mut().zip(grad.data()).zip(vel.iter_mut())
+                    {
+                        *m = self.momentum * *m + g;
+                        *v -= self.lr * *m;
+                    }
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    fn parameters(&self) -> &[Parameter] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Parameter>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas `(0.9, 0.999)`.
+    pub fn new(params: Vec<Parameter>, lr: f32) -> Self {
+        Self::with_betas(params, lr, 0.9, 0.999)
+    }
+
+    /// Creates an Adam optimizer with custom betas.
+    pub fn with_betas(params: Vec<Parameter>, lr: f32, beta1: f32, beta2: f32) -> Self {
+        let m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        let v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        Self {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m,
+            v,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (p, (m, v)) in self.params.iter().zip(self.m.iter_mut().zip(&mut self.v)) {
+            p.apply_update(|value, grad| {
+                for (((val, g), mi), vi) in value
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad.data())
+                    .zip(m.iter_mut())
+                    .zip(v.iter_mut())
+                {
+                    *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                    *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                    let m_hat = *mi / bc1;
+                    let v_hat = *vi / bc2;
+                    *val -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    fn parameters(&self) -> &[Parameter] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Rescales every gradient so the global L2 norm is at most `max_norm`.
+/// Returns the norm observed before clipping.
+pub fn clip_grad_norm(params: &[Parameter], max_norm: f32) -> f32 {
+    let mut sq_sum = 0.0f32;
+    for p in params {
+        for g in p.grad().data() {
+            sq_sum += g * g;
+        }
+    }
+    let norm = sq_sum.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let factor = max_norm / norm;
+        for p in params {
+            p.scale_grad(factor);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::tensor::Tensor;
+
+    /// loss(p) = (p - 3)^2 has its minimum at p = 3.
+    fn quadratic_step(p: &Parameter) -> f32 {
+        let mut g = Graph::new();
+        let pn = g.param(p);
+        let target = g.input(Tensor::from_vec(vec![1, 1], vec![3.0]));
+        let d = g.sub(pn, target);
+        let sq = g.mul(d, d);
+        let loss = g.sum(sq);
+        let out = g.value(loss).item();
+        g.backward(loss);
+        out
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Parameter::new("p", Tensor::from_vec(vec![1, 1], vec![0.0]));
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        for _ in 0..100 {
+            quadratic_step(&p);
+            opt.step();
+        }
+        assert!((p.value().item() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let p = Parameter::new("p", Tensor::from_vec(vec![1, 1], vec![0.0]));
+        let mut opt = Sgd::with_momentum(vec![p.clone()], 0.05, 0.9);
+        for _ in 0..200 {
+            quadratic_step(&p);
+            opt.step();
+        }
+        assert!((p.value().item() - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Parameter::new("p", Tensor::from_vec(vec![1, 1], vec![0.0]));
+        let mut opt = Adam::new(vec![p.clone()], 0.2);
+        for _ in 0..200 {
+            quadratic_step(&p);
+            opt.step();
+        }
+        assert!((p.value().item() - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let p = Parameter::new("p", Tensor::from_vec(vec![1, 1], vec![0.0]));
+        let mut opt = Adam::new(vec![p.clone()], 0.01);
+        quadratic_step(&p);
+        assert!(p.grad().item() != 0.0);
+        opt.step();
+        assert_eq!(p.grad().item(), 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_norm() {
+        let p = Parameter::new("p", Tensor::from_slice(&[0.0, 0.0]));
+        p.apply_update(|_, _| {});
+        // Manually seed a large gradient via a graph.
+        let mut g = Graph::new();
+        let pn = g.param(&p);
+        let scaled = g.scale(pn, 100.0);
+        let loss = g.sum(scaled);
+        g.backward(loss);
+        let before = clip_grad_norm(&[p.clone()], 1.0);
+        assert!(before > 1.0);
+        let after: f32 = p.grad().data().iter().map(|g| g * g).sum::<f32>().sqrt();
+        assert!((after - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let p = Parameter::new("p", Tensor::from_slice(&[0.0]));
+        let mut opt = Sgd::new(vec![p], 0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

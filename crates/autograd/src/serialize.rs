@@ -1,0 +1,189 @@
+//! Checkpointing: save/load parameter lists in a tiny little-endian binary
+//! format (`HERO` magic, version, parameter count, then per-parameter name,
+//! shape, and `f32` data).
+//!
+//! The format is deliberately self-describing so loading validates the file
+//! against the model before touching any weights.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::CheckpointError;
+use crate::graph::Parameter;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"HERO";
+const VERSION: u32 = 1;
+
+/// Writes `params` to `path`, creating or truncating the file.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on any filesystem failure.
+pub fn save_params(path: impl AsRef<Path>, params: &[Parameter]) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let name = p.name();
+        let bytes = name.as_bytes();
+        w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        w.write_all(bytes)?;
+        let value = p.value();
+        w.write_all(&(value.rank() as u32).to_le_bytes())?;
+        for &dim in value.shape() {
+            w.write_all(&(dim as u64).to_le_bytes())?;
+        }
+        for &x in value.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a checkpoint written by [`save_params`] into `params`, matching by
+/// position and validating shapes.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadMagic`] for foreign files,
+/// [`CheckpointError::ParameterMismatch`] when counts or shapes differ, and
+/// [`CheckpointError::Truncated`]/[`CheckpointError::Io`] on short reads.
+pub fn load_params(path: impl AsRef<Path>, params: &[Parameter]) -> Result<(), CheckpointError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    read_exact(&mut r, &mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::ParameterMismatch {
+            expected: format!("version {VERSION}"),
+            found: format!("version {version}"),
+        });
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count != params.len() {
+        return Err(CheckpointError::ParameterMismatch {
+            expected: format!("{} parameters", params.len()),
+            found: format!("{count} parameters"),
+        });
+    }
+    for p in params {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        read_exact(&mut r, &mut name_bytes)?;
+        let rank = read_u32(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u64(&mut r)? as usize);
+        }
+        if shape != p.shape() {
+            return Err(CheckpointError::ParameterMismatch {
+                expected: format!("{} with shape {:?}", p.name(), p.shape()),
+                found: format!(
+                    "{} with shape {:?}",
+                    String::from_utf8_lossy(&name_bytes),
+                    shape
+                ),
+            });
+        }
+        let len: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(read_f32(&mut r)?);
+        }
+        p.set_value(Tensor::from_vec(shape, data));
+    }
+    Ok(())
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), CheckpointError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CheckpointError::Truncated
+        } else {
+            CheckpointError::Io(e)
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, CheckpointError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, CheckpointError> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> Result<f32, CheckpointError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hero_autograd_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let a = Parameter::new("a", Tensor::from_vec(vec![2, 2], vec![1.0, -2.5, 3.25, 0.0]));
+        let b = Parameter::new("b", Tensor::from_slice(&[9.0]));
+        let path = temp_path("roundtrip.bin");
+        save_params(&path, &[a.clone(), b.clone()]).unwrap();
+
+        let a2 = Parameter::new("a", Tensor::zeros(vec![2, 2]));
+        let b2 = Parameter::new("b", Tensor::zeros(vec![1]));
+        load_params(&path, &[a2.clone(), b2.clone()]).unwrap();
+        assert_eq!(&*a.value(), &*a2.value());
+        assert_eq!(&*b.value(), &*b2.value());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let a = Parameter::new("a", Tensor::zeros(vec![2, 2]));
+        let path = temp_path("mismatch.bin");
+        save_params(&path, &[a]).unwrap();
+        let wrong = Parameter::new("a", Tensor::zeros(vec![3]));
+        let err = load_params(&path, &[wrong]).unwrap_err();
+        assert!(matches!(err, CheckpointError::ParameterMismatch { .. }));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_wrong_count() {
+        let a = Parameter::new("a", Tensor::zeros(vec![1]));
+        let path = temp_path("count.bin");
+        save_params(&path, &[a.clone()]).unwrap();
+        let err = load_params(&path, &[a.clone(), a]).unwrap_err();
+        assert!(matches!(err, CheckpointError::ParameterMismatch { .. }));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_foreign_file() {
+        let path = temp_path("foreign.bin");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        let p = Parameter::new("p", Tensor::zeros(vec![1]));
+        let err = load_params(&path, &[p]).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic));
+        std::fs::remove_file(path).ok();
+    }
+}

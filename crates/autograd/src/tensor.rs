@@ -1,0 +1,512 @@
+//! Dense, row-major, `f32` tensors.
+//!
+//! [`Tensor`] is the value type flowing through the autodiff [`Graph`]: a
+//! shape plus a flat `Vec<f32>` in row-major (C) order. It is deliberately
+//! simple — the HERO networks are tiny (hidden dimension 32 in the paper's
+//! Table I) so clarity beats cleverness here.
+//!
+//! [`Graph`]: crate::graph::Graph
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::error::TensorError;
+
+/// A dense, row-major `f32` tensor of arbitrary rank.
+///
+/// # Examples
+///
+/// ```
+/// use hero_autograd::Tensor;
+///
+/// let t = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.get(&[1, 2]), 6.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and flat row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] when the product of the
+    /// dimensions does not equal `data.len()`.
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape,
+                len: data.len(),
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor from a shape and flat row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the product of the dimensions does not equal
+    /// `data.len()`. Use [`Tensor::new`] for a fallible variant.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        Self::new(shape, data).expect("tensor shape must match data length")
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Self {
+            shape: vec![data.len()],
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a `[rows, cols]` tensor from nested rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for row in rows {
+            assert_eq!(row.len(), n_cols, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Self {
+            shape: vec![n_rows, n_cols],
+            data,
+        }
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(shape: Vec<usize>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// A scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self {
+            shape: vec![],
+            data: vec![value],
+        }
+    }
+
+    /// A tensor with entries drawn i.i.d. from `N(0, std^2)` using the
+    /// Box–Muller transform (keeps the dependency surface to `rand` alone).
+    pub fn randn<R: Rng + ?Sized>(shape: Vec<usize>, std: f32, rng: &mut R) -> Self {
+        let len: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(len);
+        while data.len() < len {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let mag = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mag * theta.cos() * std);
+            if data.len() < len {
+                data.push(mag * theta.sin() * std);
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// A tensor with entries drawn i.i.d. from `U(lo, hi)`.
+    pub fn uniform<R: Rng + ?Sized>(shape: Vec<usize>, lo: f32, hi: f32, rng: &mut R) -> Self {
+        let len: usize = shape.iter().product();
+        let data = (0..len).map(|_| rng.gen_range(lo..hi)).collect();
+        Self { shape, data }
+    }
+
+    /// A `[rows, classes]` one-hot matrix: row `i` has a single `1.0` at
+    /// column `indices[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is `>= classes`.
+    pub fn one_hot(indices: &[usize], classes: usize) -> Self {
+        let mut data = vec![0.0; indices.len() * classes];
+        for (row, &idx) in indices.iter().enumerate() {
+            assert!(idx < classes, "one-hot index {idx} out of range {classes}");
+            data[row * classes + idx] = 1.0;
+        }
+        Self {
+            shape: vec![indices.len(), classes],
+            data,
+        }
+    }
+
+    /// The shape as a slice of dimension sizes.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The rank (number of dimensions). Scalars have rank 0.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A view of the flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// A mutable view of the flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The single value of a scalar or one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor holds more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() requires exactly one element");
+        self.data[0]
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index rank or any coordinate is out of bounds.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.flat_index(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index rank or any coordinate is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let flat = self.flat_index(index);
+        self.data[flat] = value;
+    }
+
+    fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let mut flat = 0;
+        for (dim, (&i, &size)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(i < size, "index {i} out of bounds for dim {dim} ({size})");
+            flat = flat * size + i;
+        }
+        flat
+    }
+
+    /// Returns a copy with a new shape holding the same number of elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] when the element counts
+    /// differ.
+    pub fn reshaped(&self, shape: Vec<usize>) -> Result<Self, TensorError> {
+        Self::new(shape, self.data.clone())
+    }
+
+    /// Row `r` of a rank-2 tensor as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not rank-2 or `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.rank(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape[1];
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Number of rows of a rank-2 tensor (or the batch dimension of any
+    /// tensor of rank >= 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on scalars.
+    pub fn rows(&self) -> usize {
+        assert!(!self.shape.is_empty(), "rows() requires rank >= 1");
+        self.shape[0]
+    }
+
+    /// Index of the maximum element of a rank-1 tensor or of one row of a
+    /// rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (`0.0` for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Largest absolute element (`0.0` for empty tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Whether every element is finite (no NaN / infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// In-place element-wise `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale: `self *= factor`.
+    pub fn scale_assign(&mut self, factor: f32) {
+        for a in &mut self.data {
+            *a *= factor;
+        }
+    }
+
+    /// Resets every element to zero, keeping the shape.
+    pub fn zero_(&mut self) {
+        for a in &mut self.data {
+            *a = 0.0;
+        }
+    }
+
+    /// Matrix transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not rank-2.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transposed() requires a rank-2 tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor {
+            shape: vec![n, m],
+            data: out,
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Self::zeros(vec![0])
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const MAX_SHOWN: usize = 8;
+        write!(f, "Tensor{:?} [", self.shape)?;
+        for (i, v) in self.data.iter().take(MAX_SHOWN).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        if self.data.len() > MAX_SHOWN {
+            write!(f, ", … {} more", self.data.len() - MAX_SHOWN)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Naive (but cache-friendly, `ikj`-ordered) matrix multiplication used by
+/// the graph ops. `a` is `[m, k]`, `b` is `[k, n]`; the result is `[m, n]`.
+///
+/// # Panics
+///
+/// Panics when either operand is not rank-2 or the inner dimensions differ.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank-2");
+    let (m, k) = (a.shape[0], a.shape[1]);
+    let (k2, n) = (b.shape[0], b.shape[1]);
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let a_ip = a.data[i * k + p];
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b.data[p * n..(p + 1) * n];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += a_ip * bv;
+            }
+        }
+    }
+    Tensor {
+        shape: vec![m, n],
+        data: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_rejects_mismatched_data() {
+        assert!(Tensor::new(vec![2, 2], vec![1.0; 3]).is_err());
+        assert!(Tensor::new(vec![2, 2], vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let s = Tensor::scalar(3.5);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.item(), 3.5);
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|v| v as f32).collect());
+        assert_eq!(t.get(&[0, 0]), 0.0);
+        assert_eq!(t.get(&[0, 2]), 2.0);
+        assert_eq!(t.get(&[1, 0]), 3.0);
+        assert_eq!(t.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn one_hot_rows() {
+        let t = Tensor::one_hot(&[2, 0], 3);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_out_of_range() {
+        let _ = Tensor::one_hot(&[3], 3);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let id = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &id), a);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![2, 3], (0..6).map(|v| v as f32).collect());
+        assert_eq!(a.transposed().transposed(), a);
+        assert_eq!(a.transposed().shape(), &[3, 2]);
+        assert_eq!(a.transposed().get(&[2, 1]), a.get(&[1, 2]));
+    }
+
+    #[test]
+    fn randn_is_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(vec![10_000], 1.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::uniform(vec![1000], -0.5, 0.25, &mut rng);
+        assert!(t.data().iter().all(|&v| (-0.5..0.25).contains(&v)));
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        let t = Tensor::from_slice(&[0.1, -3.0, 7.5, 2.0]);
+        assert_eq!(t.argmax(), 2);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tensor::from_slice(&[1.0, 2.0]);
+        a.add_assign(&Tensor::from_slice(&[3.0, 4.0]));
+        a.scale_assign(2.0);
+        assert_eq!(a.data(), &[8.0, 12.0]);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let rendered = format!("{:?}", Tensor::zeros(vec![0]));
+        assert!(!rendered.is_empty());
+    }
+}

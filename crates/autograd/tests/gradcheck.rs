@@ -1,0 +1,263 @@
+//! Property-based gradient checking: every differentiable op's analytic
+//! gradient must match a central finite-difference estimate.
+
+use hero_autograd::{Graph, NodeId, Parameter, Tensor};
+use proptest::prelude::*;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+/// Computes the analytic gradient of `build`'s scalar output w.r.t. `p` and
+/// compares it element-wise with central finite differences.
+fn check_gradient(p: &Parameter, build: impl Fn(&mut Graph, NodeId) -> NodeId) {
+    p.zero_grad();
+    let mut g = Graph::new();
+    let pn = g.param(p);
+    let loss = build(&mut g, pn);
+    assert_eq!(g.value(loss).len(), 1, "gradcheck losses must be scalar");
+    g.backward(loss);
+    let analytic: Vec<f32> = p.grad().data().to_vec();
+
+    let base: Vec<f32> = p.value().data().to_vec();
+    let shape = p.shape();
+    for i in 0..base.len() {
+        let mut plus = base.clone();
+        plus[i] += EPS;
+        p.set_value(Tensor::from_vec(shape.clone(), plus));
+        let mut g1 = Graph::new();
+        let n1 = g1.param(p);
+        let l1 = build(&mut g1, n1);
+        let f_plus = g1.value(l1).item();
+
+        let mut minus = base.clone();
+        minus[i] -= EPS;
+        p.set_value(Tensor::from_vec(shape.clone(), minus));
+        let mut g2 = Graph::new();
+        let n2 = g2.param(p);
+        let l2 = build(&mut g2, n2);
+        let f_minus = g2.value(l2).item();
+
+        p.set_value(Tensor::from_vec(shape.clone(), base.clone()));
+        let numeric = (f_plus - f_minus) / (2.0 * EPS);
+        let denom = 1.0f32.max(analytic[i].abs()).max(numeric.abs());
+        assert!(
+            (analytic[i] - numeric).abs() / denom < TOL,
+            "grad mismatch at {i}: analytic {} vs numeric {numeric}",
+            analytic[i]
+        );
+    }
+}
+
+/// Values kept away from kinks (0 for relu/minimum, clamp edges).
+fn smooth_values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![(-2.0f32..-0.2), (0.2f32..2.0)].prop_map(|v| (v * 100.0).round() / 100.0),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grad_tanh(vals in smooth_values(6)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
+        check_gradient(&p, |g, x| { let y = g.tanh(x); g.sum(y) });
+    }
+
+    #[test]
+    fn grad_sigmoid(vals in smooth_values(6)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
+        check_gradient(&p, |g, x| { let y = g.sigmoid(x); g.sum(y) });
+    }
+
+    #[test]
+    fn grad_relu(vals in smooth_values(6)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
+        check_gradient(&p, |g, x| { let y = g.relu(x); g.sum(y) });
+    }
+
+    #[test]
+    fn grad_exp(vals in smooth_values(4)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
+        check_gradient(&p, |g, x| { let y = g.exp(x); g.sum(y) });
+    }
+
+    #[test]
+    fn grad_ln_of_positive(vals in prop::collection::vec(0.3f32..3.0, 4)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
+        check_gradient(&p, |g, x| { let y = g.ln(x); g.sum(y) });
+    }
+
+    #[test]
+    fn grad_softplus(vals in smooth_values(6)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
+        check_gradient(&p, |g, x| { let y = g.softplus(x); g.sum(y) });
+    }
+
+    #[test]
+    fn grad_softmax_weighted(vals in smooth_values(8)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 4], vals));
+        // Weight the softmax so the gradient is not identically zero.
+        check_gradient(&p, |g, x| {
+            let y = g.softmax(x);
+            let w = g.input(Tensor::from_vec(
+                vec![2, 4],
+                vec![1.0, -2.0, 3.0, 0.5, -1.0, 2.0, 0.25, 4.0],
+            ));
+            let wy = g.mul(y, w);
+            g.sum(wy)
+        });
+    }
+
+    #[test]
+    fn grad_log_softmax(vals in smooth_values(8)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 4], vals));
+        check_gradient(&p, |g, x| {
+            let y = g.log_softmax(x);
+            let w = g.input(Tensor::from_vec(
+                vec![2, 4],
+                vec![0.2, 0.8, -0.5, 1.5, 1.0, -1.0, 0.0, 2.0],
+            ));
+            let wy = g.mul(y, w);
+            g.sum(wy)
+        });
+    }
+
+    #[test]
+    fn grad_matmul(vals in smooth_values(6)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
+        check_gradient(&p, |g, x| {
+            let other = g.input(Tensor::from_vec(
+                vec![3, 2],
+                vec![0.5, -1.0, 2.0, 0.25, -0.75, 1.5],
+            ));
+            let y = g.matmul(x, other);
+            let sq = g.mul(y, y);
+            g.sum(sq)
+        });
+    }
+
+    #[test]
+    fn grad_mul_and_add_chain(vals in smooth_values(4)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
+        check_gradient(&p, |g, x| {
+            let c = g.input(Tensor::from_vec(vec![2, 2], vec![0.7, -0.3, 1.2, 0.1]));
+            let m = g.mul(x, c);
+            let a = g.add(m, x);
+            let s = g.scale(a, 0.5);
+            let t = g.add_scalar(s, 1.0);
+            let sq = g.mul(t, t);
+            g.mean(sq)
+        });
+    }
+
+    #[test]
+    fn grad_sub_neg(vals in smooth_values(4)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
+        check_gradient(&p, |g, x| {
+            let c = g.input(Tensor::from_vec(vec![2, 2], vec![0.4, 0.6, -0.2, 0.9]));
+            let d = g.sub(x, c);
+            let n = g.neg(d);
+            let sq = g.mul(n, n);
+            g.sum(sq)
+        });
+    }
+
+    #[test]
+    fn grad_add_bias(vals in smooth_values(3)) {
+        let p = Parameter::new("bias", Tensor::from_vec(vec![3], vals));
+        check_gradient(&p, |g, b| {
+            let x = g.input(Tensor::from_vec(
+                vec![2, 3],
+                vec![0.5, -1.0, 0.25, 1.5, 0.75, -0.5],
+            ));
+            // add_bias takes (matrix, bias); parameter is the bias here.
+            let y = g.add_bias(x, b);
+            let sq = g.mul(y, y);
+            g.sum(sq)
+        });
+    }
+
+    #[test]
+    fn grad_sum_rows_row_scale(vals in smooth_values(6)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
+        check_gradient(&p, |g, x| {
+            let w = g.input(Tensor::from_vec(vec![2, 1], vec![1.5, -0.5]));
+            let scaled = g.row_scale(x, w);
+            let rows = g.sum_rows(scaled);
+            let sq = g.mul(rows, rows);
+            g.sum(sq)
+        });
+    }
+
+    #[test]
+    fn grad_concat_slice(vals in smooth_values(4)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
+        check_gradient(&p, |g, x| {
+            let other = g.input(Tensor::from_vec(vec![2, 2], vec![0.3, -0.6, 0.9, 0.1]));
+            let cat = g.concat_cols(x, other);
+            let left = g.slice_cols(cat, 1..3);
+            let sq = g.mul(left, left);
+            g.sum(sq)
+        });
+    }
+
+    #[test]
+    fn grad_minimum(vals in smooth_values(4)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
+        check_gradient(&p, |g, x| {
+            // Offset comparator far from ties so the kink is not sampled.
+            let other = g.input(Tensor::from_vec(vec![2, 2], vec![5.0, -5.0, 5.0, -5.0]));
+            let m = g.minimum(x, other);
+            let sq = g.mul(m, m);
+            g.sum(sq)
+        });
+    }
+
+    #[test]
+    fn grad_transpose(vals in smooth_values(6)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
+        check_gradient(&p, |g, x| {
+            let t = g.transpose(x);
+            let w = g.input(Tensor::from_vec(
+                vec![3, 2],
+                vec![1.0, -0.5, 0.25, 2.0, -1.5, 0.75],
+            ));
+            let wy = g.mul(t, w);
+            g.sum(wy)
+        });
+    }
+
+    #[test]
+    fn grad_conv2d(vals in smooth_values(9)) {
+        let p = Parameter::new("img", Tensor::from_vec(vec![1, 1, 3, 3], vals));
+        check_gradient(&p, |g, x| {
+            let w = g.input(Tensor::from_vec(
+                vec![2, 1, 2, 2],
+                vec![0.5, -0.25, 1.0, 0.75, -0.5, 0.3, -0.8, 0.2],
+            ));
+            let b = g.input(Tensor::from_vec(vec![2], vec![0.1, -0.1]));
+            let y = g.conv2d(x, w, b, 1, 1);
+            let flat = g.reshape(y, vec![1, 2 * 4 * 4]);
+            let sq = g.mul(flat, flat);
+            g.sum(sq)
+        });
+    }
+
+    #[test]
+    fn grad_conv2d_weights(vals in smooth_values(8)) {
+        let p = Parameter::new("w", Tensor::from_vec(vec![2, 1, 2, 2], vals));
+        check_gradient(&p, |g, w| {
+            let x = g.input(Tensor::from_vec(
+                vec![1, 1, 3, 3],
+                vec![0.2, -0.4, 0.6, 0.8, -1.0, 1.2, -1.4, 1.6, 0.5],
+            ));
+            let b = g.input(Tensor::zeros(vec![2]));
+            let y = g.conv2d(x, w, b, 1, 0);
+            let flat = g.reshape(y, vec![1, 2 * 2 * 2]);
+            let sq = g.mul(flat, flat);
+            g.sum(sq)
+        });
+    }
+}

@@ -1,0 +1,269 @@
+//! Deep deterministic policy gradient (Lillicrap et al., 2016) — the
+//! continuous-control actor–critic the paper builds on (Sec. II-B) and the
+//! single-agent core that MADDPG extends.
+
+use hero_autograd::nn::{Activation, Mlp, Module};
+use hero_autograd::optim::{Adam, Optimizer};
+use hero_autograd::{loss, zero_grads, Graph, Parameter, Tensor};
+use rand::rngs::StdRng;
+
+use hero_rl::buffer::ReplayBuffer;
+use hero_rl::explore::OrnsteinUhlenbeck;
+use hero_rl::target::{hard_update, soft_update};
+use hero_rl::transition::ContinuousTransition;
+
+use crate::common::{column, stack_rows, UpdateStats};
+
+/// DDPG hyper-parameters (defaults follow the paper's Table I).
+#[derive(Clone, Copy, Debug)]
+pub struct DdpgConfig {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Learning rate for both networks.
+    pub lr: f32,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Polyak rate τ.
+    pub tau: f32,
+    /// Replay capacity.
+    pub buffer_capacity: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Minimum stored transitions before updates begin.
+    pub warmup: usize,
+    /// Ornstein–Uhlenbeck mean reversion.
+    pub ou_theta: f32,
+    /// Ornstein–Uhlenbeck volatility.
+    pub ou_sigma: f32,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            lr: 0.01,
+            gamma: 0.95,
+            tau: 0.01,
+            buffer_capacity: 100_000,
+            batch_size: 1024,
+            warmup: 256,
+            ou_theta: 0.15,
+            ou_sigma: 0.2,
+        }
+    }
+}
+
+/// A DDPG agent over actions in `[-1, 1]^d`.
+#[derive(Debug)]
+pub struct DdpgAgent {
+    actor: Mlp,
+    actor_target: Mlp,
+    critic: Mlp,
+    critic_target: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    noise: OrnsteinUhlenbeck,
+    buffer: ReplayBuffer<ContinuousTransition>,
+    cfg: DdpgConfig,
+    obs_dim: usize,
+    action_dim: usize,
+}
+
+impl DdpgAgent {
+    /// Creates an agent for `obs_dim` observations and `action_dim`
+    /// actions.
+    pub fn new(obs_dim: usize, action_dim: usize, cfg: DdpgConfig, rng: &mut StdRng) -> Self {
+        let actor_dims = [obs_dim, cfg.hidden, cfg.hidden, action_dim];
+        let critic_dims = [obs_dim + action_dim, cfg.hidden, cfg.hidden, 1];
+        let actor = Mlp::new("ddpg.actor", &actor_dims, Activation::Relu, rng);
+        let actor_target = Mlp::new("ddpg.actor_t", &actor_dims, Activation::Relu, rng);
+        let critic = Mlp::new("ddpg.critic", &critic_dims, Activation::Relu, rng);
+        let critic_target = Mlp::new("ddpg.critic_t", &critic_dims, Activation::Relu, rng);
+        hard_update(&actor.parameters(), &actor_target.parameters());
+        hard_update(&critic.parameters(), &critic_target.parameters());
+        let actor_opt = Adam::new(actor.parameters(), cfg.lr);
+        let critic_opt = Adam::new(critic.parameters(), cfg.lr);
+        Self {
+            actor,
+            actor_target,
+            critic,
+            critic_target,
+            actor_opt,
+            critic_opt,
+            noise: OrnsteinUhlenbeck::new(action_dim, cfg.ou_theta, cfg.ou_sigma),
+            buffer: ReplayBuffer::new(cfg.buffer_capacity),
+            cfg,
+            obs_dim,
+            action_dim,
+        }
+    }
+
+    fn policy(&self, net: &Mlp, obs: &Tensor) -> Tensor {
+        let mut g = Graph::new();
+        let x = g.input(obs.clone());
+        let raw = net.forward(&mut g, x);
+        let a = g.tanh(raw);
+        g.value(a).clone()
+    }
+
+    /// Deterministic action with optional OU exploration noise.
+    pub fn act(&mut self, obs: &[f32], rng: &mut StdRng, explore: bool) -> Vec<f32> {
+        assert_eq!(obs.len(), self.obs_dim, "observation width mismatch");
+        let mut a = self
+            .policy(
+                &self.actor,
+                &Tensor::from_vec(vec![1, obs.len()], obs.to_vec()),
+            )
+            .into_data();
+        if explore {
+            for (ai, ni) in a.iter_mut().zip(self.noise.sample(rng)) {
+                *ai = (*ai + ni).clamp(-1.0, 1.0);
+            }
+        }
+        a
+    }
+
+    /// Resets the exploration-noise process (call between episodes).
+    pub fn reset_noise(&mut self) {
+        self.noise.reset();
+    }
+
+    /// Stores a transition.
+    pub fn observe(&mut self, t: ContinuousTransition) {
+        self.buffer.push(t);
+    }
+
+    /// One DDPG update; `None` before warm-up.
+    pub fn update(&mut self, rng: &mut StdRng) -> Option<UpdateStats> {
+        let need = self.cfg.warmup.max(self.cfg.batch_size.min(self.buffer.capacity()));
+        if self.buffer.len() < need {
+            return None;
+        }
+        let batch = self.buffer.sample(rng, self.cfg.batch_size);
+        let obs: Vec<&[f32]> = batch.iter().map(|t| t.obs.as_slice()).collect();
+        let next: Vec<&[f32]> = batch.iter().map(|t| t.next_obs.as_slice()).collect();
+        let acts: Vec<&[f32]> = batch.iter().map(|t| t.action.as_slice()).collect();
+        let obs_t = stack_rows(&obs);
+        let next_t = stack_rows(&next);
+
+        // TD target via target actor + target critic (values only).
+        let next_a = self.policy(&self.actor_target, &next_t);
+        let next_q = {
+            let mut g = Graph::new();
+            let xn = g.input(next_t);
+            let an = g.input(next_a);
+            let qin = g.concat_cols(xn, an);
+            let q = self.critic_target.forward(&mut g, qin);
+            g.value(q).data().to_vec()
+        };
+        let targets: Vec<f32> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.reward + if t.done { 0.0 } else { self.cfg.gamma * next_q[i] })
+            .collect();
+
+        let critic_loss = {
+            let mut g = Graph::new();
+            let x = g.input(obs_t.clone());
+            let a = g.input(stack_rows(&acts));
+            let qin = g.concat_cols(x, a);
+            let q = self.critic.forward(&mut g, qin);
+            let y = g.input(column(&targets));
+            let l = loss::mse(&mut g, q, y);
+            let value = g.value(l).item();
+            g.backward(l);
+            self.critic_opt.step();
+            value
+        };
+
+        let actor_loss = {
+            let mut g = Graph::new();
+            let x = g.input(obs_t.clone());
+            let raw = self.actor.forward(&mut g, x);
+            let a = g.tanh(raw);
+            let x2 = g.input(obs_t);
+            let qin = g.concat_cols(x2, a);
+            let q = self.critic.forward(&mut g, qin);
+            let neg_q = g.neg(q);
+            let l = g.mean(neg_q);
+            let value = g.value(l).item();
+            g.backward(l);
+            self.actor_opt.step();
+            zero_grads(self.critic_opt.parameters());
+            value
+        };
+
+        soft_update(&self.actor.parameters(), &self.actor_target.parameters(), self.cfg.tau);
+        soft_update(&self.critic.parameters(), &self.critic_target.parameters(), self.cfg.tau);
+        Some(UpdateStats {
+            critic_loss,
+            actor_loss,
+        })
+    }
+
+    /// Trainable parameters (actor then critic) for checkpointing.
+    pub fn parameters(&self) -> Vec<Parameter> {
+        let mut p = self.actor.parameters();
+        p.extend(self.critic.parameters());
+        p
+    }
+
+    /// Action dimension.
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small_cfg() -> DdpgConfig {
+        DdpgConfig {
+            hidden: 16,
+            batch_size: 32,
+            warmup: 32,
+            ..DdpgConfig::default()
+        }
+    }
+
+    #[test]
+    fn actions_bounded() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut agent = DdpgAgent::new(2, 2, small_cfg(), &mut rng);
+        for _ in 0..10 {
+            let a = agent.act(&[0.5, -0.5], &mut rng, true);
+            assert!(a.iter().all(|v| (-1.0..=1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn learns_to_output_positive_action() {
+        // Bandit: reward = a (maximized at a = 1).
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut agent = DdpgAgent::new(1, 1, small_cfg(), &mut rng);
+        for _ in 0..200 {
+            let a = agent.act(&[1.0], &mut rng, true);
+            agent.observe(ContinuousTransition {
+                obs: vec![1.0],
+                action: a.clone(),
+                reward: a[0],
+                next_obs: vec![1.0],
+                done: true,
+            });
+            agent.update(&mut rng);
+        }
+        let a = agent.act(&[1.0], &mut rng, false);
+        assert!(a[0] > 0.5, "actor should push toward +1, got {}", a[0]);
+    }
+
+    #[test]
+    fn warmup_respected_and_noise_resets() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut agent = DdpgAgent::new(1, 1, small_cfg(), &mut rng);
+        assert!(agent.update(&mut rng).is_none());
+        agent.act(&[0.0], &mut rng, true);
+        agent.reset_noise();
+    }
+}

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of per-step decision latency — what a real vehicle's
+//! control loop would pay: DQN greedy action, SAC continuous action, and
+//! a full HERO team decision pass (opponent prediction + option policy +
+//! skill actuation for three agents).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hero_baselines::dqn::{DqnAgent, DqnConfig};
+use hero_baselines::sac::{SacAgent, SacConfig};
+use hero_core::config::HeroConfig;
+use hero_core::skills::SkillLibrary;
+use hero_core::trainer::HeroTeam;
+use hero_sim::env::{EnvConfig, LaneChangeEnv};
+use hero_sim::scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dqn_act(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut agent = DqnAgent::new(18, 4, DqnConfig::default(), &mut rng);
+    let obs = vec![0.3f32; 18];
+    c.bench_function("dqn_act", |bench| {
+        bench.iter(|| agent.act(std::hint::black_box(&obs), &mut rng, true))
+    });
+}
+
+fn bench_sac_act(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let agent = SacAgent::new(146, 2, SacConfig::default(), &mut rng);
+    let obs = vec![0.1f32; 146];
+    c.bench_function("sac_act", |bench| {
+        bench.iter(|| agent.act(std::hint::black_box(&obs), &mut rng, true))
+    });
+}
+
+fn bench_hero_team_decide(c: &mut Criterion) {
+    let env_cfg = EnvConfig::default();
+    let skills = Arc::new(SkillLibrary::untrained(env_cfg, SacConfig::default(), 0));
+    let mut team = HeroTeam::new(3, env_cfg.high_dim(), skills, HeroConfig::default(), 0);
+    let mut env: LaneChangeEnv = scenario::congestion(env_cfg, 0);
+    let obs = env.reset();
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("hero_team_decide_3_agents", |bench| {
+        bench.iter(|| {
+            team.begin_episode(); // force fresh option selection each pass
+            team.decide(&env, std::hint::black_box(&obs), &mut rng, true)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dqn_act,
+    bench_sac_act,
+    bench_hero_team_decide
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the simulator: a full 4-vehicle environment step,
+//! one lidar scan, and one camera rasterization.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hero_sim::env::EnvConfig;
+use hero_sim::scenario;
+use hero_sim::sensors::{camera_image, lidar_scan, CameraConfig, LidarConfig};
+use hero_sim::track::Track;
+use hero_sim::vehicle::{VehicleCommand, VehicleParams, VehicleState};
+
+fn vehicles() -> Vec<VehicleState> {
+    (0..4)
+        .map(|i| VehicleState {
+            s: i as f32 * 0.8,
+            d: if i % 2 == 0 { 0.2 } else { 0.6 },
+            heading: 0.05 * i as f32,
+            speed: 0.1,
+        })
+        .collect()
+}
+
+fn bench_env_step(c: &mut Criterion) {
+    c.bench_function("env_step_4_vehicles", |bench| {
+        bench.iter_batched(
+            || {
+                let mut env = scenario::congestion(EnvConfig::default(), 0);
+                env.reset();
+                env
+            },
+            |mut env| {
+                let cmds = vec![VehicleCommand::coast(0.08); env.num_vehicles()];
+                env.step(&cmds)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_lidar(c: &mut Criterion) {
+    let vs = vehicles();
+    let track = Track::double_lane();
+    let params = VehicleParams::default();
+    let cfg = LidarConfig::default();
+    c.bench_function("lidar_scan_16_beams", |bench| {
+        bench.iter(|| lidar_scan(0, std::hint::black_box(&vs), &params, &track, &cfg))
+    });
+}
+
+fn bench_camera(c: &mut Criterion) {
+    let vs = vehicles();
+    let track = Track::double_lane();
+    let params = VehicleParams::default();
+    let cfg = CameraConfig::default();
+    c.bench_function("camera_12x12", |bench| {
+        bench.iter(|| camera_image(0, std::hint::black_box(&vs), &params, &track, &cfg))
+    });
+}
+
+criterion_group!(benches, bench_env_step, bench_lidar, bench_camera);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the replay buffers at the paper's capacity
+//! (100 000) and batch size (1024).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hero_rl::buffer::ReplayBuffer;
+use hero_rl::per::PrioritizedReplay;
+use hero_rl::transition::DiscreteTransition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn transition(i: usize) -> DiscreteTransition {
+    DiscreteTransition {
+        obs: vec![i as f32; 18],
+        action: i % 4,
+        reward: 0.1,
+        next_obs: vec![i as f32 + 1.0; 18],
+        done: false,
+    }
+}
+
+fn bench_uniform_push(c: &mut Criterion) {
+    c.bench_function("uniform_push_to_full_buffer", |bench| {
+        let mut buf = ReplayBuffer::new(100_000);
+        for i in 0..100_000 {
+            buf.push(transition(i));
+        }
+        let mut i = 0usize;
+        bench.iter(|| {
+            i += 1;
+            buf.push(transition(i));
+        })
+    });
+}
+
+fn bench_uniform_sample(c: &mut Criterion) {
+    let mut buf = ReplayBuffer::new(100_000);
+    for i in 0..100_000 {
+        buf.push(transition(i));
+    }
+    let mut rng = StdRng::seed_from_u64(0);
+    c.bench_function("uniform_sample_1024", |bench| {
+        bench.iter(|| buf.sample(&mut rng, 1024))
+    });
+}
+
+fn bench_prioritized_sample(c: &mut Criterion) {
+    let mut buf = PrioritizedReplay::new(100_000, 0.6, 0.4);
+    for i in 0..100_000 {
+        buf.push(i);
+    }
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("prioritized_sample_1024", |bench| {
+        bench.iter(|| buf.sample(&mut rng, 1024))
+    });
+}
+
+fn bench_prioritized_update(c: &mut Criterion) {
+    c.bench_function("prioritized_priority_update_1024", |bench| {
+        bench.iter_batched(
+            || {
+                let mut buf = PrioritizedReplay::new(100_000, 0.6, 0.4);
+                for i in 0..100_000 {
+                    buf.push(i);
+                }
+                buf
+            },
+            |mut buf| {
+                for i in 0..1024 {
+                    buf.update_priority(i * 7 % 100_000, (i % 13) as f32 + 0.1);
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_uniform_push,
+    bench_uniform_sample,
+    bench_prioritized_sample,
+    bench_prioritized_update
+);
+criterion_main!(benches);

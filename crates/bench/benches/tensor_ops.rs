@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the autodiff substrate: matmul, conv2d, and a full
+//! MLP forward+backward at the paper's network sizes (hidden 32, batch
+//! 1024 per Table I).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hero_autograd::nn::{Activation, Mlp, Module};
+use hero_autograd::{Graph, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::randn(vec![1024, 32], 1.0, &mut rng);
+    let b = Tensor::randn(vec![32, 32], 1.0, &mut rng);
+    c.bench_function("matmul_1024x32x32", |bench| {
+        bench.iter(|| hero_autograd::matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+}
+
+fn bench_mlp_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = Mlp::new("bench", &[18, 32, 32, 4], Activation::Relu, &mut rng);
+    let x = Tensor::randn(vec![1024, 18], 1.0, &mut rng);
+    c.bench_function("mlp_forward_b1024", |bench| {
+        bench.iter(|| net.infer(std::hint::black_box(&x)))
+    });
+}
+
+fn bench_mlp_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let net = Mlp::new("bench", &[18, 32, 32, 4], Activation::Relu, &mut rng);
+    let x = Tensor::randn(vec![1024, 18], 1.0, &mut rng);
+    c.bench_function("mlp_forward_backward_b1024", |bench| {
+        bench.iter_batched(
+            || x.clone(),
+            |x| {
+                let mut g = Graph::new();
+                let xn = g.input(x);
+                let y = net.forward(&mut g, xn);
+                let l = g.mean(y);
+                g.backward(l);
+                net.zero_grad();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Tensor::randn(vec![32, 1, 12, 12], 1.0, &mut rng);
+    let w = Tensor::randn(vec![4, 1, 3, 3], 0.3, &mut rng);
+    let b = Tensor::zeros(vec![4]);
+    c.bench_function("conv2d_b32_12x12", |bench| {
+        bench.iter_batched(
+            || (x.clone(), w.clone(), b.clone()),
+            |(x, w, b)| {
+                let mut g = Graph::new();
+                let xn = g.input(x);
+                let wn = g.input(w);
+                let bn = g.input(b);
+                g.conv2d(xn, wn, bn, 2, 1)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_mlp_forward,
+    bench_mlp_backward,
+    bench_conv2d
+);
+criterion_main!(benches);

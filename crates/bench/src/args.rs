@@ -1,0 +1,126 @@
+//! Minimal command-line parsing shared by the experiment binaries. Every
+//! binary accepts `--episodes N --eval-episodes N --seed S --out DIR
+//! --update-every K --paper-scale`.
+
+use std::path::PathBuf;
+
+/// Parsed experiment arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentArgs {
+    /// Training episodes per method.
+    pub episodes: usize,
+    /// Greedy evaluation episodes.
+    pub eval_episodes: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSV files.
+    pub out: PathBuf,
+    /// Environment steps between gradient updates.
+    pub update_every: usize,
+    /// Mini-batch size for the learners.
+    pub batch_size: usize,
+}
+
+impl ExperimentArgs {
+    /// Defaults tuned so each binary finishes in minutes on a laptop; use
+    /// `--paper-scale` for the full Table I budget (14 000 episodes,
+    /// batch 1024).
+    pub fn defaults(episodes: usize) -> Self {
+        Self {
+            episodes,
+            eval_episodes: 20,
+            seed: 7,
+            out: PathBuf::from("target/experiments"),
+            update_every: 4,
+            batch_size: 128,
+        }
+    }
+
+    /// Parses `std::env::args`-style strings after the program name.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    pub fn parse(defaults: Self, args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = defaults;
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .unwrap_or_else(|| panic!("flag {name} requires a value"))
+            };
+            match flag.as_str() {
+                "--episodes" => out.episodes = value("--episodes").parse().expect("usize"),
+                "--eval-episodes" => {
+                    out.eval_episodes = value("--eval-episodes").parse().expect("usize")
+                }
+                "--seed" => out.seed = value("--seed").parse().expect("u64"),
+                "--out" => out.out = PathBuf::from(value("--out")),
+                "--update-every" => {
+                    out.update_every = value("--update-every").parse().expect("usize")
+                }
+                "--batch-size" => out.batch_size = value("--batch-size").parse().expect("usize"),
+                "--paper-scale" => {
+                    out.episodes = 14_000;
+                    out.batch_size = 1024;
+                    out.update_every = 1;
+                }
+                other => panic!(
+                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--paper-scale"
+                ),
+            }
+        }
+        out
+    }
+
+    /// Parses the current process arguments.
+    pub fn from_env(defaults: Self) -> Self {
+        Self::parse(defaults, std::env::args().skip(1))
+    }
+
+    /// Ensures the output directory exists and returns the path of a file
+    /// inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the directory cannot be created.
+    pub fn out_file(&self, name: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out).expect("create output directory");
+        self.out.join(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_overrides_defaults() {
+        let a = ExperimentArgs::parse(
+            ExperimentArgs::defaults(100),
+            strs(&["--episodes", "5", "--seed", "9", "--out", "/tmp/x"]),
+        );
+        assert_eq!(a.episodes, 5);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.out, PathBuf::from("/tmp/x"));
+        assert_eq!(a.eval_episodes, 20, "untouched default");
+    }
+
+    #[test]
+    fn paper_scale_sets_table_one_budget() {
+        let a = ExperimentArgs::parse(ExperimentArgs::defaults(100), strs(&["--paper-scale"]));
+        assert_eq!(a.episodes, 14_000);
+        assert_eq!(a.batch_size, 1024);
+        assert_eq!(a.update_every, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_rejected() {
+        ExperimentArgs::parse(ExperimentArgs::defaults(1), strs(&["--bogus"]));
+    }
+}

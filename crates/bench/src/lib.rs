@@ -1,0 +1,86 @@
+//! # hero-bench
+//!
+//! The experiment harness regenerating every table and figure of the HERO
+//! paper's evaluation (Sec. V), plus Criterion micro-benchmarks.
+//!
+//! One binary per experiment (see `DESIGN.md` for the full index):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1_hyperparams` | Table I (hyper-parameters) |
+//! | `fig7_learning_curves` | Fig. 7(a–c) learning curves |
+//! | `fig8_lowlevel_skills` | Fig. 8 skill-training rewards |
+//! | `fig10_opponent_loss` | Fig. 10 opponent-model losses |
+//! | `fig11_mean_speed` | Fig. 11 mean speeds |
+//! | `table2_realworld` | Table II sim-to-real evaluation |
+//! | `ablation_opponent_model` | opponent-model ablation |
+//! | `ablation_hierarchy` | hierarchy-vs-flat ablation |
+//! | `ablation_termination` | async-vs-sync termination ablation |
+//!
+//! Every binary takes `--episodes N --seed S --out DIR` (and
+//! `--paper-scale` for the full Table I budget) and writes CSV series
+//! under `target/experiments/`.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod harness;
+
+pub use args::ExperimentArgs;
+pub use harness::{
+    build_method, evaluate_baseline, train_baseline, train_policy, BaselineTrainOptions, Method,
+    MethodParams, TrainedPolicy,
+};
+
+use std::sync::Arc;
+
+use hero_baselines::sac::SacConfig;
+use hero_core::skills::{SkillLibrary, SkillTrainingConfig};
+use hero_sim::env::EnvConfig;
+
+/// Default skill-training budget when no checkpoint is available.
+pub const SKILL_BOOTSTRAP_EPISODES: usize = 1_000;
+
+/// Loads the shared low-level skill library from
+/// `<out>/skills.ckpt`, or trains it (Fig. 8 / Algorithm 2) and saves the
+/// checkpoint for the other experiment binaries to reuse.
+pub fn load_or_train_skills(args: &ExperimentArgs, env_cfg: EnvConfig) -> Arc<SkillLibrary> {
+    let ckpt = args.out_file("skills.ckpt");
+    let sac = SacConfig {
+        batch_size: args.batch_size,
+        ..SacConfig::default()
+    };
+    if ckpt.exists() {
+        let mut lib = SkillLibrary::untrained(env_cfg, sac, args.seed);
+        match lib.load(&ckpt) {
+            Ok(()) => {
+                eprintln!("loaded skill checkpoint from {}", ckpt.display());
+                return Arc::new(lib);
+            }
+            Err(e) => eprintln!("checkpoint {} unusable ({e}); retraining", ckpt.display()),
+        }
+    }
+    eprintln!(
+        "training low-level skills for {SKILL_BOOTSTRAP_EPISODES} episodes (one-time bootstrap)"
+    );
+    let (lib, _) = SkillLibrary::train(
+        env_cfg,
+        SkillTrainingConfig {
+            vision: false,
+            episodes: SKILL_BOOTSTRAP_EPISODES,
+            updates_per_episode: 2,
+            sac,
+        },
+        args.seed,
+    );
+    lib.save(&ckpt).expect("save skill checkpoint");
+    Arc::new(lib)
+}
+
+/// Prints a labelled evaluation row in the Table II layout.
+pub fn print_eval_row(label: &str, stats: &hero_core::trainer::EvalStats) {
+    println!(
+        "{label:<18} collision_rate={:.3}  success_rate={:.3}  mean_speed={:.4}  mean_reward={:.4}",
+        stats.collision_rate, stats.success_rate, stats.mean_speed, stats.mean_reward
+    );
+}

@@ -1,0 +1,105 @@
+//! HERO configuration; defaults reproduce the paper's Table I.
+
+use hero_rl::schedule::Schedule;
+
+/// How options terminate across agents (Sec. III-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TerminationMode {
+    /// Each agent checks its own termination condition independently —
+    /// the paper's choice for fully distributed systems.
+    #[default]
+    Asynchronous,
+    /// All agents interrupt and re-select together whenever *any* agent's
+    /// option terminates (ablation; infeasible in a distributed
+    /// deployment).
+    Synchronous,
+}
+
+/// Hyper-parameters of the full HERO agent. Defaults are the paper's
+/// Table I values.
+#[derive(Clone, Copy, Debug)]
+pub struct HeroConfig {
+    /// Training episodes (Table I: 14 000).
+    pub training_episodes: usize,
+    /// Episode length in steps (Table I: 30).
+    pub episode_length: usize,
+    /// Replay capacity (Table I: 100 000).
+    pub buffer_capacity: usize,
+    /// Mini-batch size (Table I: 1024).
+    pub batch_size: usize,
+    /// Learning rate (Table I: 0.01).
+    pub lr: f32,
+    /// Discount factor γ (Table I: 0.95).
+    pub gamma: f32,
+    /// Hidden layer width (Table I: 32).
+    pub hidden: usize,
+    /// Target-network update rate τ (Table I: 0.01).
+    pub tau: f32,
+    /// Entropy weight λ of the opponent-model loss (Sec. III-C).
+    pub opponent_entropy_weight: f32,
+    /// Entropy regularization on the high-level actor.
+    pub actor_entropy_weight: f32,
+    /// Maximum steps an in-lane option runs before its β fires.
+    pub in_lane_option_duration: usize,
+    /// Maximum steps a lane-change option may run.
+    pub lane_change_budget: usize,
+    /// Minimum stored option-transitions before high-level updates begin.
+    pub warmup: usize,
+    /// ε schedule for high-level exploration over option *selections*:
+    /// with probability ε a uniform option is taken, otherwise one is
+    /// sampled from the softmax policy. Annealed like the baselines'
+    /// ε-greedy so late training reflects the learned policy.
+    pub exploration: Schedule,
+    /// Option-termination mode.
+    pub termination: TerminationMode,
+    /// When `false`, the opponent model is disabled: predictions are
+    /// uniform and never trained (ablation, Sec. III-C).
+    pub use_opponent_model: bool,
+}
+
+impl Default for HeroConfig {
+    fn default() -> Self {
+        Self {
+            training_episodes: 14_000,
+            episode_length: 30,
+            buffer_capacity: 100_000,
+            batch_size: 1024,
+            lr: 0.01,
+            gamma: 0.95,
+            hidden: 32,
+            tau: 0.01,
+            opponent_entropy_weight: 0.01,
+            actor_entropy_weight: 0.01,
+            in_lane_option_duration: 3,
+            lane_change_budget: 9,
+            warmup: 256,
+            exploration: Schedule::Linear {
+                start: 0.3,
+                end: 0.02,
+                steps: 12_000,
+            },
+            termination: TerminationMode::Asynchronous,
+            use_opponent_model: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The defaults must match the paper's Table I exactly.
+    #[test]
+    fn defaults_match_table_one() {
+        let c = HeroConfig::default();
+        assert_eq!(c.training_episodes, 14_000);
+        assert_eq!(c.episode_length, 30);
+        assert_eq!(c.buffer_capacity, 100_000);
+        assert_eq!(c.batch_size, 1024);
+        assert_eq!(c.lr, 0.01);
+        assert_eq!(c.gamma, 0.95);
+        assert_eq!(c.hidden, 32);
+        assert_eq!(c.tau, 0.01);
+        assert_eq!(c.termination, TerminationMode::Asynchronous);
+    }
+}

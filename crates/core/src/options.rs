@@ -1,0 +1,130 @@
+//! The option framework (Sec. III-B): an executing option is a three-tuple
+//! `(I_o, π_h, β_o)`; this module tracks the *execution state* of the
+//! currently selected option and evaluates its termination condition
+//! `β_o(s)` under asynchronous termination.
+
+use hero_sim::options::{adjacent_lane, DrivingOption};
+use hero_sim::track::Track;
+use hero_sim::vehicle::VehicleState;
+
+use crate::config::HeroConfig;
+
+/// The execution state of one agent's currently running option.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ActiveOption {
+    /// Which option is executing.
+    pub option: DrivingOption,
+    /// Steps executed so far.
+    pub elapsed: usize,
+    /// Lane the option started in.
+    pub start_lane: usize,
+    /// Target lane (differs from `start_lane` only for lane change).
+    pub target_lane: usize,
+}
+
+impl ActiveOption {
+    /// Starts an option from the current vehicle state.
+    pub fn start(option: DrivingOption, state: &VehicleState, track: &Track) -> Self {
+        let start_lane = state.lane(track);
+        let target_lane = match option {
+            DrivingOption::LaneChange => adjacent_lane(start_lane, track),
+            _ => start_lane,
+        };
+        Self {
+            option,
+            elapsed: 0,
+            start_lane,
+            target_lane,
+        }
+    }
+
+    /// Lateral coordinate of the target lane's center.
+    pub fn target_d(&self, track: &Track) -> f32 {
+        track.lane_center(self.target_lane)
+    }
+
+    /// Advances the elapsed-step counter.
+    pub fn tick(&mut self) {
+        self.elapsed += 1;
+    }
+
+    /// Evaluates the termination condition `β_o(s)` (Sec. III-B):
+    ///
+    /// * in-lane options terminate after a fixed temporal extent,
+    /// * lane change terminates when the maneuver completes (reached the
+    ///   adjacent lane's center, straightened out) or its budget expires.
+    pub fn terminated(&self, state: &VehicleState, track: &Track, cfg: &HeroConfig) -> bool {
+        match self.option {
+            DrivingOption::KeepLane | DrivingOption::SlowDown | DrivingOption::Accelerate => {
+                self.elapsed >= cfg.in_lane_option_duration
+            }
+            DrivingOption::LaneChange => {
+                let reached = (state.d - self.target_d(track)).abs() < 0.05
+                    && state.heading.abs() < 0.15;
+                reached || self.elapsed >= cfg.lane_change_budget
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(d: f32, heading: f32) -> VehicleState {
+        VehicleState {
+            s: 0.0,
+            d,
+            heading,
+            speed: 0.1,
+        }
+    }
+
+    #[test]
+    fn in_lane_options_terminate_by_duration() {
+        let track = Track::double_lane();
+        let cfg = HeroConfig::default();
+        let mut o = ActiveOption::start(DrivingOption::Accelerate, &state(0.2, 0.0), &track);
+        assert_eq!(o.target_lane, o.start_lane);
+        for _ in 0..cfg.in_lane_option_duration - 1 {
+            o.tick();
+            assert!(!o.terminated(&state(0.2, 0.0), &track, &cfg));
+        }
+        o.tick();
+        assert!(o.terminated(&state(0.2, 0.0), &track, &cfg));
+    }
+
+    #[test]
+    fn lane_change_terminates_on_completion() {
+        let track = Track::double_lane();
+        let cfg = HeroConfig::default();
+        let mut o = ActiveOption::start(DrivingOption::LaneChange, &state(0.2, 0.0), &track);
+        assert_eq!(o.start_lane, 0);
+        assert_eq!(o.target_lane, 1);
+        o.tick();
+        // Mid-maneuver: neither at target nor straight.
+        assert!(!o.terminated(&state(0.4, 0.3), &track, &cfg));
+        // At the target center and straight: terminated.
+        assert!(o.terminated(&state(0.6, 0.05), &track, &cfg));
+    }
+
+    #[test]
+    fn lane_change_terminates_on_budget() {
+        let track = Track::double_lane();
+        let cfg = HeroConfig::default();
+        let mut o = ActiveOption::start(DrivingOption::LaneChange, &state(0.2, 0.0), &track);
+        for _ in 0..cfg.lane_change_budget {
+            o.tick();
+        }
+        assert!(o.terminated(&state(0.3, 0.4), &track, &cfg));
+    }
+
+    #[test]
+    fn lane_change_from_top_lane_targets_lower() {
+        let track = Track::double_lane();
+        let o = ActiveOption::start(DrivingOption::LaneChange, &state(0.6, 0.0), &track);
+        assert_eq!(o.start_lane, 1);
+        assert_eq!(o.target_lane, 0);
+        assert!((o.target_d(&track) - 0.2).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,472 @@
+//! The two-stage HERO training pipeline (Fig. 2) and greedy evaluation.
+//!
+//! Stage one trains the low-level skills in parallel single-vehicle
+//! environments ([`crate::skills::SkillLibrary::train`], Algorithm 2).
+//! Stage two — this module — runs Algorithm 1: the agents act through
+//! their (frozen) skills in the multi-vehicle world while learning the
+//! high-level cooperative option policy with opponent modeling.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hero_rl::metrics::Recorder;
+use hero_sim::env::{CooperativeWorld, Observation};
+use hero_sim::vehicle::VehicleCommand;
+
+use crate::agent::HeroAgent;
+use crate::config::{HeroConfig, TerminationMode};
+use crate::skills::SkillLibrary;
+
+/// A team of HERO agents sharing one trained skill library.
+#[derive(Debug)]
+pub struct HeroTeam {
+    agents: Vec<HeroAgent>,
+    skills: Arc<SkillLibrary>,
+    cfg: HeroConfig,
+    last_options: Vec<usize>,
+}
+
+impl HeroTeam {
+    /// Creates a team of `n_learners` agents over `obs_dim`-dimensional
+    /// high-level observations.
+    pub fn new(
+        n_learners: usize,
+        obs_dim: usize,
+        skills: Arc<SkillLibrary>,
+        cfg: HeroConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(n_learners >= 1, "a team needs at least one learner");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let agents = (0..n_learners)
+            .map(|_| HeroAgent::new(obs_dim, n_learners.saturating_sub(1), cfg, &mut rng))
+            .collect();
+        Self {
+            agents,
+            skills,
+            cfg,
+            last_options: vec![0; n_learners],
+        }
+    }
+
+    /// The team's agents.
+    pub fn agents(&self) -> &[HeroAgent] {
+        &self.agents
+    }
+
+    /// Mutable access to the team's agents.
+    pub fn agents_mut(&mut self) -> &mut [HeroAgent] {
+        &mut self.agents
+    }
+
+    /// The shared skill library.
+    pub fn skills(&self) -> &SkillLibrary {
+        &self.skills
+    }
+
+    /// The team's configuration.
+    pub fn config(&self) -> &HeroConfig {
+        &self.cfg
+    }
+
+    fn others_last(&self, k: usize) -> Vec<usize> {
+        self.last_options
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != k)
+            .map(|(_, &o)| o)
+            .collect()
+    }
+
+    /// Runs the per-step decision pass: ensures every agent has an active
+    /// option and produces one command per *vehicle* (scripted slots get
+    /// a default command, which the environment ignores).
+    pub fn decide<W: CooperativeWorld>(
+        &mut self,
+        env: &W,
+        obs: &[Observation],
+        rng: &mut StdRng,
+        explore: bool,
+    ) -> Vec<VehicleCommand> {
+        let track = env.config().track;
+        let learners = env.learner_indices();
+        assert_eq!(learners.len(), self.agents.len(), "team/world size mismatch");
+        for (k, &v) in learners.iter().enumerate() {
+            let high_obs = obs[v].high_vec();
+            let state = env.vehicle_state(v);
+            let others = self.others_last(k);
+            let option =
+                self.agents[k].ensure_option(&high_obs, &state, &track, &others, rng, explore);
+            self.last_options[k] = option.index();
+        }
+        let mut commands = vec![VehicleCommand::default(); env.num_vehicles()];
+        for (k, &v) in learners.iter().enumerate() {
+            let active = *self.agents[k].active().expect("option ensured above");
+            let state = env.vehicle_state(v);
+            // The skills are frozen after stage one (Fig. 2), so they
+            // always execute deterministically; exploration happens in
+            // the high-level option space only.
+            commands[v] = self.skills.command(
+                active.option,
+                &obs[v],
+                &state,
+                active.target_d(&track),
+                rng,
+                false,
+            );
+        }
+        commands
+    }
+
+    /// Records the step outcome into every agent, handling synchronous
+    /// termination when configured. `pre_obs` are the observations the
+    /// decisions were made from.
+    pub fn record<W: CooperativeWorld>(
+        &mut self,
+        env: &W,
+        pre_obs: &[Observation],
+        rewards: &[f32],
+        next_obs: &[Observation],
+        done: bool,
+    ) {
+        let track = env.config().track;
+        let learners = env.learner_indices();
+        let mut any_terminated = false;
+        for (k, &v) in learners.iter().enumerate() {
+            let others = self.others_last(k);
+            let terminated = self.agents[k].record_step(
+                &pre_obs[v].high_vec(),
+                &others,
+                rewards[v],
+                &next_obs[v].high_vec(),
+                &env.vehicle_state(v),
+                &track,
+                done,
+            );
+            any_terminated |= terminated;
+        }
+        if self.cfg.termination == TerminationMode::Synchronous && any_terminated {
+            for (k, &v) in learners.iter().enumerate() {
+                self.agents[k].force_terminate(&next_obs[v].high_vec(), done);
+            }
+        }
+    }
+
+    /// Evaluation-time counterpart of [`HeroTeam::record`]: ticks every
+    /// agent's option state machine without storing experience.
+    pub fn observe_eval<W: CooperativeWorld>(&mut self, env: &W, done: bool) {
+        let track = env.config().track;
+        let learners = env.learner_indices();
+        for (k, &v) in learners.iter().enumerate() {
+            let state = env.vehicle_state(v);
+            self.agents[k].observe_step_eval(&state, &track, done);
+        }
+    }
+
+    /// Clears per-episode state on every agent.
+    pub fn begin_episode(&mut self) {
+        for a in &mut self.agents {
+            a.begin_episode();
+        }
+    }
+
+    /// One learning pass over every agent; returns mean losses when any
+    /// agent updated.
+    pub fn update(&mut self, rng: &mut StdRng) -> Option<(f32, f32)> {
+        let mut critic = 0.0;
+        let mut actor = 0.0;
+        let mut count = 0;
+        for a in &mut self.agents {
+            if let Some(stats) = a.update(rng) {
+                critic += stats.critic_loss;
+                actor += stats.actor_loss;
+                count += 1;
+            }
+        }
+        (count > 0).then(|| (critic / count as f32, actor / count as f32))
+    }
+}
+
+/// Knobs of the cooperative-training loop.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainOptions {
+    /// Episodes to run.
+    pub episodes: usize,
+    /// Run one learning pass every this many environment steps.
+    pub update_every: usize,
+    /// RNG seed for action sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self {
+            episodes: 100,
+            update_every: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Trains the team in `env` (Algorithm 1), recording per-episode series:
+/// `reward` (mean per-step learner reward), `collision` (0/1),
+/// `success` (merge success rate, only for episodes with a blocked
+/// learner), and `mean_speed`, plus `critic_loss`/`actor_loss` per update.
+pub fn train_team<W: CooperativeWorld>(
+    team: &mut HeroTeam,
+    env: &mut W,
+    opts: &TrainOptions,
+) -> Recorder {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rec = Recorder::new();
+    let mut step_counter = 0usize;
+    for _ in 0..opts.episodes {
+        let mut obs = env.reset();
+        team.begin_episode();
+        let mut ep_reward = 0.0;
+        let mut ep_speed = 0.0;
+        let mut steps = 0usize;
+        while !env.is_done() {
+            let commands = team.decide(env, &obs, &mut rng, true);
+            let out = env.step(&commands);
+            team.record(env, &obs, &out.rewards, &out.observations, out.done);
+            let learners = env.learner_indices();
+            ep_reward += learners.iter().map(|&v| out.rewards[v]).sum::<f32>()
+                / learners.len() as f32;
+            ep_speed += out.mean_speed;
+            steps += 1;
+            step_counter += 1;
+            if step_counter % opts.update_every == 0 {
+                if let Some((c, a)) = team.update(&mut rng) {
+                    rec.push("critic_loss", c);
+                    rec.push("actor_loss", a);
+                }
+            }
+            obs = out.observations;
+        }
+        record_episode(&mut rec, env, ep_reward, ep_speed, steps);
+    }
+    rec
+}
+
+/// Greedy evaluation results over a batch of episodes (the paper's
+/// Sec. V-B metrics).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvalStats {
+    /// Fraction of episodes that ended in a collision.
+    pub collision_rate: f32,
+    /// Fraction of blocked learners that merged successfully.
+    pub success_rate: f32,
+    /// Mean vehicle speed over all steps.
+    pub mean_speed: f32,
+    /// Mean per-step learner reward.
+    pub mean_reward: f32,
+}
+
+/// Evaluates the team greedily (no exploration, no learning) for
+/// `episodes` episodes.
+pub fn evaluate_team<W: CooperativeWorld>(
+    team: &mut HeroTeam,
+    env: &mut W,
+    episodes: usize,
+    seed: u64,
+) -> EvalStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut collisions = 0usize;
+    let mut merges = 0usize;
+    let mut merge_candidates = 0usize;
+    let mut speed_sum = 0.0;
+    let mut reward_sum = 0.0;
+    let mut steps = 0usize;
+    for _ in 0..episodes {
+        let mut obs = env.reset();
+        team.begin_episode();
+        while !env.is_done() {
+            let commands = team.decide(env, &obs, &mut rng, false);
+            let out = env.step(&commands);
+            // Keep the agents' option state machines ticking without
+            // touching any training buffer.
+            team.observe_eval(env, out.done);
+            let learners = env.learner_indices();
+            reward_sum += learners.iter().map(|&v| out.rewards[v]).sum::<f32>()
+                / learners.len() as f32;
+            speed_sum += out.mean_speed;
+            steps += 1;
+            obs = out.observations;
+        }
+        let learners = env.learner_indices();
+        if learners.iter().any(|&v| env.has_collided(v)) {
+            collisions += 1;
+        }
+        for &v in &learners {
+            if env.needs_merge(v) {
+                merge_candidates += 1;
+                if env.has_merged(v) {
+                    merges += 1;
+                }
+            }
+        }
+    }
+    EvalStats {
+        collision_rate: collisions as f32 / episodes.max(1) as f32,
+        success_rate: if merge_candidates > 0 {
+            merges as f32 / merge_candidates as f32
+        } else {
+            1.0
+        },
+        mean_speed: speed_sum / steps.max(1) as f32,
+        mean_reward: reward_sum / steps.max(1) as f32,
+    }
+}
+
+fn record_episode<W: CooperativeWorld>(
+    rec: &mut Recorder,
+    env: &W,
+    ep_reward: f32,
+    ep_speed: f32,
+    steps: usize,
+) {
+    let learners = env.learner_indices();
+    rec.push("reward", ep_reward / steps.max(1) as f32);
+    rec.push(
+        "collision",
+        if learners.iter().any(|&v| env.has_collided(v)) {
+            1.0
+        } else {
+            0.0
+        },
+    );
+    let candidates: Vec<usize> = learners
+        .iter()
+        .copied()
+        .filter(|&v| env.needs_merge(v))
+        .collect();
+    if !candidates.is_empty() {
+        let merged = candidates.iter().filter(|&&v| env.has_merged(v)).count();
+        rec.push("success", merged as f32 / candidates.len() as f32);
+    }
+    rec.push("mean_speed", ep_speed / steps.max(1) as f32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hero_baselines::sac::SacConfig;
+    use hero_sim::env::EnvConfig;
+    use hero_sim::scenario;
+
+    fn small_team(env_cfg: EnvConfig, n: usize) -> HeroTeam {
+        let skills = Arc::new(SkillLibrary::untrained(env_cfg, SacConfig {
+            hidden: 8,
+            ..SacConfig::default()
+        }, 0));
+        let cfg = HeroConfig {
+            hidden: 8,
+            batch_size: 8,
+            warmup: 8,
+            ..HeroConfig::default()
+        };
+        HeroTeam::new(n, env_cfg.high_dim(), skills, cfg, 1)
+    }
+
+    #[test]
+    fn training_loop_produces_all_series() {
+        let env_cfg = EnvConfig {
+            max_steps: 6,
+            ..EnvConfig::default()
+        };
+        let mut env = scenario::two_vehicle_merge(env_cfg, 3);
+        let mut team = small_team(env_cfg, 2);
+        let rec = train_team(
+            &mut team,
+            &mut env,
+            &TrainOptions {
+                episodes: 4,
+                update_every: 2,
+                seed: 5,
+            },
+        );
+        assert_eq!(rec.series("reward").unwrap().len(), 4);
+        assert_eq!(rec.series("collision").unwrap().len(), 4);
+        assert_eq!(rec.series("mean_speed").unwrap().len(), 4);
+        // The blocked learner exists in every episode of this scenario.
+        assert_eq!(rec.series("success").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn evaluation_is_rate_bounded() {
+        let env_cfg = EnvConfig {
+            max_steps: 5,
+            ..EnvConfig::default()
+        };
+        let mut env = scenario::congestion(env_cfg, 7);
+        let mut team = small_team(env_cfg, 3);
+        let stats = evaluate_team(&mut team, &mut env, 3, 9);
+        assert!((0.0..=1.0).contains(&stats.collision_rate));
+        assert!((0.0..=1.0).contains(&stats.success_rate));
+        assert!(stats.mean_speed >= 0.0);
+    }
+
+    #[test]
+    fn synchronous_mode_closes_all_segments_together() {
+        let env_cfg = EnvConfig {
+            max_steps: 12,
+            ..EnvConfig::default()
+        };
+        let mut env = scenario::two_vehicle_merge(env_cfg, 11);
+        let skills = Arc::new(SkillLibrary::untrained(
+            env_cfg,
+            SacConfig {
+                hidden: 8,
+                ..SacConfig::default()
+            },
+            0,
+        ));
+        let cfg = HeroConfig {
+            hidden: 8,
+            batch_size: 8,
+            warmup: 8,
+            termination: TerminationMode::Synchronous,
+            ..HeroConfig::default()
+        };
+        let mut team = HeroTeam::new(2, env_cfg.high_dim(), skills, cfg, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut obs = env.reset();
+        team.begin_episode();
+        let mut steps = 0;
+        while !env.is_done() && steps < 12 {
+            let commands = team.decide(&env, &obs, &mut rng, true);
+            let out = env.step(&commands);
+            team.record(&env, &obs, &out.rewards, &out.observations, out.done);
+            // Under synchronous termination no agent may hold an option
+            // when another just terminated — i.e. after any step either
+            // all agents are active or all are inactive.
+            let active_count = team
+                .agents()
+                .iter()
+                .filter(|a| a.current_option().is_some())
+                .count();
+            assert!(
+                active_count == 0 || active_count == team.agents().len(),
+                "mixed activity under synchronous termination at step {steps}"
+            );
+            obs = out.observations;
+            steps += 1;
+        }
+    }
+
+    #[test]
+    fn team_size_must_match_world() {
+        let env_cfg = EnvConfig::default();
+        let env = scenario::congestion(env_cfg, 0); // 3 learners
+        let mut team = small_team(env_cfg, 2); // wrong size
+        let mut rng = StdRng::seed_from_u64(0);
+        let obs: Vec<_> = (0..4).map(|i| hero_sim::env::LaneChangeEnv::observe(&env, i)).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            team.decide(&env, &obs, &mut rng, true)
+        }));
+        assert!(result.is_err());
+    }
+}

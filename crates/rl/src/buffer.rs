@@ -1,0 +1,215 @@
+//! Uniform experience replay (the paper's `D_h` / `D_l` buffers, capacity
+//! 100 000 per Table I).
+
+use rand::Rng;
+
+/// A fixed-capacity ring buffer with uniform random sampling.
+///
+/// # Examples
+///
+/// ```
+/// use hero_rl::buffer::ReplayBuffer;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut buf = ReplayBuffer::new(3);
+/// for i in 0..5 {
+///     buf.push(i);
+/// }
+/// assert_eq!(buf.len(), 3); // oldest entries evicted
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let batch = buf.sample(&mut rng, 2);
+/// assert_eq!(batch.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer<T> {
+    items: Vec<T>,
+    capacity: usize,
+    head: usize,
+}
+
+impl<T> ReplayBuffer<T> {
+    /// Creates a buffer holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer capacity must be positive");
+        Self {
+            items: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            head: 0,
+        }
+    }
+
+    /// Maximum number of items retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently stored.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the buffer has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Adds an item, evicting the oldest when full.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            self.items[self.head] = item;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `n` items uniformly with replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<&T> {
+        assert!(!self.is_empty(), "cannot sample from an empty buffer");
+        (0..n)
+            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .collect()
+    }
+
+    /// Samples `n` distinct indices (or all indices when `n >= len`).
+    pub fn sample_indices<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<usize> {
+        let len = self.items.len();
+        if n >= len {
+            return (0..len).collect();
+        }
+        // Partial Fisher–Yates over an index vector.
+        let mut idx: Vec<usize> = (0..len).collect();
+        for i in 0..n {
+            let j = rng.gen_range(i..len);
+            idx.swap(i, j);
+        }
+        idx.truncate(n);
+        idx
+    }
+
+    /// Item at a raw index (stable between pushes).
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.items.get(index)
+    }
+
+    /// Iterates over all stored items (no particular order once wrapped).
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Removes all items.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.head = 0;
+    }
+}
+
+impl<'a, T> IntoIterator for &'a ReplayBuffer<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_until_full_then_evict_oldest() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..3 {
+            buf.push(i);
+        }
+        assert!(buf.is_full());
+        buf.push(3);
+        let items: Vec<i32> = buf.iter().copied().collect();
+        assert_eq!(buf.len(), 3);
+        assert!(!items.contains(&0), "oldest item must be evicted");
+        assert!(items.contains(&3));
+    }
+
+    #[test]
+    fn eviction_is_fifo_over_many_pushes() {
+        let mut buf = ReplayBuffer::new(4);
+        for i in 0..100 {
+            buf.push(i);
+        }
+        let mut items: Vec<i32> = buf.iter().copied().collect();
+        items.sort_unstable();
+        assert_eq!(items, vec![96, 97, 98, 99]);
+    }
+
+    #[test]
+    fn sample_returns_requested_count() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..5 {
+            buf.push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(buf.sample(&mut rng, 32).len(), 32);
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut buf = ReplayBuffer::new(100);
+        for i in 0..50 {
+            buf.push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = buf.sample_indices(&mut rng, 20);
+        assert_eq!(idx.len(), 20);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "indices must be distinct");
+        assert!(sorted.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn sample_indices_caps_at_len() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..4 {
+            buf.push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(buf.sample_indices(&mut rng, 100).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn sampling_empty_panics() {
+        let buf: ReplayBuffer<i32> = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        buf.sample(&mut rng, 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut buf = ReplayBuffer::new(2);
+        buf.push(1);
+        buf.push(2);
+        buf.push(3);
+        buf.clear();
+        assert!(buf.is_empty());
+        buf.push(7);
+        assert_eq!(buf.iter().copied().collect::<Vec<_>>(), vec![7]);
+    }
+}

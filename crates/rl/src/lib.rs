@@ -1,0 +1,49 @@
+//! # hero-rl
+//!
+//! The reinforcement-learning toolkit shared by HERO and every baseline in
+//! this reproduction: transition types, uniform and prioritized replay
+//! buffers, exploration strategies, scalar schedules, target-network
+//! updates, episode metrics with CSV export, sampling helpers, and a
+//! parallel rollout driver.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hero_rl::buffer::ReplayBuffer;
+//! use hero_rl::transition::DiscreteTransition;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut buf = ReplayBuffer::new(100_000); // Table I capacity
+//! buf.push(DiscreteTransition {
+//!     obs: vec![0.0; 18],
+//!     action: 2,
+//!     reward: 0.4,
+//!     next_obs: vec![0.1; 18],
+//!     done: false,
+//! });
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let batch = buf.sample(&mut rng, 4);
+//! assert_eq!(batch.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod explore;
+pub mod metrics;
+pub mod per;
+pub mod rng;
+pub mod rollout;
+pub mod schedule;
+pub mod target;
+pub mod transition;
+
+pub use buffer::ReplayBuffer;
+pub use explore::{greedy, EpsilonGreedy, GaussianNoise, OrnsteinUhlenbeck};
+pub use metrics::{summarize, MovingAverage, Recorder, Summary};
+pub use per::{PrioritizedReplay, PrioritizedSample, SumTree};
+pub use schedule::Schedule;
+pub use target::{hard_update, soft_update};
+pub use transition::{
+    ContinuousTransition, DiscreteTransition, JointTransition, OptionTransition, Transition,
+};

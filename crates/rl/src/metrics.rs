@@ -1,0 +1,233 @@
+//! Episode metrics, learning curves, and CSV export — the bookkeeping the
+//! paper's "master node" performed on the testbed.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A windowed moving average (the smoothing applied to the paper's
+/// learning-curve figures).
+#[derive(Clone, Debug)]
+pub struct MovingAverage {
+    window: usize,
+    values: Vec<f32>,
+    sum: f32,
+    head: usize,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over the last `window` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            values: Vec::new(),
+            sum: 0.0,
+            head: 0,
+        }
+    }
+
+    /// Adds an observation and returns the current average.
+    pub fn push(&mut self, v: f32) -> f32 {
+        if self.values.len() < self.window {
+            self.values.push(v);
+            self.sum += v;
+        } else {
+            self.sum += v - self.values[self.head];
+            self.values[self.head] = v;
+            self.head = (self.head + 1) % self.window;
+        }
+        self.value()
+    }
+
+    /// The current average (`0.0` before any observation).
+    pub fn value(&self) -> f32 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.sum / self.values.len() as f32
+        }
+    }
+
+    /// Number of observations currently inside the window.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observation has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Collects named scalar series (one value per episode) and exports them
+/// as CSV.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    series: BTreeMap<String, Vec<f32>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a value to the named series.
+    pub fn push(&mut self, name: &str, value: f32) {
+        self.series.entry(name.to_string()).or_default().push(value);
+    }
+
+    /// The recorded values of a series, if present.
+    pub fn series(&self, name: &str) -> Option<&[f32]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Names of all series, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// Windowed smoothing of a series (e.g. for plotting), or `None` if
+    /// the series does not exist.
+    pub fn smoothed(&self, name: &str, window: usize) -> Option<Vec<f32>> {
+        let raw = self.series.get(name)?;
+        let mut ma = MovingAverage::new(window);
+        Some(raw.iter().map(|&v| ma.push(v)).collect())
+    }
+
+    /// Mean of the last `n` values of a series (`None` when absent or
+    /// empty).
+    pub fn tail_mean(&self, name: &str, n: usize) -> Option<f32> {
+        let raw = self.series.get(name)?;
+        if raw.is_empty() {
+            return None;
+        }
+        let tail = &raw[raw.len().saturating_sub(n)..];
+        Some(tail.iter().sum::<f32>() / tail.len() as f32)
+    }
+
+    /// Writes every series as CSV columns (`index,name1,name2,…`); shorter
+    /// series leave trailing cells empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_csv_to(&mut w)
+    }
+
+    /// Writes the CSV into any writer (see [`Recorder::write_csv`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_csv_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(w, "index")?;
+        for name in self.series.keys() {
+            write!(w, ",{name}")?;
+        }
+        writeln!(w)?;
+        let rows = self.series.values().map(Vec::len).max().unwrap_or(0);
+        for i in 0..rows {
+            write!(w, "{i}")?;
+            for values in self.series.values() {
+                match values.get(i) {
+                    Some(v) => write!(w, ",{v}")?,
+                    None => write!(w, ",")?,
+                }
+            }
+            writeln!(w)?;
+        }
+        w.flush()
+    }
+}
+
+/// Summary statistics of a slice.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std: f32,
+    /// Minimum.
+    pub min: f32,
+    /// Maximum.
+    pub max: f32,
+}
+
+/// Computes [`Summary`] statistics (`None` for an empty slice).
+pub fn summarize(values: &[f32]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let n = values.len() as f32;
+    let mean = values.iter().sum::<f32>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    Some(Summary {
+        mean,
+        std: var.sqrt(),
+        min: values.iter().cloned().fold(f32::INFINITY, f32::min),
+        max: values.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_window_behaviour() {
+        let mut ma = MovingAverage::new(3);
+        assert_eq!(ma.push(3.0), 3.0);
+        assert_eq!(ma.push(6.0), 4.5);
+        assert_eq!(ma.push(9.0), 6.0);
+        // Window slides: (6 + 9 + 12) / 3.
+        assert_eq!(ma.push(12.0), 9.0);
+        assert_eq!(ma.len(), 3);
+    }
+
+    #[test]
+    fn recorder_series_and_smoothing() {
+        let mut r = Recorder::new();
+        for v in [0.0, 1.0, 2.0, 3.0] {
+            r.push("reward", v);
+        }
+        assert_eq!(r.series("reward").unwrap().len(), 4);
+        let sm = r.smoothed("reward", 2).unwrap();
+        assert_eq!(sm, vec![0.0, 0.5, 1.5, 2.5]);
+        assert_eq!(r.tail_mean("reward", 2), Some(2.5));
+        assert!(r.series("missing").is_none());
+    }
+
+    #[test]
+    fn csv_layout() {
+        let mut r = Recorder::new();
+        r.push("a", 1.0);
+        r.push("a", 2.0);
+        r.push("b", 10.0);
+        let mut buf = Vec::new();
+        r.write_csv_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "index,a,b");
+        assert_eq!(lines[1], "0,1,10");
+        assert_eq!(lines[2], "1,2,");
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - 1.118).abs() < 1e-3);
+        assert!(summarize(&[]).is_none());
+    }
+}

@@ -1,0 +1,288 @@
+//! Prioritized experience replay (Schaul et al., 2016 — the paper's
+//! reference [14]) backed by a sum tree.
+//!
+//! Samples item `i` with probability `p_i^α / Σ p^α` and reports the
+//! importance-sampling weight `(N·P(i))^{-β}` normalized by the maximum
+//! weight, so losses can be corrected for the non-uniform sampling.
+
+use rand::Rng;
+
+/// A binary-indexed sum tree over `capacity` leaf priorities.
+#[derive(Clone, Debug)]
+pub struct SumTree {
+    nodes: Vec<f32>,
+    capacity: usize,
+}
+
+impl SumTree {
+    /// Creates a tree with all priorities zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sum tree capacity must be positive");
+        Self {
+            nodes: vec![0.0; 2 * capacity],
+            capacity,
+        }
+    }
+
+    /// Total priority mass.
+    pub fn total(&self) -> f32 {
+        self.nodes[1]
+    }
+
+    /// Priority of leaf `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= capacity`.
+    pub fn get(&self, i: usize) -> f32 {
+        assert!(i < self.capacity, "leaf index out of range");
+        self.nodes[self.capacity + i]
+    }
+
+    /// Sets the priority of leaf `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= capacity` or `priority` is negative/NaN.
+    pub fn set(&mut self, i: usize, priority: f32) {
+        assert!(i < self.capacity, "leaf index out of range");
+        assert!(
+            priority >= 0.0 && priority.is_finite(),
+            "priority must be a non-negative finite value"
+        );
+        let mut idx = self.capacity + i;
+        self.nodes[idx] = priority;
+        idx /= 2;
+        while idx >= 1 {
+            self.nodes[idx] = self.nodes[2 * idx] + self.nodes[2 * idx + 1];
+            idx /= 2;
+        }
+    }
+
+    /// Finds the leaf whose cumulative-priority interval contains `mass`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tree is empty (total = 0).
+    pub fn find(&self, mass: f32) -> usize {
+        assert!(self.total() > 0.0, "cannot sample from an empty sum tree");
+        let mut mass = mass.clamp(0.0, self.total() - f32::EPSILON.max(self.total() * 1e-7));
+        let mut idx = 1;
+        while idx < self.capacity {
+            let left = 2 * idx;
+            if mass < self.nodes[left] {
+                idx = left;
+            } else {
+                mass -= self.nodes[left];
+                idx = left + 1;
+            }
+        }
+        idx - self.capacity
+    }
+}
+
+/// A prioritized replay buffer over items of type `T`.
+#[derive(Clone, Debug)]
+pub struct PrioritizedReplay<T> {
+    items: Vec<Option<T>>,
+    tree: SumTree,
+    head: usize,
+    len: usize,
+    alpha: f32,
+    beta: f32,
+    max_priority: f32,
+}
+
+/// A prioritized sample: buffer slot, importance weight, item reference.
+#[derive(Debug)]
+pub struct PrioritizedSample<'a, T> {
+    /// Slot index (pass back to [`PrioritizedReplay::update_priority`]).
+    pub index: usize,
+    /// Normalized importance-sampling weight in `(0, 1]`.
+    pub weight: f32,
+    /// The stored item.
+    pub item: &'a T,
+}
+
+impl<T> PrioritizedReplay<T> {
+    /// Creates a buffer with prioritization exponent `alpha` and
+    /// importance-correction exponent `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize, alpha: f32, beta: f32) -> Self {
+        let mut items = Vec::with_capacity(capacity);
+        items.resize_with(capacity, || None);
+        Self {
+            items,
+            tree: SumTree::new(capacity),
+            head: 0,
+            len: 0,
+            alpha,
+            beta,
+            max_priority: 1.0,
+        }
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds an item with the maximum priority seen so far (so new
+    /// experience is sampled at least once).
+    pub fn push(&mut self, item: T) {
+        let slot = self.head;
+        self.items[slot] = Some(item);
+        self.tree.set(slot, self.max_priority.powf(self.alpha));
+        self.head = (self.head + 1) % self.items.len();
+        self.len = (self.len + 1).min(self.items.len());
+    }
+
+    /// Samples `n` items proportionally to priority, with importance
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<PrioritizedSample<'_, T>> {
+        assert!(self.len > 0, "cannot sample from an empty buffer");
+        let total = self.tree.total();
+        let mut out = Vec::with_capacity(n);
+        let mut max_w = 0.0f32;
+        let mut picked = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = self.tree.find(rng.gen_range(0.0..total));
+            let p = self.tree.get(idx) / total;
+            let w = (self.len as f32 * p).powf(-self.beta);
+            max_w = max_w.max(w);
+            picked.push((idx, w));
+        }
+        for (idx, w) in picked {
+            out.push(PrioritizedSample {
+                index: idx,
+                weight: w / max_w,
+                item: self.items[idx]
+                    .as_ref()
+                    .expect("sampled slot must be occupied"),
+            });
+        }
+        out
+    }
+
+    /// Updates the priority of a previously sampled slot (typically to the
+    /// new TD error magnitude).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range or `priority` is not finite.
+    pub fn update_priority(&mut self, index: usize, priority: f32) {
+        let p = priority.abs().max(1e-6);
+        self.max_priority = self.max_priority.max(p);
+        self.tree.set(index, p.powf(self.alpha));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sum_tree_totals() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(3, 3.0);
+        assert!((t.total() - 6.0).abs() < 1e-6);
+        t.set(1, 0.0);
+        assert!((t.total() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sum_tree_find_maps_intervals() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 3.0);
+        assert_eq!(t.find(0.5), 0);
+        assert_eq!(t.find(1.5), 1);
+        assert_eq!(t.find(2.9), 1);
+        assert_eq!(t.find(3.1), 2);
+        assert_eq!(t.find(5.9), 2);
+    }
+
+    #[test]
+    fn sum_tree_non_power_of_two() {
+        let mut t = SumTree::new(5);
+        for i in 0..5 {
+            t.set(i, 1.0);
+        }
+        assert!((t.total() - 5.0).abs() < 1e-6);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let leaf = t.find(rng.gen_range(0.0..t.total()));
+            assert!(leaf < 5);
+        }
+    }
+
+    #[test]
+    fn prioritized_sampling_prefers_high_priority() {
+        let mut buf = PrioritizedReplay::new(8, 1.0, 1.0);
+        for i in 0..4 {
+            buf.push(i);
+        }
+        // Make item 3 ten times more likely than the rest.
+        buf.update_priority(0, 1.0);
+        buf.update_priority(1, 1.0);
+        buf.update_priority(2, 1.0);
+        buf.update_priority(3, 10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hits = 0;
+        let n = 5000;
+        for s in buf.sample(&mut rng, n) {
+            if *s.item == 3 {
+                hits += 1;
+            }
+        }
+        let frac = hits as f32 / n as f32;
+        assert!((frac - 10.0 / 13.0).abs() < 0.05, "frac {frac}");
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let mut buf = PrioritizedReplay::new(8, 0.6, 0.4);
+        for i in 0..6 {
+            buf.push(i);
+            buf.update_priority(i, (i + 1) as f32);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = buf.sample(&mut rng, 64);
+        assert!(samples.iter().all(|s| s.weight > 0.0 && s.weight <= 1.0 + 1e-6));
+        assert!(samples.iter().any(|s| (s.weight - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn eviction_wraps_around() {
+        let mut buf = PrioritizedReplay::new(3, 1.0, 1.0);
+        for i in 0..7 {
+            buf.push(i);
+        }
+        assert_eq!(buf.len(), 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for s in buf.sample(&mut rng, 50) {
+            assert!(*s.item >= 4, "evicted items must not be sampled");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Sampling helpers shared by every algorithm: Gaussian noise (Box–Muller),
+//! categorical draws from probabilities/logits, and Gumbel noise for the
+//! Gumbel-softmax trick used by MADDPG over discrete actions.
+
+use rand::Rng;
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Fills `out` with i.i.d. `N(0, 1)` samples.
+pub fn fill_standard_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f32]) {
+    for v in out.iter_mut() {
+        *v = standard_normal(rng);
+    }
+}
+
+/// Samples an index from an (unnormalized, non-negative) weight vector.
+///
+/// # Panics
+///
+/// Panics when `weights` is empty or sums to zero/NaN.
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f32]) -> usize {
+    assert!(!weights.is_empty(), "cannot sample from empty weights");
+    let total: f32 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "weights must sum to a positive finite value, got {total}"
+    );
+    let mut threshold = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if threshold < w {
+            return i;
+        }
+        threshold -= w;
+    }
+    weights.len() - 1
+}
+
+/// Samples a class from a categorical distribution given by logits
+/// (numerically stable softmax inside).
+///
+/// # Panics
+///
+/// Panics when `logits` is empty.
+pub fn sample_from_logits<R: Rng + ?Sized>(rng: &mut R, logits: &[f32]) -> usize {
+    assert!(!logits.is_empty(), "cannot sample from empty logits");
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let probs: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    sample_weighted(rng, &probs)
+}
+
+/// One standard Gumbel sample `-ln(-ln(u))`.
+pub fn gumbel<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+    -(-u.ln()).ln()
+}
+
+/// Row-wise softmax of a plain slice (convenience for policy heads).
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Row-wise log-softmax of a plain slice.
+pub fn log_softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = logits
+        .iter()
+        .map(|&l| (l - max).exp())
+        .sum::<f32>()
+        .ln();
+    logits.iter().map(|&l| l - max - log_sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_weighted(&mut rng, &[1.0, 2.0, 7.0])] += 1;
+        }
+        let f2 = counts[2] as f32 / 30_000.0;
+        assert!((f2 - 0.7).abs() < 0.02, "f2 = {f2}");
+        assert!(counts[0] < counts[1]);
+    }
+
+    #[test]
+    fn logits_sampling_matches_softmax() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let logits = [0.0f32, 1.0, 2.0];
+        let probs = softmax(&logits);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_from_logits(&mut rng, &logits)] += 1;
+        }
+        for i in 0..3 {
+            let f = counts[i] as f32 / 30_000.0;
+            assert!((f - probs[i]).abs() < 0.02, "class {i}: {f} vs {}", probs[i]);
+        }
+    }
+
+    #[test]
+    fn softmax_normalizes_and_log_softmax_matches() {
+        let logits = [3.0f32, -1.0, 0.5];
+        let p = softmax(&logits);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        let lp = log_softmax(&logits);
+        for (a, b) in p.iter().zip(&lp) {
+            assert!((a.ln() - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gumbel_argmax_equals_categorical_in_distribution() {
+        // Gumbel-max trick sanity check.
+        let mut rng = StdRng::seed_from_u64(3);
+        let logits = [0.0f32, 1.5];
+        let probs = softmax(&logits);
+        let mut hits = 0usize;
+        let n = 30_000;
+        for _ in 0..n {
+            let perturbed: Vec<f32> = logits.iter().map(|&l| l + gumbel(&mut rng)).collect();
+            if perturbed[1] > perturbed[0] {
+                hits += 1;
+            }
+        }
+        let f = hits as f32 / n as f32;
+        assert!((f - probs[1]).abs() < 0.02, "{f} vs {}", probs[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn zero_weights_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        sample_weighted(&mut rng, &[0.0, 0.0]);
+    }
+}

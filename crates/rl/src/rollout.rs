@@ -1,0 +1,139 @@
+//! Parallel rollout driving — the paper trains the low-level skills in
+//! "parallel training environments" (Sec. V-C); this module provides the
+//! worker fan-out and a progress channel for streaming per-episode metrics
+//! back to the coordinator.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::metrics::Recorder;
+
+/// A per-episode progress report emitted by a worker.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpisodeReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Episode index local to the worker.
+    pub episode: usize,
+    /// Metric name (e.g. `"reward"`).
+    pub metric: String,
+    /// Metric value.
+    pub value: f32,
+}
+
+/// Runs `workers` jobs on separate threads and collects their results in
+/// worker order. Each job receives its worker index.
+///
+/// # Examples
+///
+/// ```
+/// let squares = hero_rl::rollout::run_parallel(4, |w| w * w);
+/// assert_eq!(squares, vec![0, 1, 4, 9]);
+/// ```
+pub fn run_parallel<T, F>(workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = Vec::with_capacity(workers);
+    out.resize_with(workers, || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let job = &job;
+            handles.push(scope.spawn(move || job(w)));
+        }
+        for (slot, handle) in out.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("rollout worker panicked"));
+        }
+    });
+    out.into_iter().map(|v| v.expect("worker result set")).collect()
+}
+
+/// A channel hub aggregating [`EpisodeReport`]s from parallel workers into
+/// a shared [`Recorder`] keyed as `"<metric>/w<worker>"`.
+#[derive(Debug)]
+pub struct ProgressHub {
+    sender: Sender<EpisodeReport>,
+    receiver: Receiver<EpisodeReport>,
+    recorder: Mutex<Recorder>,
+}
+
+impl Default for ProgressHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgressHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        let (sender, receiver) = unbounded();
+        Self {
+            sender,
+            receiver,
+            recorder: Mutex::new(Recorder::new()),
+        }
+    }
+
+    /// A sender handle for a worker thread.
+    pub fn sender(&self) -> Sender<EpisodeReport> {
+        self.sender.clone()
+    }
+
+    /// Drains all pending reports into the recorder, returning how many
+    /// were processed.
+    pub fn drain(&self) -> usize {
+        let mut n = 0;
+        let mut rec = self.recorder.lock();
+        while let Ok(report) = self.receiver.try_recv() {
+            rec.push(&format!("{}/w{}", report.metric, report.worker), report.value);
+            n += 1;
+        }
+        n
+    }
+
+    /// Drains and then snapshots the recorder.
+    pub fn snapshot(&self) -> Recorder {
+        self.drain();
+        self.recorder.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_parallel_preserves_worker_order() {
+        let results = run_parallel(8, |w| w as i32 * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn run_parallel_single_worker() {
+        assert_eq!(run_parallel(1, |_| "done"), vec!["done"]);
+    }
+
+    #[test]
+    fn progress_hub_aggregates_reports() {
+        let hub = ProgressHub::new();
+        run_parallel(3, |w| {
+            let tx = hub.sender();
+            for e in 0..4 {
+                tx.send(EpisodeReport {
+                    worker: w,
+                    episode: e,
+                    metric: "reward".into(),
+                    value: (w * 4 + e) as f32,
+                })
+                .unwrap();
+            }
+        });
+        let drained = hub.drain();
+        assert_eq!(drained, 12);
+        let rec = hub.snapshot();
+        assert_eq!(rec.series("reward/w0").unwrap(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(rec.series("reward/w2").unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,92 @@
+//! Scalar schedules for exploration rates and learning rates.
+
+/// A time-indexed scalar schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Schedule {
+    /// Always the same value.
+    Constant(f32),
+    /// Linear interpolation from `start` to `end` over `steps`, then flat.
+    Linear {
+        /// Value at step 0.
+        start: f32,
+        /// Value from `steps` onward.
+        end: f32,
+        /// Number of steps over which to interpolate.
+        steps: usize,
+    },
+    /// Exponential decay `start · decay^t`, floored at `min`.
+    Exponential {
+        /// Value at step 0.
+        start: f32,
+        /// Per-step multiplicative decay in `(0, 1]`.
+        decay: f32,
+        /// Lower bound.
+        min: f32,
+    },
+}
+
+impl Schedule {
+    /// The schedule's value at `step`.
+    pub fn value(&self, step: usize) -> f32 {
+        match *self {
+            Schedule::Constant(v) => v,
+            Schedule::Linear { start, end, steps } => {
+                if steps == 0 || step >= steps {
+                    end
+                } else {
+                    start + (end - start) * step as f32 / steps as f32
+                }
+            }
+            Schedule::Exponential { start, decay, min } => {
+                (start * decay.powi(step as i32)).max(min)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = Schedule::Constant(0.3);
+        assert_eq!(s.value(0), 0.3);
+        assert_eq!(s.value(1_000_000), 0.3);
+    }
+
+    #[test]
+    fn linear_endpoints_and_midpoint() {
+        let s = Schedule::Linear {
+            start: 1.0,
+            end: 0.0,
+            steps: 100,
+        };
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(50) - 0.5).abs() < 1e-6);
+        assert_eq!(s.value(100), 0.0);
+        assert_eq!(s.value(10_000), 0.0);
+    }
+
+    #[test]
+    fn linear_zero_steps_is_end() {
+        let s = Schedule::Linear {
+            start: 1.0,
+            end: 0.1,
+            steps: 0,
+        };
+        assert_eq!(s.value(0), 0.1);
+    }
+
+    #[test]
+    fn exponential_decays_to_floor() {
+        let s = Schedule::Exponential {
+            start: 1.0,
+            decay: 0.5,
+            min: 0.05,
+        };
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(2) - 0.25).abs() < 1e-6);
+        assert_eq!(s.value(100), 0.05);
+    }
+}

@@ -1,0 +1,81 @@
+//! Target-network updates (Table I's "target network update rate"
+//! τ = 0.01).
+
+use hero_autograd::Parameter;
+
+/// Polyak soft update: `target ← τ·online + (1−τ)·target`.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length or any parameter pair differs
+/// in shape, or when `tau` is outside `[0, 1]`.
+pub fn soft_update(online: &[Parameter], target: &[Parameter], tau: f32) {
+    assert!((0.0..=1.0).contains(&tau), "tau must lie in [0, 1]");
+    assert_eq!(online.len(), target.len(), "parameter count mismatch");
+    for (src, dst) in online.iter().zip(target) {
+        let src_value = src.value().clone();
+        dst.apply_update(|value, _| {
+            assert_eq!(
+                value.shape(),
+                src_value.shape(),
+                "parameter shape mismatch in soft update"
+            );
+            for (d, s) in value.data_mut().iter_mut().zip(src_value.data()) {
+                *d = tau * s + (1.0 - tau) * *d;
+            }
+        });
+    }
+}
+
+/// Hard update: copies online weights into the target verbatim
+/// (re-exported convenience over [`hero_autograd::copy_params`]).
+pub fn hard_update(online: &[Parameter], target: &[Parameter]) {
+    hero_autograd::copy_params(online, target);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hero_autograd::Tensor;
+
+    #[test]
+    fn soft_update_moves_toward_online() {
+        let online = vec![Parameter::new("o", Tensor::from_slice(&[1.0, 1.0]))];
+        let target = vec![Parameter::new("t", Tensor::from_slice(&[0.0, 0.0]))];
+        soft_update(&online, &target, 0.1);
+        assert_eq!(target[0].value().data(), &[0.1, 0.1]);
+        soft_update(&online, &target, 0.1);
+        assert!((target[0].value().data()[0] - 0.19).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tau_one_is_hard_update() {
+        let online = vec![Parameter::new("o", Tensor::from_slice(&[3.0]))];
+        let target = vec![Parameter::new("t", Tensor::from_slice(&[-1.0]))];
+        soft_update(&online, &target, 1.0);
+        assert_eq!(target[0].value().data(), &[3.0]);
+    }
+
+    #[test]
+    fn tau_zero_is_identity() {
+        let online = vec![Parameter::new("o", Tensor::from_slice(&[3.0]))];
+        let target = vec![Parameter::new("t", Tensor::from_slice(&[-1.0]))];
+        soft_update(&online, &target, 0.0);
+        assert_eq!(target[0].value().data(), &[-1.0]);
+    }
+
+    #[test]
+    fn hard_update_copies() {
+        let online = vec![Parameter::new("o", Tensor::from_slice(&[5.0, 6.0]))];
+        let target = vec![Parameter::new("t", Tensor::from_slice(&[0.0, 0.0]))];
+        hard_update(&online, &target);
+        assert_eq!(target[0].value().data(), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn mismatched_lists_rejected() {
+        let online = vec![Parameter::new("o", Tensor::from_slice(&[1.0]))];
+        soft_update(&online, &[], 0.5);
+    }
+}

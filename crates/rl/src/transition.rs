@@ -1,0 +1,101 @@
+//! Transition types stored in replay buffers.
+
+/// A one-step transition `(s, a, r, s', done)` with a generic action type
+/// (`usize` for discrete algorithms, `Vec<f32>` for continuous ones).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transition<A> {
+    /// Observation before the action.
+    pub obs: Vec<f32>,
+    /// Action taken.
+    pub action: A,
+    /// Reward received.
+    pub reward: f32,
+    /// Observation after the action.
+    pub next_obs: Vec<f32>,
+    /// Whether the episode terminated at `next_obs`.
+    pub done: bool,
+}
+
+/// A transition with a discrete action index.
+pub type DiscreteTransition = Transition<usize>;
+
+/// A transition with a continuous action vector.
+pub type ContinuousTransition = Transition<Vec<f32>>;
+
+/// A joint multi-agent transition: per-agent observations and actions plus
+/// per-agent rewards, as needed by centralized critics (MADDPG/COMA/MAAC).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JointTransition<A> {
+    /// Per-agent observations before the step.
+    pub obs: Vec<Vec<f32>>,
+    /// Per-agent actions.
+    pub actions: Vec<A>,
+    /// Per-agent rewards.
+    pub rewards: Vec<f32>,
+    /// Per-agent observations after the step.
+    pub next_obs: Vec<Vec<f32>>,
+    /// Whether the episode terminated.
+    pub done: bool,
+}
+
+/// An SMDP (option-level) transition for the HERO high level: the state
+/// when the option was chosen, the agent's option, every other agent's
+/// option, the *accumulated* discounted reward over the option's duration
+/// `c`, and the state at termination (Sec. III-C).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptionTransition {
+    /// High-level state when the option started.
+    pub obs: Vec<f32>,
+    /// The agent's own option index.
+    pub option: usize,
+    /// The other agents' option indices at selection time.
+    pub other_options: Vec<usize>,
+    /// Accumulated discounted high-level reward `r_{h,t:t+c}`.
+    pub reward: f32,
+    /// Option duration in environment steps (`c`).
+    pub duration: usize,
+    /// High-level state when the option terminated.
+    pub next_obs: Vec<f32>,
+    /// Whether the episode ended with this option.
+    pub done: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_are_cloneable_and_comparable() {
+        let t = DiscreteTransition {
+            obs: vec![1.0],
+            action: 2,
+            reward: 0.5,
+            next_obs: vec![2.0],
+            done: false,
+        };
+        assert_eq!(t.clone(), t);
+        let c = ContinuousTransition {
+            obs: vec![1.0],
+            action: vec![0.1, -0.2],
+            reward: -1.0,
+            next_obs: vec![2.0],
+            done: true,
+        };
+        assert_eq!(c.clone(), c);
+    }
+
+    #[test]
+    fn option_transition_carries_duration() {
+        let t = OptionTransition {
+            obs: vec![0.0],
+            option: 3,
+            other_options: vec![1, 2],
+            reward: 4.2,
+            duration: 5,
+            next_obs: vec![1.0],
+            done: false,
+        };
+        assert_eq!(t.duration, 5);
+        assert_eq!(t.other_options.len(), 2);
+    }
+}

@@ -1,0 +1,763 @@
+//! The cooperative lane-change environment (the paper's case study,
+//! Sec. IV) — a multi-agent Markov game over vehicles on a looped track.
+//!
+//! Every control period each vehicle receives a continuous
+//! [`VehicleCommand`]; the environment advances kinematics, detects
+//! collisions (vehicle–vehicle and wall), renders per-vehicle observations
+//! (lidar / camera / speed / lane), and computes the paper's team reward
+//! `r_h = α·r_col + (1−α)·r_travel` (Sec. IV-B). Scripted vehicles (e.g.
+//! the plodding vehicle 4 of Fig. 9 that simulates congestion) drive
+//! themselves; learners are driven by the caller.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::options::{DrivingOption, ScriptedExecutor};
+use crate::sensors::{camera_image, lidar_scan, CameraConfig, LidarConfig};
+use crate::track::Track;
+use crate::vehicle::{VehicleCommand, VehicleParams, VehicleState};
+
+/// What drives a vehicle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum VehicleRole {
+    /// Controlled by the caller (a learning agent).
+    Learner,
+    /// Driven internally: keeps its lane at a constant speed.
+    Scripted {
+        /// The constant target speed (m/s).
+        speed: f32,
+    },
+}
+
+/// Where and how a vehicle starts each episode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VehicleSpawn {
+    /// Starting lane index (ignored when `random_lane` is set).
+    pub lane: usize,
+    /// When `true`, a uniformly random lane is drawn on every reset
+    /// (used by the skill-training environments so the learned skills
+    /// generalize across lanes).
+    pub random_lane: bool,
+    /// Starting longitudinal position.
+    pub s: f32,
+    /// Uniform jitter half-width applied to `s` on every reset.
+    pub s_jitter: f32,
+    /// Initial speed (m/s).
+    pub speed: f32,
+    /// Role of this vehicle.
+    pub role: VehicleRole,
+}
+
+/// Static configuration of the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct EnvConfig {
+    /// Track geometry.
+    pub track: Track,
+    /// Vehicle footprint and limits (shared by all vehicles).
+    pub vehicle: VehicleParams,
+    /// Lidar used for the high-level state.
+    pub lidar: LidarConfig,
+    /// Camera used for the low-level state.
+    pub camera: CameraConfig,
+    /// Control period (s).
+    pub dt: f32,
+    /// Episode length in steps (the paper evaluates with 18).
+    pub max_steps: usize,
+    /// Penalty added to the team reward on collision (paper: −20).
+    pub collision_penalty: f32,
+    /// Weight α between collision penalty and travel reward.
+    pub alpha: f32,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        Self {
+            track: Track::double_lane(),
+            vehicle: VehicleParams::default(),
+            lidar: LidarConfig::default(),
+            camera: CameraConfig::default(),
+            dt: 1.0,
+            max_steps: 18,
+            collision_penalty: -20.0,
+            alpha: 0.5,
+        }
+    }
+}
+
+impl EnvConfig {
+    /// Dimension of the high-level observation vector
+    /// (`[lidar, speed, laneID]`).
+    pub fn high_dim(&self) -> usize {
+        self.lidar.beams + 2
+    }
+
+    /// Dimension of the flattened low-level observation vector
+    /// (`[image, speed, laneID]`).
+    pub fn low_dim(&self) -> usize {
+        self.camera.image_len() + 2
+    }
+}
+
+/// One vehicle's observation: the paper's high-level state
+/// `[s_lidar, s_speed, s_laneID]` and low-level state
+/// `[s_img, s_speed, s_laneID]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Observation {
+    /// Normalized lidar returns, one per beam.
+    pub lidar: Vec<f32>,
+    /// Flattened occupancy image (`rows × cols`).
+    pub image: Vec<f32>,
+    /// Speed normalized by the vehicle's maximum.
+    pub speed_norm: f32,
+    /// Lane index normalized by the lane count.
+    pub lane_norm: f32,
+    /// Raw lane index.
+    pub lane_id: usize,
+    /// Raw speed (m/s).
+    pub speed: f32,
+}
+
+impl Observation {
+    /// The high-level feature vector `[lidar…, speed, laneID]`.
+    pub fn high_vec(&self) -> Vec<f32> {
+        let mut v = self.lidar.clone();
+        v.push(self.speed_norm);
+        v.push(self.lane_norm);
+        v
+    }
+
+    /// The flattened low-level feature vector `[image…, speed, laneID]`.
+    pub fn low_flat_vec(&self) -> Vec<f32> {
+        let mut v = self.image.clone();
+        v.push(self.speed_norm);
+        v.push(self.lane_norm);
+        v
+    }
+}
+
+/// Everything produced by one environment step.
+#[derive(Clone, Debug)]
+pub struct StepOutcome {
+    /// Per-vehicle observations after the step.
+    pub observations: Vec<Observation>,
+    /// Per-vehicle team rewards `r_h^i`.
+    pub rewards: Vec<f32>,
+    /// Per-vehicle collision flags for this step.
+    pub collisions: Vec<bool>,
+    /// Whether the episode ended (collision or step limit).
+    pub done: bool,
+    /// Mean speed over all vehicles this step.
+    pub mean_speed: f32,
+}
+
+/// The common surface of the simulation and sim-to-real worlds, so
+/// training and evaluation code is agnostic to which one it drives.
+pub trait CooperativeWorld {
+    /// Starts a new episode, returning initial observations.
+    fn reset(&mut self) -> Vec<Observation>;
+    /// Advances one control period (see [`LaneChangeEnv::step`]).
+    fn step(&mut self, commands: &[VehicleCommand]) -> StepOutcome;
+    /// Whether the episode has ended.
+    fn is_done(&self) -> bool;
+    /// Number of vehicles (learners + scripted).
+    fn num_vehicles(&self) -> usize;
+    /// Indices of learner-controlled vehicles.
+    fn learner_indices(&self) -> Vec<usize>;
+    /// Kinematic state of vehicle `i`.
+    fn vehicle_state(&self, i: usize) -> VehicleState;
+    /// Whether vehicle `i` must merge (see [`LaneChangeEnv::needs_merge`]).
+    fn needs_merge(&self, i: usize) -> bool;
+    /// Whether vehicle `i` has merged (see [`LaneChangeEnv::has_merged`]).
+    fn has_merged(&self, i: usize) -> bool;
+    /// Whether vehicle `i` has collided this episode.
+    fn has_collided(&self, i: usize) -> bool;
+    /// The environment configuration.
+    fn config(&self) -> &EnvConfig;
+}
+
+/// The multi-vehicle cooperative lane-change environment.
+#[derive(Debug)]
+pub struct LaneChangeEnv {
+    cfg: EnvConfig,
+    spawns: Vec<VehicleSpawn>,
+    vehicles: Vec<VehicleState>,
+    executor: ScriptedExecutor,
+    rng: StdRng,
+    step_count: usize,
+    done: bool,
+    initial_lanes: Vec<usize>,
+    needs_merge: Vec<bool>,
+    collided: Vec<bool>,
+}
+
+impl LaneChangeEnv {
+    /// Creates an environment; call [`LaneChangeEnv::reset`] before
+    /// stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `spawns` is empty or a spawn lane is out of range.
+    pub fn new(cfg: EnvConfig, spawns: Vec<VehicleSpawn>, seed: u64) -> Self {
+        assert!(!spawns.is_empty(), "environment needs at least one vehicle");
+        for sp in &spawns {
+            assert!(sp.lane < cfg.track.num_lanes, "spawn lane out of range");
+        }
+        let n = spawns.len();
+        let mut env = Self {
+            cfg,
+            spawns,
+            vehicles: Vec::new(),
+            executor: ScriptedExecutor::new(),
+            rng: StdRng::seed_from_u64(seed),
+            step_count: 0,
+            done: true,
+            initial_lanes: vec![0; n],
+            needs_merge: vec![false; n],
+            collided: vec![false; n],
+        };
+        env.reset();
+        env
+    }
+
+    /// Environment configuration.
+    pub fn config(&self) -> &EnvConfig {
+        &self.cfg
+    }
+
+    /// Number of vehicles (learners + scripted).
+    pub fn num_vehicles(&self) -> usize {
+        self.spawns.len()
+    }
+
+    /// Indices of the learner-controlled vehicles.
+    pub fn learner_indices(&self) -> Vec<usize> {
+        self.spawns
+            .iter()
+            .enumerate()
+            .filter(|(_, sp)| matches!(sp.role, VehicleRole::Learner))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Current kinematic state of vehicle `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn vehicle_state(&self, i: usize) -> &VehicleState {
+        &self.vehicles[i]
+    }
+
+    /// Whether the current episode has ended.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Steps taken in the current episode.
+    pub fn step_count(&self) -> usize {
+        self.step_count
+    }
+
+    /// Whether vehicle `i` started this episode behind slower scripted
+    /// traffic in its own lane — i.e. it must merge to make progress.
+    pub fn needs_merge(&self, i: usize) -> bool {
+        self.needs_merge[i]
+    }
+
+    /// Whether vehicle `i` has left its initial lane without colliding —
+    /// the paper's "successful merge".
+    pub fn has_merged(&self, i: usize) -> bool {
+        !self.collided[i] && self.vehicles[i].lane(&self.cfg.track) != self.initial_lanes[i]
+    }
+
+    /// Whether vehicle `i` has collided this episode.
+    pub fn has_collided(&self, i: usize) -> bool {
+        self.collided[i]
+    }
+
+    /// Starts a new episode (re-randomizing jittered spawn positions) and
+    /// returns the initial observations.
+    pub fn reset(&mut self) -> Vec<Observation> {
+        let num_lanes = self.cfg.track.num_lanes;
+        let rng = &mut self.rng;
+        let cfg = &self.cfg;
+        self.vehicles = self
+            .spawns
+            .iter()
+            .map(|sp| {
+                let jitter = if sp.s_jitter > 0.0 {
+                    rng.gen_range(-sp.s_jitter..sp.s_jitter)
+                } else {
+                    0.0
+                };
+                let lane = if sp.random_lane {
+                    rng.gen_range(0..num_lanes)
+                } else {
+                    sp.lane
+                };
+                VehicleState {
+                    s: cfg.track.wrap(sp.s + jitter),
+                    d: cfg.track.lane_center(lane),
+                    heading: 0.0,
+                    speed: sp.speed,
+                }
+            })
+            .collect();
+        self.step_count = 0;
+        self.done = false;
+        self.initial_lanes = self
+            .vehicles
+            .iter()
+            .map(|v| v.lane(&self.cfg.track))
+            .collect();
+        self.collided = vec![false; self.vehicles.len()];
+        self.needs_merge = self.compute_needs_merge();
+        (0..self.vehicles.len()).map(|i| self.observe(i)).collect()
+    }
+
+    fn compute_needs_merge(&self) -> Vec<bool> {
+        const LOOKAHEAD: f32 = 2.5;
+        self.spawns
+            .iter()
+            .enumerate()
+            .map(|(i, sp)| {
+                if !matches!(sp.role, VehicleRole::Learner) {
+                    return false;
+                }
+                self.spawns.iter().enumerate().any(|(j, other)| {
+                    i != j
+                        && self.vehicles[j].lane(&self.cfg.track)
+                            == self.vehicles[i].lane(&self.cfg.track)
+                        && other.speed < sp.speed
+                        && matches!(other.role, VehicleRole::Scripted { .. })
+                        && {
+                            let gap = self
+                                .cfg
+                                .track
+                                .signed_delta(self.vehicles[i].s, self.vehicles[j].s);
+                            gap > 0.0 && gap <= LOOKAHEAD
+                        }
+                })
+            })
+            .collect()
+    }
+
+    /// Renders the observation of vehicle `i` from the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn observe(&self, i: usize) -> Observation {
+        let v = &self.vehicles[i];
+        Observation {
+            lidar: lidar_scan(i, &self.vehicles, &self.cfg.vehicle, &self.cfg.track, &self.cfg.lidar),
+            image: camera_image(
+                i,
+                &self.vehicles,
+                &self.cfg.vehicle,
+                &self.cfg.track,
+                &self.cfg.camera,
+            ),
+            speed_norm: v.speed / self.cfg.vehicle.max_speed,
+            lane_norm: v.lane(&self.cfg.track) as f32 / self.cfg.track.num_lanes as f32,
+            lane_id: v.lane(&self.cfg.track),
+            speed: v.speed,
+        }
+    }
+
+    /// Advances the world one control period.
+    ///
+    /// `commands` must hold one entry per vehicle; entries for scripted
+    /// vehicles are ignored (they drive themselves).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `commands.len() != num_vehicles()` or when called after
+    /// the episode ended (check [`LaneChangeEnv::is_done`]).
+    pub fn step(&mut self, commands: &[VehicleCommand]) -> StepOutcome {
+        assert_eq!(
+            commands.len(),
+            self.vehicles.len(),
+            "one command per vehicle required"
+        );
+        assert!(!self.done, "step() called on a finished episode");
+
+        let before_s: Vec<f32> = self.vehicles.iter().map(|v| v.s).collect();
+        for (i, v) in self.vehicles.iter_mut().enumerate() {
+            let cmd = match self.spawns[i].role {
+                VehicleRole::Learner => commands[i],
+                VehicleRole::Scripted { speed } => {
+                    let mut c = self.executor.command(DrivingOption::KeepLane, v, &self.cfg.track);
+                    c.linear = speed;
+                    c
+                }
+            };
+            v.step(cmd, &self.cfg.vehicle, &self.cfg.track, self.cfg.dt);
+        }
+        self.step_count += 1;
+
+        let collisions = self.detect_collisions();
+        for (c, flag) in self.collided.iter_mut().zip(&collisions) {
+            *c |= flag;
+        }
+        let any_collision = collisions.iter().any(|&c| c);
+        self.done = any_collision || self.step_count >= self.cfg.max_steps;
+
+        let rewards: Vec<f32> = (0..self.vehicles.len())
+            .map(|i| {
+                let travel = self
+                    .cfg
+                    .track
+                    .signed_delta(before_s[i], self.vehicles[i].s)
+                    .max(0.0)
+                    / (self.cfg.vehicle.max_speed * self.cfg.dt);
+                let col = if any_collision {
+                    self.cfg.collision_penalty
+                } else {
+                    0.0
+                };
+                self.cfg.alpha * col + (1.0 - self.cfg.alpha) * travel
+            })
+            .collect();
+
+        let mean_speed =
+            self.vehicles.iter().map(|v| v.speed).sum::<f32>() / self.vehicles.len() as f32;
+
+        StepOutcome {
+            observations: (0..self.vehicles.len()).map(|i| self.observe(i)).collect(),
+            rewards,
+            collisions,
+            done: self.done,
+            mean_speed,
+        }
+    }
+
+    fn detect_collisions(&self) -> Vec<bool> {
+        let n = self.vehicles.len();
+        let mut hit = vec![false; n];
+        let track = &self.cfg.track;
+        let params = &self.cfg.vehicle;
+        for i in 0..n {
+            // Wall collision: any part of the body outside the drivable
+            // area.
+            let half_w = params.width / 2.0 + params.length / 2.0 * self.vehicles[i].heading.sin().abs();
+            let d = self.vehicles[i].d;
+            if d - half_w < 0.0 || d + half_w > track.width() {
+                hit[i] = true;
+            }
+        }
+        for i in 0..n {
+            let obb_i = self.vehicles[i].obb_relative(self.vehicles[i].s, params, track);
+            for j in (i + 1)..n {
+                let obb_j = self.vehicles[j].obb_relative(self.vehicles[i].s, params, track);
+                if obb_i.intersects(&obb_j) {
+                    hit[i] = true;
+                    hit[j] = true;
+                }
+            }
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_car_spawns() -> Vec<VehicleSpawn> {
+        vec![
+            VehicleSpawn {
+                lane: 0,
+                random_lane: false,
+                s: 0.0,
+                s_jitter: 0.0,
+                speed: 0.1,
+                role: VehicleRole::Learner,
+            },
+            VehicleSpawn {
+                lane: 1,
+                random_lane: false,
+                s: 1.0,
+                s_jitter: 0.0,
+                speed: 0.1,
+                role: VehicleRole::Learner,
+            },
+        ]
+    }
+
+    fn coast_all(env: &LaneChangeEnv) -> Vec<VehicleCommand> {
+        (0..env.num_vehicles())
+            .map(|i| VehicleCommand::coast(env.vehicle_state(i).speed))
+            .collect()
+    }
+
+    #[test]
+    fn reset_places_vehicles_on_lane_centers() {
+        let env = LaneChangeEnv::new(EnvConfig::default(), two_car_spawns(), 0);
+        assert!((env.vehicle_state(0).d - 0.2).abs() < 1e-6);
+        assert!((env.vehicle_state(1).d - 0.6).abs() < 1e-6);
+        assert!(!env.is_done());
+    }
+
+    #[test]
+    fn step_returns_per_vehicle_data() {
+        let mut env = LaneChangeEnv::new(EnvConfig::default(), two_car_spawns(), 0);
+        let cmds = coast_all(&env);
+        let out = env.step(&cmds);
+        assert_eq!(out.observations.len(), 2);
+        assert_eq!(out.rewards.len(), 2);
+        assert_eq!(out.collisions.len(), 2);
+        assert!(!out.done);
+        assert!(out.mean_speed > 0.0);
+    }
+
+    #[test]
+    fn forward_progress_earns_positive_reward() {
+        let mut env = LaneChangeEnv::new(EnvConfig::default(), two_car_spawns(), 0);
+        let out = env.step(&coast_all(&env));
+        assert!(out.rewards.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn episode_ends_at_step_limit() {
+        let cfg = EnvConfig {
+            max_steps: 3,
+            ..EnvConfig::default()
+        };
+        let mut env = LaneChangeEnv::new(cfg, two_car_spawns(), 0);
+        for _ in 0..2 {
+            let out = env.step(&coast_all(&env));
+            assert!(!out.done);
+        }
+        let out = env.step(&coast_all(&env));
+        assert!(out.done);
+        assert!(env.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "finished episode")]
+    fn stepping_after_done_panics() {
+        let cfg = EnvConfig {
+            max_steps: 1,
+            ..EnvConfig::default()
+        };
+        let mut env = LaneChangeEnv::new(cfg, two_car_spawns(), 0);
+        let cmds = coast_all(&env);
+        env.step(&cmds);
+        env.step(&cmds);
+    }
+
+    #[test]
+    fn rear_end_collision_is_detected_and_penalized() {
+        let spawns = vec![
+            VehicleSpawn {
+                lane: 0,
+                random_lane: false,
+                s: 0.0,
+                s_jitter: 0.0,
+                speed: 0.2,
+                role: VehicleRole::Learner,
+            },
+            VehicleSpawn {
+                lane: 0,
+                random_lane: false,
+                s: 0.35,
+                s_jitter: 0.0,
+                speed: 0.0,
+                role: VehicleRole::Learner,
+            },
+        ];
+        let mut env = LaneChangeEnv::new(EnvConfig::default(), spawns, 0);
+        let mut collided = false;
+        for _ in 0..5 {
+            if env.is_done() {
+                break;
+            }
+            let out = env.step(&[
+                VehicleCommand::new(0.2, 0.0),
+                VehicleCommand::new(0.0, 0.0),
+            ]);
+            if out.collisions.iter().any(|&c| c) {
+                collided = true;
+                assert!(out.rewards[0] < 0.0, "collision must be penalized");
+                assert!(out.done);
+            }
+        }
+        assert!(collided, "vehicles closing at 0.2 m/s from 0.35 m must hit");
+        assert!(env.has_collided(0) && env.has_collided(1));
+    }
+
+    #[test]
+    fn wall_collision_when_steering_off_track() {
+        let spawns = vec![VehicleSpawn {
+            lane: 1,
+            random_lane: false,
+            s: 0.0,
+            s_jitter: 0.0,
+            speed: 0.15,
+            role: VehicleRole::Learner,
+        }];
+        let mut env = LaneChangeEnv::new(EnvConfig::default(), spawns, 0);
+        let mut hit = false;
+        for _ in 0..18 {
+            if env.is_done() {
+                break;
+            }
+            let out = env.step(&[VehicleCommand::new(0.2, 0.3)]);
+            if out.collisions[0] {
+                hit = true;
+            }
+        }
+        assert!(hit, "steering hard outward must leave the track");
+    }
+
+    #[test]
+    fn scripted_vehicle_ignores_commands() {
+        let spawns = vec![
+            VehicleSpawn {
+                lane: 0,
+                random_lane: false,
+                s: 0.0,
+                s_jitter: 0.0,
+                speed: 0.1,
+                role: VehicleRole::Learner,
+            },
+            VehicleSpawn {
+                lane: 1,
+                random_lane: false,
+                s: 2.0,
+                s_jitter: 0.0,
+                speed: 0.03,
+                role: VehicleRole::Scripted { speed: 0.03 },
+            },
+        ];
+        let mut env = LaneChangeEnv::new(EnvConfig::default(), spawns, 0);
+        env.step(&[
+            VehicleCommand::coast(0.1),
+            VehicleCommand::new(0.25, 0.3), // must be ignored
+        ]);
+        assert!((env.vehicle_state(1).speed - 0.03).abs() < 1e-6);
+        assert_eq!(env.learner_indices(), vec![0]);
+    }
+
+    #[test]
+    fn needs_merge_detects_blocked_lane() {
+        let spawns = vec![
+            VehicleSpawn {
+                lane: 0,
+                random_lane: false,
+                s: 0.0,
+                s_jitter: 0.0,
+                speed: 0.1,
+                role: VehicleRole::Learner,
+            },
+            VehicleSpawn {
+                lane: 0,
+                random_lane: false,
+                s: 1.0,
+                s_jitter: 0.0,
+                speed: 0.02,
+                role: VehicleRole::Scripted { speed: 0.02 },
+            },
+            VehicleSpawn {
+                lane: 1,
+                random_lane: false,
+                s: 0.5,
+                s_jitter: 0.0,
+                speed: 0.1,
+                role: VehicleRole::Learner,
+            },
+        ];
+        let env = LaneChangeEnv::new(EnvConfig::default(), spawns, 0);
+        assert!(env.needs_merge(0), "learner behind slow traffic must merge");
+        assert!(!env.needs_merge(1), "scripted vehicles never need to merge");
+        assert!(!env.needs_merge(2), "free lane needs no merge");
+    }
+
+    #[test]
+    fn merge_detection_via_lane_change() {
+        let spawns = vec![VehicleSpawn {
+            lane: 0,
+            random_lane: false,
+            s: 0.0,
+            s_jitter: 0.0,
+            speed: 0.15,
+            role: VehicleRole::Learner,
+        }];
+        let mut env = LaneChangeEnv::new(EnvConfig::default(), spawns, 0);
+        assert!(!env.has_merged(0));
+        // Steer up into lane 1 over a few steps, then straighten.
+        for _ in 0..4 {
+            env.step(&[VehicleCommand::new(0.15, 0.22)]);
+        }
+        for _ in 0..4 {
+            if env.is_done() {
+                break;
+            }
+            env.step(&[VehicleCommand::new(0.15, -0.22)]);
+        }
+        assert!(!env.has_collided(0), "gentle lane change must be safe");
+        assert!(env.has_merged(0), "vehicle ended in the other lane");
+    }
+
+    #[test]
+    fn observations_have_configured_dims() {
+        let cfg = EnvConfig::default();
+        let env = LaneChangeEnv::new(cfg, two_car_spawns(), 0);
+        let obs = env.observe(0);
+        assert_eq!(obs.high_vec().len(), cfg.high_dim());
+        assert_eq!(obs.low_flat_vec().len(), cfg.low_dim());
+    }
+
+    #[test]
+    fn reset_with_jitter_is_seed_deterministic() {
+        let spawns = vec![VehicleSpawn {
+            lane: 0,
+            random_lane: false,
+            s: 0.0,
+            s_jitter: 0.5,
+            speed: 0.1,
+            role: VehicleRole::Learner,
+        }];
+        let mut a = LaneChangeEnv::new(EnvConfig::default(), spawns.clone(), 42);
+        let mut b = LaneChangeEnv::new(EnvConfig::default(), spawns, 42);
+        for _ in 0..3 {
+            let oa = a.reset();
+            let ob = b.reset();
+            assert_eq!(oa, ob);
+        }
+    }
+}
+
+impl CooperativeWorld for LaneChangeEnv {
+    fn reset(&mut self) -> Vec<Observation> {
+        LaneChangeEnv::reset(self)
+    }
+    fn step(&mut self, commands: &[VehicleCommand]) -> StepOutcome {
+        LaneChangeEnv::step(self, commands)
+    }
+    fn is_done(&self) -> bool {
+        LaneChangeEnv::is_done(self)
+    }
+    fn num_vehicles(&self) -> usize {
+        LaneChangeEnv::num_vehicles(self)
+    }
+    fn learner_indices(&self) -> Vec<usize> {
+        LaneChangeEnv::learner_indices(self)
+    }
+    fn vehicle_state(&self, i: usize) -> VehicleState {
+        *LaneChangeEnv::vehicle_state(self, i)
+    }
+    fn needs_merge(&self, i: usize) -> bool {
+        LaneChangeEnv::needs_merge(self, i)
+    }
+    fn has_merged(&self, i: usize) -> bool {
+        LaneChangeEnv::has_merged(self, i)
+    }
+    fn has_collided(&self, i: usize) -> bool {
+        LaneChangeEnv::has_collided(self, i)
+    }
+    fn config(&self) -> &EnvConfig {
+        LaneChangeEnv::config(self)
+    }
+}

@@ -1,0 +1,150 @@
+//! Scenario builders mirroring the paper's evaluation layouts.
+//!
+//! * [`two_vehicle_merge`] — Fig. 6: vehicle 2's lane is blocked by slow
+//!   traffic; it must coordinate with vehicle 1 in the free lane.
+//! * [`congestion`] — Fig. 9: four vehicles on the double-lane loop;
+//!   vehicle 4 plods to simulate congestion, the other three learn to
+//!   cooperate.
+
+use crate::env::{EnvConfig, LaneChangeEnv, VehicleRole, VehicleSpawn};
+
+/// Speed of the plodding scripted vehicle that simulates congestion.
+pub const PLODDING_SPEED: f32 = 0.02;
+/// Initial speed given to every learner.
+pub const LEARNER_SPEED: f32 = 0.08;
+
+/// Spawn layout for the paper's Fig. 6 two-vehicle coordination scenario:
+/// vehicle 0 cruises in the free lane (lane 0), vehicle 1 sits behind a
+/// slow scripted blocker in lane 1 and must merge.
+pub fn two_vehicle_merge_spawns() -> Vec<VehicleSpawn> {
+    vec![
+        VehicleSpawn {
+            lane: 0,
+            random_lane: false,
+            s: 11.4,
+            s_jitter: 0.2,
+            speed: LEARNER_SPEED,
+            role: VehicleRole::Learner,
+        },
+        VehicleSpawn {
+            lane: 1,
+            random_lane: false,
+            s: 0.0,
+            s_jitter: 0.2,
+            speed: LEARNER_SPEED,
+            role: VehicleRole::Learner,
+        },
+        VehicleSpawn {
+            lane: 1,
+            random_lane: false,
+            s: 1.1,
+            s_jitter: 0.1,
+            speed: PLODDING_SPEED,
+            role: VehicleRole::Scripted {
+                speed: PLODDING_SPEED,
+            },
+        },
+    ]
+}
+
+/// Spawn layout for the paper's Fig. 9 four-vehicle congestion scenario:
+/// three learners with jittered positions plus one plodding scripted
+/// vehicle (vehicle 4) blocking lane 0.
+pub fn congestion_spawns() -> Vec<VehicleSpawn> {
+    vec![
+        VehicleSpawn {
+            lane: 0,
+            random_lane: false,
+            s: 0.0,
+            s_jitter: 0.3,
+            speed: LEARNER_SPEED,
+            role: VehicleRole::Learner,
+        },
+        VehicleSpawn {
+            lane: 1,
+            random_lane: false,
+            s: 11.2,
+            s_jitter: 0.3,
+            speed: LEARNER_SPEED,
+            role: VehicleRole::Learner,
+        },
+        VehicleSpawn {
+            lane: 0,
+            random_lane: false,
+            s: 10.6,
+            s_jitter: 0.3,
+            speed: LEARNER_SPEED,
+            role: VehicleRole::Learner,
+        },
+        VehicleSpawn {
+            lane: 0,
+            random_lane: false,
+            s: 1.1,
+            s_jitter: 0.1,
+            speed: PLODDING_SPEED,
+            role: VehicleRole::Scripted {
+                speed: PLODDING_SPEED,
+            },
+        },
+    ]
+}
+
+/// Builds the Fig. 6 two-vehicle merge environment.
+pub fn two_vehicle_merge(cfg: EnvConfig, seed: u64) -> LaneChangeEnv {
+    LaneChangeEnv::new(cfg, two_vehicle_merge_spawns(), seed)
+}
+
+/// Builds the Fig. 9 four-vehicle congestion environment.
+pub fn congestion(cfg: EnvConfig, seed: u64) -> LaneChangeEnv {
+    LaneChangeEnv::new(cfg, congestion_spawns(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vehicle::VehicleCommand;
+
+    #[test]
+    fn merge_scenario_flags_blocked_learner() {
+        let env = two_vehicle_merge(EnvConfig::default(), 0);
+        assert_eq!(env.num_vehicles(), 3);
+        assert_eq!(env.learner_indices(), vec![0, 1]);
+        assert!(!env.needs_merge(0), "lane-0 learner is free");
+        assert!(env.needs_merge(1), "lane-1 learner is blocked");
+    }
+
+    #[test]
+    fn congestion_scenario_shape() {
+        let env = congestion(EnvConfig::default(), 0);
+        assert_eq!(env.num_vehicles(), 4);
+        assert_eq!(env.learner_indices().len(), 3);
+        // The lane-0 learner spawned just behind the blocker must merge.
+        assert!(env.needs_merge(0));
+    }
+
+    #[test]
+    fn blocked_learner_crashes_if_it_never_merges() {
+        let mut env = two_vehicle_merge(EnvConfig::default(), 1);
+        let mut crashed = false;
+        for _ in 0..60 {
+            if env.is_done() {
+                if env.has_collided(1) {
+                    crashed = true;
+                }
+                env.reset();
+            }
+            let cmds: Vec<VehicleCommand> = (0..env.num_vehicles())
+                .map(|i| VehicleCommand::coast(if i == 1 { 0.12 } else { 0.05 }))
+                .collect();
+            env.step(&cmds);
+        }
+        assert!(crashed, "driving blindly into the blocker must crash");
+    }
+
+    #[test]
+    fn scenarios_are_seed_deterministic() {
+        let mut a = congestion(EnvConfig::default(), 5);
+        let mut b = congestion(EnvConfig::default(), 5);
+        assert_eq!(a.reset(), b.reset());
+    }
+}

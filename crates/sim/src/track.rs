@@ -1,0 +1,153 @@
+//! Looped multi-lane track geometry in Frenet (longitudinal/lateral)
+//! coordinates.
+//!
+//! The paper's testbed is a closed double-lane track (Fig. 9 / Fig. 13).
+//! We model it "straightened": longitudinal position `s` wraps modulo the
+//! track length and lateral position `d` spans `[0, num_lanes × lane_width]`
+//! with lane 0 at the bottom. All vehicle interactions use wrapped relative
+//! coordinates, so the loop topology is preserved exactly.
+
+/// Geometry of a closed multi-lane loop track.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Track {
+    /// Loop length in metres.
+    pub length: f32,
+    /// Width of one lane in metres.
+    pub lane_width: f32,
+    /// Number of parallel lanes (the paper uses 2).
+    pub num_lanes: usize,
+}
+
+impl Track {
+    /// Creates a track.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `length` or `lane_width` is non-positive or
+    /// `num_lanes == 0`.
+    pub fn new(length: f32, lane_width: f32, num_lanes: usize) -> Self {
+        assert!(length > 0.0, "track length must be positive");
+        assert!(lane_width > 0.0, "lane width must be positive");
+        assert!(num_lanes > 0, "track needs at least one lane");
+        Self {
+            length,
+            lane_width,
+            num_lanes,
+        }
+    }
+
+    /// The paper's double-lane testbed layout: a 12 m loop with two 0.4 m
+    /// lanes.
+    pub fn double_lane() -> Self {
+        Self::new(12.0, 0.4, 2)
+    }
+
+    /// Total lateral width.
+    pub fn width(&self) -> f32 {
+        self.lane_width * self.num_lanes as f32
+    }
+
+    /// Lateral coordinate of a lane's center line.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn lane_center(&self, lane: usize) -> f32 {
+        assert!(lane < self.num_lanes, "lane {lane} out of range");
+        (lane as f32 + 0.5) * self.lane_width
+    }
+
+    /// Index of the lane whose center is nearest to lateral offset `d`
+    /// (clamped to the track).
+    pub fn lane_of(&self, d: f32) -> usize {
+        let idx = (d / self.lane_width).floor();
+        (idx.max(0.0) as usize).min(self.num_lanes - 1)
+    }
+
+    /// Wraps a longitudinal coordinate into `[0, length)`.
+    pub fn wrap(&self, s: f32) -> f32 {
+        s.rem_euclid(self.length)
+    }
+
+    /// Signed longitudinal offset from `from` to `to`, wrapped into
+    /// `[-length/2, length/2)` — the shortest way around the loop.
+    pub fn signed_delta(&self, from: f32, to: f32) -> f32 {
+        let raw = self.wrap(to) - self.wrap(from);
+        if raw >= self.length / 2.0 {
+            raw - self.length
+        } else if raw < -self.length / 2.0 {
+            raw + self.length
+        } else {
+            raw
+        }
+    }
+
+    /// Whether lateral offset `d` lies inside the drivable area.
+    pub fn contains_lateral(&self, d: f32) -> bool {
+        (0.0..=self.width()).contains(&d)
+    }
+
+    /// Distance from `d` to the nearest lane center line (the paper's
+    /// `r_deviate` input).
+    pub fn deviation_from_center(&self, d: f32) -> f32 {
+        (d - self.lane_center(self.lane_of(d))).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_lane_layout() {
+        let t = Track::double_lane();
+        assert_eq!(t.num_lanes, 2);
+        assert!((t.width() - 0.8).abs() < 1e-6);
+        assert!((t.lane_center(0) - 0.2).abs() < 1e-6);
+        assert!((t.lane_center(1) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lane_of_boundaries() {
+        let t = Track::double_lane();
+        assert_eq!(t.lane_of(0.0), 0);
+        assert_eq!(t.lane_of(0.39), 0);
+        assert_eq!(t.lane_of(0.41), 1);
+        assert_eq!(t.lane_of(0.79), 1);
+        // Clamped outside the track.
+        assert_eq!(t.lane_of(-0.5), 0);
+        assert_eq!(t.lane_of(5.0), 1);
+    }
+
+    #[test]
+    fn wrap_behaviour() {
+        let t = Track::double_lane();
+        assert!((t.wrap(12.5) - 0.5).abs() < 1e-6);
+        assert!((t.wrap(-0.5) - 11.5).abs() < 1e-6);
+        assert_eq!(t.wrap(0.0), 0.0);
+    }
+
+    #[test]
+    fn signed_delta_short_way_around() {
+        let t = Track::double_lane();
+        assert!((t.signed_delta(11.5, 0.5) - 1.0).abs() < 1e-6);
+        assert!((t.signed_delta(0.5, 11.5) + 1.0).abs() < 1e-6);
+        assert!((t.signed_delta(0.0, 5.0) - 5.0).abs() < 1e-6);
+        // Exactly half way is mapped to -length/2.
+        assert!((t.signed_delta(0.0, 6.0) + 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deviation_from_center() {
+        let t = Track::double_lane();
+        assert!((t.deviation_from_center(0.2)).abs() < 1e-6);
+        assert!((t.deviation_from_center(0.3) - 0.1).abs() < 1e-6);
+        assert!((t.deviation_from_center(0.6)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let _ = Track::new(10.0, 0.4, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the sensing and geometry substrate.
+
+use hero_sim::geometry::{Obb, Vec2};
+use hero_sim::sensors::{
+    camera_image, lidar_scan, CameraConfig, LidarConfig, CAMERA_OFF_TRACK, CAMERA_VEHICLE,
+};
+use hero_sim::track::Track;
+use hero_sim::vehicle::{VehicleParams, VehicleState};
+use proptest::prelude::*;
+
+fn arbitrary_vehicle() -> impl Strategy<Value = VehicleState> {
+    (0.0f32..12.0, 0.05f32..0.75, -0.5f32..0.5, 0.0f32..0.2).prop_map(|(s, d, heading, speed)| {
+        VehicleState {
+            s,
+            d,
+            heading,
+            speed,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lidar returns are always normalized and finite, for any vehicle
+    /// configuration.
+    #[test]
+    fn lidar_always_normalized(vehicles in prop::collection::vec(arbitrary_vehicle(), 1..6)) {
+        let track = Track::double_lane();
+        let params = VehicleParams::default();
+        let cfg = LidarConfig::default();
+        for ego in 0..vehicles.len() {
+            let scan = lidar_scan(ego, &vehicles, &params, &track, &cfg);
+            prop_assert_eq!(scan.len(), cfg.beams);
+            prop_assert!(scan.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)));
+        }
+    }
+
+    /// Lidar is monotone in obstacle distance: moving the only obstacle
+    /// farther away (straight ahead) never shortens the front beam.
+    #[test]
+    fn lidar_monotone_in_distance(d1 in 0.5f32..1.0, extra in 0.05f32..0.9) {
+        let track = Track::double_lane();
+        let params = VehicleParams::default();
+        let cfg = LidarConfig::default();
+        let ego = VehicleState { s: 0.0, d: 0.2, heading: 0.0, speed: 0.1 };
+        let near = VehicleState { s: d1, d: 0.2, heading: 0.0, speed: 0.1 };
+        let far = VehicleState { s: d1 + extra, d: 0.2, heading: 0.0, speed: 0.1 };
+        let scan_near = lidar_scan(0, &[ego, near], &params, &track, &cfg);
+        let scan_far = lidar_scan(0, &[ego, far], &params, &track, &cfg);
+        prop_assert!(scan_far[0] >= scan_near[0] - 1e-5);
+    }
+
+    /// Camera cells only ever take the three defined values.
+    #[test]
+    fn camera_values_are_categorical(vehicles in prop::collection::vec(arbitrary_vehicle(), 1..6)) {
+        let track = Track::double_lane();
+        let params = VehicleParams::default();
+        let cfg = CameraConfig::default();
+        let img = camera_image(0, &vehicles, &params, &track, &cfg);
+        prop_assert_eq!(img.len(), cfg.image_len());
+        prop_assert!(img.iter().all(|&v| v == 0.0 || v == CAMERA_OFF_TRACK || v == CAMERA_VEHICLE));
+    }
+
+    /// A ray that reports a hit at distance t: the point origin + t·dir
+    /// lies on (or inside) the box boundary.
+    #[test]
+    fn ray_hits_land_on_box(
+        cx in -2.0f32..2.0,
+        cy in -2.0f32..2.0,
+        heading in -1.5f32..1.5,
+        angle in 0.0f32..std::f32::consts::TAU,
+    ) {
+        let b = Obb::new(Vec2::new(cx, cy), 0.4, 0.2, heading);
+        let dir = Vec2::new(angle.cos(), angle.sin());
+        if let Some(t) = b.ray_intersection(Vec2::new(0.0, 0.0), dir) {
+            let hit = dir.scale(t);
+            // Inflate slightly for float error; the hit must not be
+            // strictly outside the box.
+            let inflated = Obb::new(b.center, b.half_len + 1e-3, b.half_wid + 1e-3, b.heading);
+            prop_assert!(inflated.contains(hit), "hit {hit:?} outside {b:?}");
+        }
+    }
+
+    /// OBB intersection is reflexive and symmetric.
+    #[test]
+    fn obb_intersection_symmetric(
+        ax in -2.0f32..2.0, ay in -1.0f32..1.0, ah in -1.5f32..1.5,
+        bx in -2.0f32..2.0, by in -1.0f32..1.0, bh in -1.5f32..1.5,
+    ) {
+        let a = Obb::new(Vec2::new(ax, ay), 0.3, 0.15, ah);
+        let b = Obb::new(Vec2::new(bx, by), 0.3, 0.15, bh);
+        prop_assert!(a.intersects(&a));
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    /// Vehicles never exceed their speed limits after a step, and heading
+    /// stays clamped.
+    #[test]
+    fn kinematics_respect_limits(
+        mut v in arbitrary_vehicle(),
+        lin in -1.0f32..1.0,
+        ang in -1.0f32..1.0,
+    ) {
+        let track = Track::double_lane();
+        let params = VehicleParams::default();
+        v.step(
+            hero_sim::vehicle::VehicleCommand::new(lin, ang),
+            &params,
+            &track,
+            1.0,
+        );
+        prop_assert!(v.speed >= 0.0 && v.speed <= params.max_speed);
+        prop_assert!(v.heading.abs() <= params.max_heading + 1e-6);
+        prop_assert!((0.0..track.length).contains(&v.s));
+    }
+}

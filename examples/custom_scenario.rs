@@ -1,0 +1,127 @@
+//! Building a custom world with the public API: a wider three-lane loop,
+//! five vehicles, two of them scripted — then comparing a do-nothing
+//! policy with the scripted option executor on collision counts.
+//!
+//! Run with: `cargo run --release --example custom_scenario`
+
+use hero::prelude::*;
+use hero::sim::options::ScriptedExecutor;
+use hero::sim::{Track, VehicleRole, VehicleSpawn};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spawns() -> Vec<VehicleSpawn> {
+    vec![
+        VehicleSpawn {
+            lane: 0,
+            random_lane: false,
+            s: 0.0,
+            s_jitter: 0.4,
+            speed: 0.1,
+            role: VehicleRole::Learner,
+        },
+        VehicleSpawn {
+            lane: 1,
+            random_lane: false,
+            s: 10.0,
+            s_jitter: 0.4,
+            speed: 0.1,
+            role: VehicleRole::Learner,
+        },
+        VehicleSpawn {
+            lane: 2,
+            random_lane: false,
+            s: 5.0,
+            s_jitter: 0.4,
+            speed: 0.1,
+            role: VehicleRole::Learner,
+        },
+        VehicleSpawn {
+            lane: 0,
+            random_lane: false,
+            s: 2.0,
+            s_jitter: 0.0,
+            speed: 0.02,
+            role: VehicleRole::Scripted { speed: 0.02 },
+        },
+        VehicleSpawn {
+            lane: 1,
+            random_lane: false,
+            s: 12.0,
+            s_jitter: 0.0,
+            speed: 0.03,
+            role: VehicleRole::Scripted { speed: 0.03 },
+        },
+    ]
+}
+
+fn run(
+    policy_name: &str,
+    mut pick: impl FnMut(usize, &LaneChangeEnv) -> DrivingOption,
+) -> (usize, f32) {
+    let cfg = EnvConfig {
+        track: Track::new(16.0, 0.4, 3),
+        max_steps: 25,
+        ..EnvConfig::default()
+    };
+    let mut env = LaneChangeEnv::new(cfg, spawns(), 21);
+    let executor = ScriptedExecutor::new();
+    let mut collisions = 0;
+    let mut speed_sum = 0.0;
+    let mut steps = 0;
+    for _ in 0..20 {
+        env.reset();
+        while !env.is_done() {
+            let mut cmds = vec![VehicleCommand::default(); env.num_vehicles()];
+            for &v in &env.learner_indices() {
+                let option = pick(v, &env);
+                cmds[v] = executor.command(option, env.vehicle_state(v), &cfg.track);
+            }
+            let out = env.step(&cmds);
+            speed_sum += out.mean_speed;
+            steps += 1;
+        }
+        if env.learner_indices().iter().any(|&v| env.has_collided(v)) {
+            collisions += 1;
+        }
+    }
+    println!(
+        "{policy_name:<28} collisions: {collisions:>2}/20   mean speed: {:.4}",
+        speed_sum / steps as f32
+    );
+    (collisions, speed_sum / steps as f32)
+}
+
+fn main() {
+    println!("custom 3-lane, 5-vehicle world (20 episodes each):\n");
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Policy A: always accelerate blindly.
+    let (blind, _) = run("always-accelerate", |_, _| DrivingOption::Accelerate);
+
+    // Policy B: a hand-written reactive rule — slow down when the front
+    // lidar cone is blocked, change lane when also slow.
+    let (reactive, _) = run("reactive-rule", |v, env| {
+        let obs = env.observe(v);
+        let front = obs.lidar[0].min(obs.lidar[1]).min(obs.lidar[obs.lidar.len() - 1]);
+        if front < 0.25 {
+            DrivingOption::LaneChange
+        } else if front < 0.5 {
+            DrivingOption::SlowDown
+        } else {
+            DrivingOption::Accelerate
+        }
+    });
+
+    // Policy C: uniformly random options.
+    use rand::Rng;
+    let (_random, _) = run("uniform-random", move |_, _| {
+        DrivingOption::from_index(rng.gen_range(0..DrivingOption::COUNT))
+    });
+
+    println!(
+        "\nthe reactive rule avoids {} of the blind policy's collisions — the\n\
+         headroom HERO's learned high-level policy exploits (see hero-bench).",
+        blind.saturating_sub(reactive)
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: drive the cooperative lane-change world, train a tiny HERO
+//! team for a handful of episodes, and print its learning curve.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! This uses toy budgets so it finishes in seconds; the paper-scale
+//! pipeline lives in the `hero-bench` experiment binaries.
+
+use std::sync::Arc;
+
+use hero::prelude::*;
+use hero_baselines::sac::SacConfig;
+
+fn main() {
+    let env_cfg = EnvConfig::default();
+
+    // A world: four vehicles on the double-lane loop, one plodding to
+    // simulate congestion (the paper's Fig. 9 layout).
+    let mut env = hero::sim::scenario::congestion(env_cfg, 42);
+    println!(
+        "world: {} vehicles ({} learners) on a {:.0} m double-lane loop",
+        env.num_vehicles(),
+        env.learner_indices().len(),
+        env_cfg.track.length
+    );
+
+    // Stage 1 (abbreviated): normally `SkillLibrary::train` learns the
+    // low-level skills with SAC; here we start untrained to stay fast.
+    let skills = Arc::new(SkillLibrary::untrained(
+        env_cfg,
+        SacConfig::default(),
+        42,
+    ));
+
+    // Stage 2: learn high-level cooperation with opponent modeling.
+    let cfg = HeroConfig {
+        batch_size: 64,
+        warmup: 64,
+        ..HeroConfig::default()
+    };
+    let mut team = HeroTeam::new(3, env_cfg.high_dim(), skills, cfg, 42);
+    let curves = train_team(
+        &mut team,
+        &mut env,
+        &TrainOptions {
+            episodes: 30,
+            update_every: 4,
+            seed: 42,
+        },
+    );
+
+    println!("\nepisode-reward curve (window-10 smoothed, every 5th episode):");
+    let smoothed = curves.smoothed("reward", 10).expect("reward series");
+    for (i, v) in smoothed.iter().enumerate().step_by(5) {
+        println!("  episode {i:>3}: {v:>7.3}");
+    }
+
+    let stats = evaluate_team(&mut team, &mut env, 5, 7);
+    println!(
+        "\ngreedy evaluation over 5 episodes: collision rate {:.2}, merge success {:.2}, mean speed {:.3}",
+        stats.collision_rate, stats.success_rate, stats.mean_speed
+    );
+    println!("(toy budget — see `cargo run -p hero-bench --bin fig7_learning_curves` for the real thing)");
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from target/experiments logs."""
+import re
+import sys
+from pathlib import Path
+
+root = Path(__file__).resolve().parents[1]
+exp = root / "target" / "experiments"
+md_path = root / "EXPERIMENTS.md"
+md = md_path.read_text()
+
+
+def rows_from(log_name, labels):
+    path = exp / log_name
+    if not path.exists():
+        return None
+    rows = []
+    for line in path.read_text().splitlines():
+        m = re.match(
+            r"(\S+)\s+collision_rate=([\d.]+)\s+success_rate=([\d.]+)\s+"
+            r"mean_speed=([\d.]+)\s+mean_reward=([-\d.]+)",
+            line,
+        )
+        if m and (labels is None or m.group(1) in labels):
+            rows.append(m.groups())
+    return rows or None
+
+
+def table(rows, header="| Method | Collision | Success | Mean speed | Mean reward |"):
+    out = [header, "|" + "---|" * (header.count("|") - 1)]
+    for name, col, suc, spd, rew in rows:
+        out.append(f"| {name} | {col} | {suc} | {spd} | {rew} |")
+    return "\n".join(out)
+
+
+# Fig. 7: parse the summary block.
+fig7 = exp / "log_fig7.txt"
+if fig7.exists():
+    rows = []
+    for line in fig7.read_text().splitlines():
+        m = re.match(r"(HERO|DQN|COMA|MADDPG|MAAC)\s+([-\d.]+|NaN)\s+([-\d.]+|NaN)\s+([-\d.]+|NaN)", line)
+        if m:
+            rows.append(m.groups())
+    if rows:
+        t = ["| Method | Final reward | Final collision rate | Final success rate |",
+             "|---|---|---|---|"]
+        for name, rew, col, suc in rows:
+            t.append(f"| {name} | {rew} | {col} | {suc} |")
+        md = md.replace("<!-- FIG7_TABLE -->", "\n".join(t))
+
+# Fig. 10: parse first/last loss lines.
+fig10 = exp / "log_fig10.txt"
+if fig10.exists():
+    rows = []
+    for line in fig10.read_text().splitlines():
+        m = re.match(r"(vehicle\d)\s+first-50 mean loss\s+([\d.]+)\s+last-50 mean loss\s+([\d.]+)", line)
+        if m:
+            rows.append(m.groups())
+    if rows:
+        t = ["| Opponent model | First-50 NLL | Last-50 NLL |", "|---|---|---|"]
+        for name, first, last in rows:
+            t.append(f"| {name} | {first} | {last} |")
+        md = md.replace("<!-- FIG10_TABLE -->", "\n".join(t))
+
+# Fig. 11 + Table II share the eval-row format.
+r11 = rows_from("log_fig11.txt", {"HERO", "DQN", "COMA", "MADDPG", "MAAC"})
+if r11:
+    md = md.replace("<!-- FIG11_TABLE -->", table(r11))
+r2 = rows_from("log_table2.txt", {"HERO", "DQN", "COMA", "MADDPG", "MAAC"})
+if r2:
+    md = md.replace("<!-- TABLE2_TABLE -->", table(r2))
+
+# Ablations.
+abl_parts = []
+for log, title in [
+    ("log_abl_opponent.txt", "Opponent model on/off"),
+    ("log_abl_termination.txt", "Asynchronous vs synchronous termination"),
+    ("log_abl_hierarchy.txt", "Hierarchy vs flat end-to-end SAC"),
+]:
+    rows = rows_from(log, None)
+    if rows:
+        abl_parts.append(f"**{title}** (greedy evaluation)\n\n" + table(rows))
+if abl_parts:
+    md = md.replace("<!-- ABLATION_TABLES -->", "\n\n".join(abl_parts))
+
+md_path.write_text(md)
+left = md.count("<!--")
+print(f"EXPERIMENTS.md updated; {left} placeholders remaining")
+sys.exit(0)

@@ -1,0 +1,106 @@
+//! Every comparison method must train and evaluate through the shared
+//! harness in the actual lane-change environment (not just unit bandits).
+
+use std::sync::Arc;
+
+use hero::prelude::*;
+use hero_baselines::sac::SacConfig;
+use hero_bench::{build_method, train_policy, Method, MethodParams};
+use hero_sim::scenario;
+
+fn env_cfg() -> EnvConfig {
+    EnvConfig {
+        max_steps: 6,
+        ..EnvConfig::default()
+    }
+}
+
+#[test]
+fn all_methods_train_in_the_merge_scenario() {
+    let cfg = env_cfg();
+    let skills = Arc::new(SkillLibrary::untrained(
+        cfg,
+        SacConfig {
+            hidden: 8,
+            ..SacConfig::default()
+        },
+        0,
+    ));
+    let hero_cfg = HeroConfig {
+        hidden: 8,
+        batch_size: 8,
+        warmup: 8,
+        ..HeroConfig::default()
+    };
+    for method in Method::ALL {
+        let mut env = scenario::two_vehicle_merge(cfg, 11);
+        let mut policy = build_method(
+            method,
+            MethodParams {
+                n_agents: 2,
+                obs_dim: cfg.high_dim(),
+                batch_size: 8,
+                seed: 11,
+            },
+            Some((skills.clone(), hero_cfg)),
+        );
+        let rec = train_policy(&mut policy, &mut env, 3, 2, 11);
+        let rewards = rec.series("reward").unwrap();
+        assert_eq!(rewards.len(), 3, "{}", method.name());
+        assert!(
+            rewards.iter().all(|v| v.is_finite()),
+            "{} produced non-finite rewards: {rewards:?}",
+            method.name()
+        );
+        let stats = policy.evaluate(&mut env, 2, 12);
+        assert!(
+            (0.0..=1.0).contains(&stats.collision_rate),
+            "{}",
+            method.name()
+        );
+        assert!(stats.mean_speed >= 0.0, "{}", method.name());
+    }
+}
+
+#[test]
+fn evaluation_works_on_the_testbed_proxy_for_all_methods() {
+    let cfg = env_cfg();
+    let skills = Arc::new(SkillLibrary::untrained(
+        cfg,
+        SacConfig {
+            hidden: 8,
+            ..SacConfig::default()
+        },
+        0,
+    ));
+    let hero_cfg = HeroConfig {
+        hidden: 8,
+        batch_size: 8,
+        warmup: 8,
+        ..HeroConfig::default()
+    };
+    for method in Method::ALL {
+        let mut policy = build_method(
+            method,
+            MethodParams {
+                n_agents: 3,
+                obs_dim: cfg.high_dim(),
+                batch_size: 8,
+                seed: 13,
+            },
+            Some((skills.clone(), hero_cfg)),
+        );
+        let mut testbed = SimToRealEnv::new(
+            cfg,
+            scenario::congestion_spawns(),
+            SimToRealConfig::default(),
+            13,
+        );
+        let stats = policy.evaluate(&mut testbed, 2, 13);
+        assert!(
+            stats.mean_reward.is_finite(),
+            "{} on the testbed proxy",
+            method.name()
+        );
+    }
+}

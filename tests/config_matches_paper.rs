@@ -1,0 +1,58 @@
+//! The reproduction's default hyper-parameters must equal the paper's
+//! Table I, and the case-study constants must match Sec. IV.
+
+use hero::core::HeroConfig;
+use hero::sim::skill_env::{LANE_CHANGE_FAIL_PENALTY, LANE_CHANGE_SUCCESS_REWARD};
+use hero::sim::{DrivingOption, EnvConfig};
+
+#[test]
+fn table_one_defaults() {
+    let c = HeroConfig::default();
+    assert_eq!(c.training_episodes, 14_000, "Training episode");
+    assert_eq!(c.episode_length, 30, "Episode length");
+    assert_eq!(c.buffer_capacity, 100_000, "Buffer capacity");
+    assert_eq!(c.batch_size, 1024, "Batch size");
+    assert_eq!(c.lr, 0.01, "Learning rate");
+    assert_eq!(c.gamma, 0.95, "Discount factor");
+    assert_eq!(c.hidden, 32, "Hidden dimension");
+    assert_eq!(c.tau, 0.01, "Target network update rate");
+}
+
+#[test]
+fn option_space_matches_section_four() {
+    // A_h = [keep lane, slow down, accelerate, lane change]
+    assert_eq!(DrivingOption::COUNT, 4);
+    let names: Vec<String> = DrivingOption::ALL.iter().map(|o| o.to_string()).collect();
+    assert_eq!(names, vec!["keep-lane", "slow-down", "accelerate", "lane-change"]);
+}
+
+#[test]
+fn action_bounds_match_section_four() {
+    let slow = DrivingOption::SlowDown.action_bounds().unwrap();
+    assert_eq!(slow.linear, (0.04, 0.08), "slow down linear 0.04:0.08");
+    assert_eq!(slow.angular, (-0.1, 0.1), "slow down angular -0.1:0.1");
+    let acc = DrivingOption::Accelerate.action_bounds().unwrap();
+    assert_eq!(acc.linear, (0.08, 0.14), "accelerate linear 0.08:0.14");
+    assert_eq!(acc.angular, (-0.1, 0.1), "accelerate angular -0.1:0.1");
+    let lc = DrivingOption::LaneChange.action_bounds().unwrap();
+    assert_eq!(lc.linear, (0.1, 0.2), "lane change linear 0.1:0.2");
+    assert_eq!(lc.angular, (0.12, 0.25), "lane change angular 0.12:0.25");
+}
+
+#[test]
+fn rewards_match_section_four() {
+    assert_eq!(LANE_CHANGE_SUCCESS_REWARD, 20.0);
+    assert_eq!(LANE_CHANGE_FAIL_PENALTY, -20.0);
+    let env = EnvConfig::default();
+    assert_eq!(env.collision_penalty, -20.0, "collision penalty (Sec. V-D)");
+    assert_eq!(env.max_steps, 18, "evaluation episode length (Sec. V-B)");
+    assert_eq!(env.track.num_lanes, 2, "double-lane track");
+}
+
+#[test]
+fn high_and_low_state_layout() {
+    // s_h = [lidar, speed, laneID]; s_l = [image, speed, laneID].
+    let env = EnvConfig::default();
+    assert_eq!(env.high_dim(), env.lidar.beams + 2);
+    assert_eq!(env.low_dim(), env.camera.image_len() + 2);
+}

@@ -1,0 +1,155 @@
+//! Reproducibility guarantees: identical seeds give identical learning
+//! curves, and checkpoints restore byte-identical policies.
+
+use hero::prelude::*;
+use hero_autograd::serialize::{load_params, save_params};
+use hero_baselines::dqn::{DqnAgent, DqnConfig};
+use hero_baselines::sac::SacConfig;
+use hero_bench::{build_method, train_policy, Method, MethodParams};
+use hero_sim::scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn dqn_training_is_deterministic_under_seed() {
+    let cfg = EnvConfig {
+        max_steps: 6,
+        ..EnvConfig::default()
+    };
+    let run = || {
+        let mut env = scenario::two_vehicle_merge(cfg, 17);
+        let mut policy = build_method(
+            Method::Dqn,
+            MethodParams {
+                n_agents: 2,
+                obs_dim: cfg.high_dim(),
+                batch_size: 8,
+                seed: 17,
+            },
+            None,
+        );
+        let rec = train_policy(&mut policy, &mut env, 4, 2, 17);
+        rec.series("reward").unwrap().to_vec()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn hero_training_is_deterministic_under_seed() {
+    let cfg = EnvConfig {
+        max_steps: 6,
+        ..EnvConfig::default()
+    };
+    let run = || {
+        let skills = std::sync::Arc::new(SkillLibrary::untrained(
+            cfg,
+            SacConfig {
+                hidden: 8,
+                ..SacConfig::default()
+            },
+            23,
+        ));
+        let hero_cfg = HeroConfig {
+            hidden: 8,
+            batch_size: 8,
+            warmup: 8,
+            ..HeroConfig::default()
+        };
+        let mut env = scenario::congestion(cfg, 23);
+        let mut policy = build_method(
+            Method::Hero,
+            MethodParams {
+                n_agents: 3,
+                obs_dim: cfg.high_dim(),
+                batch_size: 8,
+                seed: 23,
+            },
+            Some((skills, hero_cfg)),
+        );
+        let rec = train_policy(&mut policy, &mut env, 3, 2, 23);
+        rec.series("reward").unwrap().to_vec()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn dqn_checkpoint_restores_identical_greedy_policy() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut trained = DqnAgent::new(
+        6,
+        4,
+        DqnConfig {
+            hidden: 8,
+            batch_size: 8,
+            warmup: 8,
+            ..DqnConfig::default()
+        },
+        &mut rng,
+    );
+    // Make the weights non-trivial with a few updates.
+    for i in 0..32 {
+        trained.observe(hero_rl::transition::DiscreteTransition {
+            obs: vec![(i % 5) as f32 / 5.0; 6],
+            action: i % 4,
+            reward: (i % 3) as f32,
+            next_obs: vec![((i + 1) % 5) as f32 / 5.0; 6],
+            done: i % 7 == 0,
+        });
+    }
+    for _ in 0..10 {
+        trained.update(&mut rng);
+    }
+    let path = std::env::temp_dir().join(format!("hero_dqn_ckpt_{}.bin", std::process::id()));
+    save_params(&path, &trained.parameters()).unwrap();
+
+    let restored = DqnAgent::new(
+        6,
+        4,
+        DqnConfig {
+            hidden: 8,
+            batch_size: 8,
+            warmup: 8,
+            ..DqnConfig::default()
+        },
+        &mut rng,
+    );
+    load_params(&path, &restored.parameters()).unwrap();
+    for i in 0..20 {
+        let obs = vec![i as f32 / 20.0; 6];
+        assert_eq!(trained.q_values(&obs), restored.q_values(&obs));
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn skill_checkpoint_restores_identical_commands() {
+    let cfg = EnvConfig::default();
+    let lib = SkillLibrary::untrained(cfg, SacConfig::default(), 41);
+    let path = std::env::temp_dir().join(format!("hero_skills_it_{}.bin", std::process::id()));
+    lib.save(&path).unwrap();
+    let mut other = SkillLibrary::untrained(cfg, SacConfig::default(), 999);
+    other.load(&path).unwrap();
+
+    let obs = Observation {
+        lidar: vec![1.0; cfg.lidar.beams],
+        image: vec![0.0; cfg.camera.image_len()],
+        speed_norm: 0.5,
+        lane_norm: 0.0,
+        lane_id: 0,
+        speed: 0.1,
+    };
+    let state = hero::sim::VehicleState {
+        s: 0.0,
+        d: 0.2,
+        heading: 0.0,
+        speed: 0.1,
+    };
+    let mut rng_a = StdRng::seed_from_u64(0);
+    let mut rng_b = StdRng::seed_from_u64(0);
+    for option in [DrivingOption::SlowDown, DrivingOption::Accelerate, DrivingOption::LaneChange] {
+        let a = lib.command(option, &obs, &state, 0.6, &mut rng_a, false);
+        let b = other.command(option, &obs, &state, 0.6, &mut rng_b, false);
+        assert_eq!(a, b, "{option}");
+    }
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,116 @@
+//! Cross-crate property tests: whatever commands an agent issues, the
+//! world and the option machinery must keep their invariants.
+
+use hero::core::{ActiveOption, HeroConfig};
+use hero::sim::{
+    DrivingOption, EnvConfig, LaneChangeEnv, Track, VehicleCommand, VehicleRole, VehicleSpawn,
+    VehicleState,
+};
+use proptest::prelude::*;
+
+fn spawns() -> Vec<VehicleSpawn> {
+    vec![
+        VehicleSpawn {
+            lane: 0,
+            random_lane: false,
+            s: 0.0,
+            s_jitter: 0.0,
+            speed: 0.1,
+            role: VehicleRole::Learner,
+        },
+        VehicleSpawn {
+            lane: 1,
+            random_lane: false,
+            s: 2.0,
+            s_jitter: 0.0,
+            speed: 0.1,
+            role: VehicleRole::Learner,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary command sequences keep every observation normalized and
+    /// finite, and episodes always terminate within max_steps.
+    #[test]
+    fn observations_stay_normalized(cmds in prop::collection::vec(
+        (0.0f32..0.3, -0.4f32..0.4), 1..24
+    )) {
+        let cfg = EnvConfig { max_steps: 18, ..EnvConfig::default() };
+        let mut env = LaneChangeEnv::new(cfg, spawns(), 7);
+        env.reset();
+        let mut steps = 0;
+        for (lin, ang) in cmds {
+            if env.is_done() { break; }
+            let out = env.step(&[
+                VehicleCommand::new(lin, ang),
+                VehicleCommand::new(lin, -ang),
+            ]);
+            steps += 1;
+            prop_assert!(steps <= cfg.max_steps);
+            for obs in &out.observations {
+                prop_assert!(obs.lidar.iter().all(|v| (0.0..=1.0).contains(v)));
+                prop_assert!(obs.image.iter().all(|v| (0.0..=1.0).contains(v)));
+                prop_assert!((0.0..=1.0).contains(&obs.speed_norm));
+                prop_assert!(obs.high_vec().iter().all(|v| v.is_finite()));
+            }
+            for r in &out.rewards {
+                prop_assert!(r.is_finite());
+            }
+        }
+    }
+
+    /// Every option's termination condition fires within a bounded number
+    /// of ticks regardless of the vehicle state it observes.
+    #[test]
+    fn option_termination_always_reachable(
+        d in 0.0f32..0.8,
+        heading in -0.6f32..0.6,
+        option_idx in 0usize..4,
+    ) {
+        let track = Track::double_lane();
+        let cfg = HeroConfig::default();
+        let state = VehicleState { s: 0.0, d, heading, speed: 0.1 };
+        let mut active = ActiveOption::start(
+            DrivingOption::from_index(option_idx), &state, &track);
+        let budget = cfg.in_lane_option_duration.max(cfg.lane_change_budget);
+        let mut fired = false;
+        for _ in 0..budget {
+            active.tick();
+            if active.terminated(&state, &track, &cfg) {
+                fired = true;
+                break;
+            }
+        }
+        prop_assert!(fired, "termination must fire within {budget} ticks");
+    }
+
+    /// Denormalized per-option actions always land inside the paper's
+    /// printed bounds, for any squashed input (even out of range).
+    #[test]
+    fn action_bounds_respected(lin in -3.0f32..3.0, ang in -3.0f32..3.0, idx in 1usize..4) {
+        let option = DrivingOption::from_index(idx);
+        let bounds = option.action_bounds().unwrap();
+        let (l, a) = bounds.denormalize(lin, ang);
+        prop_assert!(l >= bounds.linear.0 - 1e-6 && l <= bounds.linear.1 + 1e-6);
+        prop_assert!(a >= bounds.angular.0 - 1e-6 && a <= bounds.angular.1 + 1e-6);
+    }
+
+    /// Track wrap-around arithmetic: signed deltas are always the shortest
+    /// way around and wrapping is idempotent.
+    #[test]
+    fn track_wrapping(from in -30.0f32..30.0, to in -30.0f32..30.0) {
+        let t = Track::double_lane();
+        let delta = t.signed_delta(from, to);
+        prop_assert!(delta.abs() <= t.length / 2.0 + 1e-4);
+        let w = t.wrap(from);
+        prop_assert!((0.0..t.length + 1e-6).contains(&w));
+        prop_assert!((t.wrap(w) - w).abs() < 1e-5);
+        // Following the delta from `from` reaches `to` (mod length).
+        let reached = t.wrap(from + delta);
+        prop_assert!((reached - t.wrap(to)).abs() < 1e-3
+            || (reached - t.wrap(to)).abs() > t.length - 1e-3);
+    }
+}
