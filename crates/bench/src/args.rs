@@ -1,6 +1,7 @@
 //! Minimal command-line parsing shared by the experiment binaries. Every
 //! binary accepts `--episodes N --eval-episodes N --seed S --out DIR
-//! --update-every K --paper-scale`.
+//! --update-every K --batch-size N --skill-episodes N
+//! --telemetry-out DIR --paper-scale`.
 
 use std::path::PathBuf;
 
@@ -19,6 +20,13 @@ pub struct ExperimentArgs {
     pub update_every: usize,
     /// Mini-batch size for the learners.
     pub batch_size: usize,
+    /// Episodes for the one-time low-level skill bootstrap when no
+    /// checkpoint exists (Algorithm 2).
+    pub skill_episodes: usize,
+    /// When set, install the telemetry subsystem and write
+    /// `telemetry.jsonl` / `counters.csv` / `spans.csv` /
+    /// `BENCH_telemetry.json` into this directory on exit.
+    pub telemetry_out: Option<PathBuf>,
 }
 
 impl ExperimentArgs {
@@ -33,6 +41,8 @@ impl ExperimentArgs {
             out: PathBuf::from("target/experiments"),
             update_every: 4,
             batch_size: 128,
+            skill_episodes: 1_000,
+            telemetry_out: None,
         }
     }
 
@@ -60,13 +70,19 @@ impl ExperimentArgs {
                     out.update_every = value("--update-every").parse().expect("usize")
                 }
                 "--batch-size" => out.batch_size = value("--batch-size").parse().expect("usize"),
+                "--skill-episodes" => {
+                    out.skill_episodes = value("--skill-episodes").parse().expect("usize")
+                }
+                "--telemetry-out" => {
+                    out.telemetry_out = Some(PathBuf::from(value("--telemetry-out")))
+                }
                 "--paper-scale" => {
                     out.episodes = 14_000;
                     out.batch_size = 1024;
                     out.update_every = 1;
                 }
                 other => panic!(
-                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--paper-scale"
+                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--paper-scale"
                 ),
             }
         }
@@ -108,6 +124,17 @@ mod tests {
         assert_eq!(a.seed, 9);
         assert_eq!(a.out, PathBuf::from("/tmp/x"));
         assert_eq!(a.eval_episodes, 20, "untouched default");
+        assert_eq!(a.telemetry_out, None, "telemetry stays off by default");
+    }
+
+    #[test]
+    fn telemetry_and_skill_flags_parse() {
+        let a = ExperimentArgs::parse(
+            ExperimentArgs::defaults(100),
+            strs(&["--telemetry-out", "/tmp/tel", "--skill-episodes", "3"]),
+        );
+        assert_eq!(a.telemetry_out, Some(PathBuf::from("/tmp/tel")));
+        assert_eq!(a.skill_episodes, 3);
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //! the paper's values; this binary prints the table and fails loudly if
 //! any default drifts.
 
+use hero_bench::ExperimentArgs;
 use hero_core::config::HeroConfig;
 
 fn main() {
+    let args = ExperimentArgs::from_env(ExperimentArgs::defaults(1));
+    let _telemetry = hero_bench::init_telemetry(&args, "table1");
     let c = HeroConfig::default();
     println!("Table I: Hyperparameters for Training (paper vs this reproduction)");
     println!("{:<32} {:>10} {:>12}", "Hyperparameter", "Paper", "Ours");

@@ -17,6 +17,7 @@ use hero_core::config::HeroConfig;
 use hero_core::skills::SkillLibrary;
 use hero_core::trainer::{evaluate_team, train_team, EvalStats, HeroTeam, TrainOptions};
 use hero_rl::metrics::Recorder;
+use hero_rl::telemetry;
 use hero_rl::transition::JointTransition;
 use hero_sim::env::CooperativeWorld;
 use hero_sim::options::{DrivingOption, ScriptedExecutor};
@@ -45,43 +46,52 @@ where
     let mut rec = Recorder::new();
     let executor = ScriptedExecutor::new();
     let mut step_counter = 0usize;
-    for _ in 0..opts.episodes {
+    for episode in 0..opts.episodes {
         let mut obs = env.reset();
         let mut ep_reward = 0.0;
         let mut ep_speed = 0.0;
         let mut steps = 0usize;
         while !env.is_done() {
-            let learners = env.learner_indices();
-            let high: Vec<Vec<f32>> = learners.iter().map(|&v| obs[v].high_vec()).collect();
-            let actions = algo.act(&high, &mut rng, true);
-            let mut commands = vec![VehicleCommand::default(); env.num_vehicles()];
-            for (k, &v) in learners.iter().enumerate() {
-                let option = DrivingOption::from_index(actions[k]);
-                let state = env.vehicle_state(v);
-                commands[v] = executor.command(option, &state, &env.config().track);
-            }
-            let out = env.step(&commands);
-            let next_high: Vec<Vec<f32>> =
-                learners.iter().map(|&v| out.observations[v].high_vec()).collect();
-            let rewards: Vec<f32> = learners.iter().map(|&v| out.rewards[v]).collect();
-            algo.observe(JointTransition {
-                obs: high,
-                actions,
-                rewards: rewards.clone(),
-                next_obs: next_high,
-                done: out.done,
-            });
+            let (out, rewards) = {
+                let _rollout = telemetry::span("rollout");
+                let learners = env.learner_indices();
+                let high: Vec<Vec<f32>> = learners.iter().map(|&v| obs[v].high_vec()).collect();
+                let actions = algo.act(&high, &mut rng, true);
+                let mut commands = vec![VehicleCommand::default(); env.num_vehicles()];
+                for (k, &v) in learners.iter().enumerate() {
+                    let option = DrivingOption::from_index(actions[k]);
+                    let state = env.vehicle_state(v);
+                    commands[v] = executor.command(option, &state, &env.config().track);
+                }
+                let out = env.step(&commands);
+                let next_high: Vec<Vec<f32>> =
+                    learners.iter().map(|&v| out.observations[v].high_vec()).collect();
+                let rewards: Vec<f32> = learners.iter().map(|&v| out.rewards[v]).collect();
+                algo.observe(JointTransition {
+                    obs: high,
+                    actions,
+                    rewards: rewards.clone(),
+                    next_obs: next_high,
+                    done: out.done,
+                });
+                (out, rewards)
+            };
             ep_reward += rewards.iter().sum::<f32>() / rewards.len() as f32;
             ep_speed += out.mean_speed;
             steps += 1;
             step_counter += 1;
             if step_counter % opts.update_every == 0 {
+                let _update = telemetry::span("update");
                 if let Some(stats) = algo.update(&mut rng) {
+                    telemetry::counter_add("grad_updates", 1);
+                    telemetry::observe("critic_loss", stats.critic_loss as f64);
                     rec.push("critic_loss", stats.critic_loss);
                 }
             }
             obs = out.observations;
         }
+        telemetry::counter_add("episodes", 1);
+        telemetry::progress(&format!("ep {}", episode + 1));
         push_episode_metrics(&mut rec, env, ep_reward, ep_speed, steps);
     }
     rec

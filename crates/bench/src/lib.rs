@@ -19,7 +19,10 @@
 //!
 //! Every binary takes `--episodes N --seed S --out DIR` (and
 //! `--paper-scale` for the full Table I budget) and writes CSV series
-//! under `target/experiments/`.
+//! under `target/experiments/`. Passing `--telemetry-out DIR`
+//! additionally records span timings, counters, and throughput gauges
+//! (see `hero_rl::telemetry`) and writes `telemetry.jsonl` plus CSV and
+//! `BENCH_telemetry.json` summaries into `DIR` on exit.
 
 #![warn(missing_docs)]
 
@@ -38,8 +41,24 @@ use hero_baselines::sac::SacConfig;
 use hero_core::skills::{SkillLibrary, SkillTrainingConfig};
 use hero_sim::env::EnvConfig;
 
-/// Default skill-training budget when no checkpoint is available.
+/// Default skill-training budget when no checkpoint is available
+/// (override per run with `--skill-episodes`).
 pub const SKILL_BOOTSTRAP_EPISODES: usize = 1_000;
+
+/// Installs the telemetry subsystem for one experiment run when the user
+/// passed `--telemetry-out DIR`. Keep the returned guard alive for the
+/// whole run: dropping it flushes `telemetry.jsonl`, `counters.csv`,
+/// `spans.csv`, and `BENCH_telemetry.json` into the directory and
+/// uninstalls the sink. Returns `None` (telemetry stays disabled, with
+/// near-zero overhead) when the flag was absent.
+pub fn init_telemetry(
+    args: &ExperimentArgs,
+    run_label: &str,
+) -> Option<hero_rl::telemetry::InstallGuard> {
+    args.telemetry_out.as_ref().map(|dir| {
+        hero_rl::telemetry::install(hero_rl::telemetry::TelemetryConfig::to_dir(run_label, dir))
+    })
+}
 
 /// Loads the shared low-level skill library from
 /// `<out>/skills.ckpt`, or trains it (Fig. 8 / Algorithm 2) and saves the
@@ -60,14 +79,14 @@ pub fn load_or_train_skills(args: &ExperimentArgs, env_cfg: EnvConfig) -> Arc<Sk
             Err(e) => eprintln!("checkpoint {} unusable ({e}); retraining", ckpt.display()),
         }
     }
-    eprintln!(
-        "training low-level skills for {SKILL_BOOTSTRAP_EPISODES} episodes (one-time bootstrap)"
-    );
+    let episodes = args.skill_episodes;
+    eprintln!("training low-level skills for {episodes} episodes (one-time bootstrap)");
+    let _span = hero_rl::telemetry::span("skill_bootstrap");
     let (lib, _) = SkillLibrary::train(
         env_cfg,
         SkillTrainingConfig {
             vision: false,
-            episodes: SKILL_BOOTSTRAP_EPISODES,
+            episodes,
             updates_per_episode: 2,
             sac,
         },

@@ -208,11 +208,15 @@ impl HeroAgent {
     /// One learning step: updates the opponent models and the high-level
     /// actor–critic. Returns the high-level stats when an update ran.
     pub fn update(&mut self, rng: &mut StdRng) -> Option<UpdateStats> {
-        if let Some(losses) = self.opponent.update(rng) {
-            for (trace, l) in self.opponent_losses.iter_mut().zip(&losses) {
-                trace.push(*l);
+        {
+            let _span = hero_rl::telemetry::span("opponent_model");
+            if let Some(losses) = self.opponent.update(rng) {
+                for (trace, l) in self.opponent_losses.iter_mut().zip(&losses) {
+                    trace.push(*l);
+                }
             }
         }
+        let _span = hero_rl::telemetry::span("actor_critic");
         self.high.update(rng, &self.opponent)
     }
 

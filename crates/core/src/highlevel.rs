@@ -167,12 +167,15 @@ impl HighLevelLearner {
         if self.buffer.len() < need.max(8) {
             return None;
         }
-        let batch: Vec<OptionTransition> = self
-            .buffer
-            .sample(rng, self.batch_size.min(self.buffer.len().max(8)))
-            .into_iter()
-            .cloned()
-            .collect();
+        let batch: Vec<OptionTransition> = {
+            let _span = hero_rl::telemetry::span("replay_sample");
+            self.buffer
+                .sample(rng, self.batch_size.min(self.buffer.len().max(8)))
+                .into_iter()
+                .cloned()
+                .collect()
+        };
+        hero_rl::telemetry::counter_add("transitions_sampled", batch.len() as u64);
         let n = batch.len();
         let obs_dim = batch[0].obs.len();
 

@@ -179,7 +179,11 @@ impl OpponentModel {
         if !self.informative || self.buffer.len() < self.batch_size.min(64) {
             return None;
         }
-        let batch = self.buffer.sample(rng, self.batch_size);
+        let batch = {
+            let _span = hero_rl::telemetry::span("replay_sample");
+            self.buffer.sample(rng, self.batch_size)
+        };
+        hero_rl::telemetry::counter_add("transitions_sampled", batch.len() as u64);
         let obs_rows: Vec<&[f32]> = batch.iter().map(|s| s.obs.as_slice()).collect();
         let obs_t = {
             let d = obs_rows[0].len();

@@ -243,25 +243,36 @@ fn train_one_skill(
     let mut agent = SacAgent::new(env.obs_dim(), env.action_dim(), sac, &mut rng);
     let mut rewards = Vec::with_capacity(cfg.episodes);
     let mut successes = Vec::with_capacity(cfg.episodes);
-    for _ in 0..cfg.episodes {
+    for episode in 0..cfg.episodes {
         let mut obs = env.reset();
         let mut total = 0.0;
-        while !env.is_done() {
-            let a = agent.act(&obs, &mut rng, true);
-            let (next, r, done) = env.step([a[0], a[1]]);
-            agent.observe(ContinuousTransition {
-                obs: obs.clone(),
-                action: a,
-                reward: r,
-                next_obs: next.clone(),
-                done,
-            });
-            obs = next;
-            total += r;
+        {
+            let _rollout = hero_rl::telemetry::span("skill_rollout");
+            while !env.is_done() {
+                let a = agent.act(&obs, &mut rng, true);
+                let (next, r, done) = env.step([a[0], a[1]]);
+                hero_rl::telemetry::counter_add("skill_env_steps", 1);
+                agent.observe(ContinuousTransition {
+                    obs: obs.clone(),
+                    action: a,
+                    reward: r,
+                    next_obs: next.clone(),
+                    done,
+                });
+                obs = next;
+                total += r;
+            }
         }
-        for _ in 0..cfg.updates_per_episode {
-            agent.update(&mut rng);
+        {
+            let _update = hero_rl::telemetry::span("skill_update");
+            for _ in 0..cfg.updates_per_episode {
+                if agent.update(&mut rng).is_some() {
+                    hero_rl::telemetry::counter_add("grad_updates", 1);
+                }
+            }
         }
+        hero_rl::telemetry::counter_add("skill_episodes", 1);
+        hero_rl::telemetry::progress(&format!("{kind:?} skill ep {}", episode + 1));
         rewards.push(total);
         successes.push(match env.result() {
             ManeuverResult::Success => 1.0,

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use hero_rl::metrics::Recorder;
+use hero_rl::telemetry;
 use hero_sim::env::{CooperativeWorld, Observation};
 use hero_sim::vehicle::VehicleCommand;
 
@@ -222,16 +223,20 @@ pub fn train_team<W: CooperativeWorld>(
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut rec = Recorder::new();
     let mut step_counter = 0usize;
-    for _ in 0..opts.episodes {
+    for episode in 0..opts.episodes {
         let mut obs = env.reset();
         team.begin_episode();
         let mut ep_reward = 0.0;
         let mut ep_speed = 0.0;
         let mut steps = 0usize;
         while !env.is_done() {
-            let commands = team.decide(env, &obs, &mut rng, true);
-            let out = env.step(&commands);
-            team.record(env, &obs, &out.rewards, &out.observations, out.done);
+            let out = {
+                let _rollout = telemetry::span("rollout");
+                let commands = team.decide(env, &obs, &mut rng, true);
+                let out = env.step(&commands);
+                team.record(env, &obs, &out.rewards, &out.observations, out.done);
+                out
+            };
             let learners = env.learner_indices();
             ep_reward += learners.iter().map(|&v| out.rewards[v]).sum::<f32>()
                 / learners.len() as f32;
@@ -239,13 +244,19 @@ pub fn train_team<W: CooperativeWorld>(
             steps += 1;
             step_counter += 1;
             if step_counter % opts.update_every == 0 {
+                let _update = telemetry::span("update");
                 if let Some((c, a)) = team.update(&mut rng) {
+                    telemetry::counter_add("grad_updates", 1);
+                    telemetry::observe("critic_loss", c as f64);
+                    telemetry::observe("actor_loss", a as f64);
                     rec.push("critic_loss", c);
                     rec.push("actor_loss", a);
                 }
             }
             obs = out.observations;
         }
+        telemetry::counter_add("episodes", 1);
+        telemetry::progress(&format!("ep {}", episode + 1));
         record_episode(&mut rec, env, ep_reward, ep_speed, steps);
     }
     rec

@@ -28,6 +28,8 @@
 
 #![warn(missing_docs)]
 
+pub use hero_telemetry as telemetry;
+
 pub mod buffer;
 pub mod explore;
 pub mod metrics;

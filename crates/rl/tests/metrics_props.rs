@@ -1,0 +1,103 @@
+//! Property-based coverage of the metrics layer: `MovingAverage` window
+//! semantics against a naive reference, and `Recorder::write_csv`
+//! round-trips.
+
+use hero_rl::metrics::{MovingAverage, Recorder};
+use proptest::prelude::*;
+
+/// Naive reference: mean of the last `window` values of `seen`.
+fn naive_window_mean(seen: &[f32], window: usize) -> f32 {
+    if seen.is_empty() {
+        return 0.0;
+    }
+    let tail = &seen[seen.len().saturating_sub(window)..];
+    tail.iter().sum::<f32>() / tail.len() as f32
+}
+
+/// Parses the `index,name1,name2,…` CSV layout back into named series.
+fn parse_recorder_csv(text: &str) -> Vec<(String, Vec<f32>)> {
+    let mut lines = text.lines();
+    let header = lines.next().expect("header row");
+    let names: Vec<String> = header.split(',').skip(1).map(str::to_string).collect();
+    let mut series: Vec<(String, Vec<f32>)> =
+        names.into_iter().map(|n| (n, Vec::new())).collect();
+    for line in lines {
+        for (cell, (_, values)) in line.split(',').skip(1).zip(series.iter_mut()) {
+            if !cell.is_empty() {
+                values.push(cell.parse().expect("finite float cell"));
+            }
+        }
+    }
+    series
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After each push the average equals the mean of the last `window`
+    /// observations, and the window never holds more than `window` items.
+    #[test]
+    fn moving_average_matches_naive_reference(
+        values in prop::collection::vec(-1.0e3f32..1.0e3, 1..80),
+        window in 1usize..20,
+    ) {
+        let mut ma = MovingAverage::new(window);
+        let mut seen: Vec<f32> = Vec::new();
+        for &v in &values {
+            seen.push(v);
+            let got = ma.push(v);
+            let want = naive_window_mean(&seen, window);
+            let scale = 1.0 + want.abs();
+            prop_assert!(
+                (got - want).abs() <= 1e-3 * scale,
+                "after {} pushes window {}: got {} want {}",
+                seen.len(), window, got, want
+            );
+            prop_assert!(ma.len() <= window);
+            prop_assert_eq!(ma.len(), seen.len().min(window));
+        }
+    }
+
+    /// `value()` is stable between pushes and `0.0` when empty.
+    #[test]
+    fn moving_average_value_is_idempotent(window in 1usize..10, v in -10.0f32..10.0) {
+        let mut ma = MovingAverage::new(window);
+        prop_assert_eq!(ma.value(), 0.0);
+        prop_assert!(ma.is_empty());
+        ma.push(v);
+        prop_assert_eq!(ma.value(), ma.value());
+        prop_assert!(!ma.is_empty());
+    }
+
+    /// Writing a recorder to CSV and parsing the text back yields exactly
+    /// the recorded series (same names, same order, same values), with no
+    /// NaN/Inf tokens in the file.
+    #[test]
+    fn recorder_csv_round_trips(
+        a in prop::collection::vec(-1.0e4f32..1.0e4, 0..30),
+        b in prop::collection::vec(-1.0e4f32..1.0e4, 0..30),
+    ) {
+        let mut rec = Recorder::new();
+        for &v in &a {
+            rec.push("alpha", v);
+        }
+        for &v in &b {
+            rec.push("beta", v);
+        }
+        let mut buf = Vec::new();
+        rec.write_csv_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        prop_assert!(!text.contains("NaN") && !text.contains("inf"));
+        let parsed = parse_recorder_csv(&text);
+        let mut expected = Vec::new();
+        if !a.is_empty() {
+            expected.push(("alpha".to_string(), a.clone()));
+        }
+        if !b.is_empty() {
+            expected.push(("beta".to_string(), b.clone()));
+        }
+        // Round-trip through shortest-representation Display is exact for
+        // f32, so the parsed series must be bit-identical.
+        prop_assert_eq!(parsed, expected);
+    }
+}

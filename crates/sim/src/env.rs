@@ -348,6 +348,8 @@ impl LaneChangeEnv {
     ///
     /// Panics when `i` is out of range.
     pub fn observe(&self, i: usize) -> Observation {
+        hero_telemetry::counter_add("lidar_scans", 1);
+        hero_telemetry::counter_add("camera_frames", 1);
         let v = &self.vehicles[i];
         Observation {
             lidar: lidar_scan(i, &self.vehicles, &self.cfg.vehicle, &self.cfg.track, &self.cfg.lidar),
@@ -375,6 +377,8 @@ impl LaneChangeEnv {
     /// Panics when `commands.len() != num_vehicles()` or when called after
     /// the episode ended (check [`LaneChangeEnv::is_done`]).
     pub fn step(&mut self, commands: &[VehicleCommand]) -> StepOutcome {
+        let _step_span = hero_telemetry::span("env_step");
+        hero_telemetry::counter_add("env_steps", 1);
         assert_eq!(
             commands.len(),
             self.vehicles.len(),
@@ -423,8 +427,12 @@ impl LaneChangeEnv {
         let mean_speed =
             self.vehicles.iter().map(|v| v.speed).sum::<f32>() / self.vehicles.len() as f32;
 
+        let observations = {
+            let _sensor_span = hero_telemetry::span("sensors");
+            (0..self.vehicles.len()).map(|i| self.observe(i)).collect()
+        };
         StepOutcome {
-            observations: (0..self.vehicles.len()).map(|i| self.observe(i)).collect(),
+            observations,
             rewards,
             collisions,
             done: self.done,

@@ -1,0 +1,361 @@
+//! Emitters: JSONL and CSV serialization of [`Snapshot`]s, the
+//! `BENCH_telemetry.json` perf-trajectory summary, and a minimal JSONL
+//! parser used by round-trip tests and downstream tooling.
+//!
+//! ## JSONL schema (one object per line)
+//!
+//! ```text
+//! {"type":"meta","run":"<label>","elapsed_s":<f64>}
+//! {"type":"counter","name":"<name>","total":<u64>,"rate_per_s":<f64>}
+//! {"type":"span","name":"<path>","count":<u64>,"total_us":<f64>,"mean_us":<f64>,
+//!  "min_us":<f64>,"max_us":<f64>,"p50_us":<f64>,"p95_us":<f64>,"p99_us":<f64>}
+//! {"type":"value","name":"<name>","count":<u64>,"mean":<f64>,"min":<f64>,
+//!  "max":<f64>,"p50":<f64>,"p95":<f64>,"p99":<f64>}
+//! ```
+//!
+//! Every number is rendered finite (non-finite inputs are rejected at
+//! ingest; defensive sanitization maps any residual non-finite value to 0).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::registry::Snapshot;
+
+/// Formats a JSON number, guaranteeing finiteness.
+fn num(x: f64) -> String {
+    let x = if x.is_finite() { x } else { 0.0 };
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Escapes a JSON string body.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot in the JSONL schema.
+pub fn to_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"run\":\"{}\",\"elapsed_s\":{}}}",
+        escape(&snap.run_label),
+        num(snap.elapsed.as_secs_f64())
+    );
+    for (name, c) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"total\":{},\"rate_per_s\":{}}}",
+            escape(name),
+            c.total,
+            num(c.rate_per_s)
+        );
+    }
+    for (name, h) in &snap.spans {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"name\":\"{}\",\"count\":{},\"total_us\":{},\"mean_us\":{},\
+             \"min_us\":{},\"max_us\":{},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            escape(name),
+            h.count,
+            num(h.sum),
+            num(h.mean),
+            num(h.min),
+            num(h.max),
+            num(h.p50),
+            num(h.p95),
+            num(h.p99)
+        );
+    }
+    for (name, h) in &snap.values {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"value\",\"name\":\"{}\",\"count\":{},\"mean\":{},\
+             \"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            escape(name),
+            h.count,
+            num(h.mean),
+            num(h.min),
+            num(h.max),
+            num(h.p50),
+            num(h.p95),
+            num(h.p99)
+        );
+    }
+    out
+}
+
+/// Renders counters as CSV (`name,total,rate_per_s`).
+pub fn counters_csv(snap: &Snapshot) -> String {
+    let mut out = String::from("name,total,rate_per_s\n");
+    for (name, c) in &snap.counters {
+        let _ = writeln!(out, "{},{},{}", name, c.total, num(c.rate_per_s));
+    }
+    out
+}
+
+/// Renders span summaries as CSV.
+pub fn spans_csv(snap: &Snapshot) -> String {
+    let mut out =
+        String::from("name,count,total_us,mean_us,min_us,max_us,p50_us,p95_us,p99_us\n");
+    for (name, h) in &snap.spans {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            name,
+            h.count,
+            num(h.sum),
+            num(h.mean),
+            num(h.min),
+            num(h.max),
+            num(h.p50),
+            num(h.p95),
+            num(h.p99)
+        );
+    }
+    out
+}
+
+/// Renders the `BENCH_telemetry.json` summary: one flat JSON object whose
+/// keys seed the repository's perf trajectory (throughputs and span p50s).
+pub fn bench_summary_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"run\":\"{}\",\"elapsed_s\":{}",
+        escape(&snap.run_label),
+        num(snap.elapsed.as_secs_f64())
+    );
+    for (name, c) in &snap.counters {
+        let _ = write!(
+            out,
+            ",\"{}_total\":{},\"{}_per_s\":{}",
+            escape(name),
+            c.total,
+            escape(name),
+            num(c.rate_per_s)
+        );
+    }
+    for (name, h) in &snap.spans {
+        let key = escape(&name.replace('/', "."));
+        let _ = write!(out, ",\"span.{key}.p50_us\":{}", num(h.p50));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Writes all emitter outputs into `dir`
+/// (`telemetry.jsonl`, `counters.csv`, `spans.csv`, `BENCH_telemetry.json`).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_all(snap: &Snapshot, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let write = |name: &str, body: String| -> io::Result<()> {
+        let mut f = std::fs::File::create(dir.join(name))?;
+        f.write_all(body.as_bytes())?;
+        f.flush()
+    };
+    write("telemetry.jsonl", to_jsonl(snap))?;
+    write("counters.csv", counters_csv(snap))?;
+    write("spans.csv", spans_csv(snap))?;
+    write("BENCH_telemetry.json", bench_summary_json(snap))
+}
+
+/// A scalar JSON value in a parsed JSONL record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A string.
+    Str(String),
+    /// A number.
+    Num(f64),
+    /// `true`/`false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (no nesting), as emitted by [`to_jsonl`].
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error.
+pub fn parse_json_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = BTreeMap::new();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some(',') => {
+                chars.next();
+            }
+            Some('"') => {}
+            Some(c) => return Err(format!("unexpected character {c:?}")),
+            None => return Err("unterminated object".into()),
+        }
+        if chars.peek() == Some(&'"') {
+            let key = parse_string(&mut chars)?;
+            if chars.next() != Some(':') {
+                return Err(format!("expected ':' after key {key:?}"));
+            }
+            let value = match chars.peek() {
+                Some('"') => JsonValue::Str(parse_string(&mut chars)?),
+                Some('t') => {
+                    expect_word(&mut chars, "true")?;
+                    JsonValue::Bool(true)
+                }
+                Some('f') => {
+                    expect_word(&mut chars, "false")?;
+                    JsonValue::Bool(false)
+                }
+                Some('n') => {
+                    expect_word(&mut chars, "null")?;
+                    JsonValue::Null
+                }
+                Some(_) => {
+                    let mut buf = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c == ',' || c == '}' {
+                            break;
+                        }
+                        buf.push(c);
+                        chars.next();
+                    }
+                    JsonValue::Num(
+                        buf.trim()
+                            .parse::<f64>()
+                            .map_err(|e| format!("bad number {buf:?}: {e}"))?,
+                    )
+                }
+                None => return Err("unterminated value".into()),
+            };
+            out.insert(key, value);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Ok(out),
+            '\\' => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|e| format!("bad \\u escape: {e}"))?;
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                Some(c) => out.push(c),
+                None => return Err("unterminated escape".into()),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn expect_word(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    word: &str,
+) -> Result<(), String> {
+    for expected in word.chars() {
+        if chars.next() != Some(expected) {
+            return Err(format!("expected literal {word:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Parses a whole JSONL document into one record per non-empty line.
+///
+/// # Errors
+///
+/// Returns the first line number (1-based) and error description.
+pub fn parse_jsonl(text: &str) -> Result<Vec<BTreeMap<String, JsonValue>>, (usize, String)> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_json_object(l).map_err(|e| (i + 1, e)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_escapes() {
+        let rec =
+            parse_json_object(r#"{"type":"meta","run":"a\"b\\c","elapsed_s":1.5,"ok":true}"#)
+                .unwrap();
+        assert_eq!(rec["run"].as_str(), Some("a\"b\\c"));
+        assert_eq!(rec["elapsed_s"].as_f64(), Some(1.5));
+        assert_eq!(rec["ok"], JsonValue::Bool(true));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_json_object("{\"a\":}").is_err());
+        assert!(parse_json_object("nope").is_err());
+    }
+
+    #[test]
+    fn num_formatting_never_leaks_non_finite() {
+        assert_eq!(num(f64::NAN), "0");
+        assert_eq!(num(f64::INFINITY), "0");
+        assert_eq!(num(2.0), "2");
+        assert_eq!(num(2.5), "2.5");
+    }
+}

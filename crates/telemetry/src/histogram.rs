@@ -1,0 +1,239 @@
+//! Streaming histograms with bounded memory and quantile estimates.
+
+/// A streaming histogram: exact `count`/`sum`/`min`/`max` plus a
+/// fixed-size deterministic reservoir for quantile estimation.
+///
+/// The reservoir uses Vitter's Algorithm R with an internal deterministic
+/// generator, so two runs observing the same value sequence produce
+/// identical summaries — a property the determinism regression tests rely
+/// on. Non-finite observations are ignored (counted separately) so NaN/Inf
+/// can never leak into emitted summaries.
+#[derive(Clone, Debug)]
+pub struct StreamingHistogram {
+    count: u64,
+    rejected: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    reservoir: Vec<f64>,
+    capacity: usize,
+    rng_state: u64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::with_capacity(1024)
+    }
+}
+
+impl StreamingHistogram {
+    /// Creates a histogram keeping at most `capacity` reservoir samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "histogram capacity must be positive");
+        Self {
+            count: 0,
+            rejected: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            reservoir: Vec::new(),
+            capacity,
+            rng_state: 0x5DEE_CE66_D_u64,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // SplitMix64: deterministic, independent of any global RNG.
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Records one observation. Non-finite values are dropped (tracked by
+    /// [`StreamingHistogram::rejected`]).
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.rejected += 1;
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if self.reservoir.len() < self.capacity {
+            self.reservoir.push(value);
+        } else {
+            // Algorithm R: replace a random slot with probability cap/count.
+            let j = (self.next_rand() % self.count) as usize;
+            if j < self.capacity {
+                self.reservoir[j] = value;
+            }
+        }
+    }
+
+    /// Number of accepted observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of non-finite observations dropped.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Sum of accepted observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of accepted observations (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum accepted observation (`0.0` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum accepted observation (`0.0` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), always within
+    /// `[min(), max()]`; `0.0` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut sorted = self.reservoir.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("reservoir holds only finite values"));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx].clamp(self.min, self.max)
+    }
+
+    /// Condensed summary used by the emitters.
+    pub fn stats(&self) -> HistogramStats {
+        HistogramStats {
+            count: self.count,
+            sum: self.sum,
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`StreamingHistogram`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramStats {
+    /// Accepted observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_moments_small_stream() {
+        let mut h = StreamingHistogram::default();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 15.0);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let mut h = StreamingHistogram::default();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(1.5);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.rejected(), 3);
+        assert!(h.stats().mean.is_finite());
+    }
+
+    #[test]
+    fn quantiles_bounded_after_overflow() {
+        let mut h = StreamingHistogram::with_capacity(64);
+        for i in 0..10_000 {
+            h.observe((i % 997) as f64);
+        }
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= h.min() && v <= h.max(), "q={q} v={v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_reservoir() {
+        let run = || {
+            let mut h = StreamingHistogram::with_capacity(32);
+            for i in 0..5_000 {
+                h.observe((i as f64).sin() * 100.0);
+            }
+            h.stats()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = StreamingHistogram::default();
+        let s = h.stats();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+}

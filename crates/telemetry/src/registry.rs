@@ -1,0 +1,269 @@
+//! The metric registry: named counters, span histograms, value histograms,
+//! and throughput derivation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::histogram::{HistogramStats, StreamingHistogram};
+
+/// Configuration for a telemetry sink.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Label identifying the run (e.g. the experiment binary name).
+    pub run_label: String,
+    /// Directory where `flush` writes `telemetry.jsonl`, `counters.csv`,
+    /// `spans.csv`, and `BENCH_telemetry.json`. `None` keeps everything
+    /// in memory.
+    pub out_dir: Option<std::path::PathBuf>,
+    /// Minimum interval between human-readable progress lines on stderr.
+    pub progress_every: Duration,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            run_label: "run".to_string(),
+            out_dir: None,
+            progress_every: Duration::from_secs(5),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// A config labelled `run_label` writing into `out_dir`.
+    pub fn to_dir(run_label: impl Into<String>, out_dir: impl Into<std::path::PathBuf>) -> Self {
+        Self {
+            run_label: run_label.into(),
+            out_dir: Some(out_dir.into()),
+            ..Self::default()
+        }
+    }
+}
+
+/// A live metric registry. Usually accessed through the module-level
+/// functions in [`crate`] after [`crate::install`] or [`crate::scoped`].
+pub struct Registry {
+    cfg: TelemetryConfig,
+    start: Instant,
+    counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    spans: Mutex<BTreeMap<String, StreamingHistogram>>,
+    values: Mutex<BTreeMap<&'static str, StreamingHistogram>>,
+    last_progress: Mutex<Option<Instant>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Self {
+            cfg,
+            start: Instant::now(),
+            counters: RwLock::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            values: Mutex::new(BTreeMap::new()),
+            last_progress: Mutex::new(None),
+        }
+    }
+
+    /// The registry's configuration.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.cfg
+    }
+
+    /// Adds `n` to the named monotonic counter.
+    pub fn counter_add(&self, name: &'static str, n: u64) {
+        if let Some(c) = self.counters.read().get(name) {
+            c.fetch_add(n, Ordering::Relaxed);
+            return;
+        }
+        self.counters
+            .write()
+            .entry(name)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a span duration under the (already joined) span path.
+    pub fn record_span(&self, path: String, duration: Duration) {
+        self.spans
+            .lock()
+            .entry(path)
+            .or_default()
+            .observe(duration.as_secs_f64() * 1e6);
+    }
+
+    /// Records a free-form scalar observation.
+    pub fn observe(&self, name: &'static str, value: f64) {
+        self.values.lock().entry(name).or_default().observe(value);
+    }
+
+    /// Wall-clock time since the registry was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Takes a consistent point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let elapsed = self.elapsed();
+        let elapsed_s = elapsed.as_secs_f64().max(1e-9);
+        let counters: BTreeMap<String, CounterStats> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(name, c)| {
+                let total = c.load(Ordering::Relaxed);
+                (
+                    (*name).to_string(),
+                    CounterStats {
+                        total,
+                        rate_per_s: total as f64 / elapsed_s,
+                    },
+                )
+            })
+            .collect();
+        let spans: BTreeMap<String, HistogramStats> = self
+            .spans
+            .lock()
+            .iter()
+            .map(|(name, h)| (name.clone(), h.stats()))
+            .collect();
+        let values: BTreeMap<String, HistogramStats> = self
+            .values
+            .lock()
+            .iter()
+            .map(|(name, h)| ((*name).to_string(), h.stats()))
+            .collect();
+        Snapshot {
+            run_label: self.cfg.run_label.clone(),
+            elapsed,
+            counters,
+            spans,
+            values,
+        }
+    }
+
+    /// Prints a rate-limited one-line progress summary to stderr. Returns
+    /// whether a line was printed.
+    pub fn progress(&self, context: &str) -> bool {
+        {
+            let mut last = self.last_progress.lock();
+            let now = Instant::now();
+            match *last {
+                Some(t) if now.duration_since(t) < self.cfg.progress_every => return false,
+                _ => *last = Some(now),
+            }
+        }
+        let snap = self.snapshot();
+        eprintln!("{}", snap.progress_line(context));
+        true
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("run_label", &self.cfg.run_label)
+            .field("elapsed", &self.elapsed())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A counter's snapshot: total and derived throughput.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CounterStats {
+    /// Monotonic total.
+    pub total: u64,
+    /// `total / elapsed` — the throughput gauge (e.g. env steps/sec).
+    pub rate_per_s: f64,
+}
+
+/// A consistent point-in-time view of every metric in a [`Registry`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// The registry's run label.
+    pub run_label: String,
+    /// Wall-clock time covered by this snapshot.
+    pub elapsed: Duration,
+    /// Counter totals and rates, by name.
+    pub counters: BTreeMap<String, CounterStats>,
+    /// Span duration summaries (microseconds), by span path.
+    pub spans: BTreeMap<String, HistogramStats>,
+    /// Free-form value summaries, by name.
+    pub values: BTreeMap<String, HistogramStats>,
+}
+
+impl Snapshot {
+    /// Counter totals only — the deterministic portion of a snapshot
+    /// (durations and rates vary run-to-run; counts must not).
+    pub fn counter_totals(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.total))
+            .collect()
+    }
+
+    /// The human-readable progress line.
+    pub fn progress_line(&self, context: &str) -> String {
+        use std::fmt::Write;
+        let mut line = format!(
+            "[telemetry {} {}] {:.1}s",
+            self.run_label,
+            context,
+            self.elapsed.as_secs_f64()
+        );
+        for (name, c) in &self.counters {
+            let _ = write!(line, " | {name} {} ({:.1}/s)", c.total, c.rate_per_s);
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_rate() {
+        let r = Registry::new(TelemetryConfig::default());
+        r.counter_add("env_steps", 10);
+        r.counter_add("env_steps", 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["env_steps"].total, 15);
+        assert!(snap.counters["env_steps"].rate_per_s > 0.0);
+    }
+
+    #[test]
+    fn spans_and_values_summarized() {
+        let r = Registry::new(TelemetryConfig::default());
+        r.record_span("a/b".into(), Duration::from_micros(100));
+        r.record_span("a/b".into(), Duration::from_micros(300));
+        r.observe("reward", 1.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.spans["a/b"].count, 2);
+        assert!((snap.spans["a/b"].mean - 200.0).abs() < 1.0);
+        assert_eq!(snap.values["reward"].count, 1);
+    }
+
+    #[test]
+    fn progress_is_rate_limited() {
+        let r = Registry::new(TelemetryConfig {
+            progress_every: Duration::from_secs(3600),
+            ..TelemetryConfig::default()
+        });
+        r.counter_add("x", 1);
+        assert!(r.progress("t"), "first call prints");
+        assert!(!r.progress("t"), "second call inside the interval is muted");
+    }
+
+    #[test]
+    fn progress_line_mentions_counters() {
+        let r = Registry::new(TelemetryConfig::default());
+        r.counter_add("env_steps", 7);
+        let line = r.snapshot().progress_line("ep 3");
+        assert!(line.contains("env_steps 7"), "{line}");
+        assert!(line.contains("ep 3"), "{line}");
+    }
+}

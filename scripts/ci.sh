@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the telemetry smoke test. Run from anywhere.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== tier-1: cargo build --release"
+cargo build --release
+
+echo "=== tier-1: cargo test -q"
+cargo test -q
+
+echo "=== workspace tests"
+cargo test --workspace -q
+
+echo "=== telemetry smoke"
+scripts/smoke_telemetry.sh
+
+echo "=== CI passed"

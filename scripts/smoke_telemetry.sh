@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Smoke test: every experiment binary must run at a tiny budget with
+# --telemetry-out and emit non-empty telemetry artifacts.
+#
+# Usage: scripts/smoke_telemetry.sh [workdir]
+# Exits non-zero on the first binary that fails or emits no telemetry.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d /tmp/hero-smoke.XXXXXX)}"
+OUT="$WORK/experiments" # shared so the skill checkpoint is trained once
+BINS=(
+    fig7_learning_curves
+    fig8_lowlevel_skills
+    fig10_opponent_loss
+    fig11_mean_speed
+    table1_hyperparams
+    table2_realworld
+    ablation_opponent_model
+    ablation_hierarchy
+    ablation_termination
+    diag_hero
+)
+
+cargo build --release -p hero-bench --bins
+
+for bin in "${BINS[@]}"; do
+    tel="$WORK/telemetry/$bin"
+    echo "== smoke: $bin"
+    cargo run --release -q -p hero-bench --bin "$bin" -- \
+        --episodes 2 --eval-episodes 1 --skill-episodes 2 \
+        --seed 7 --out "$OUT" --telemetry-out "$tel" >/dev/null
+    for artifact in telemetry.jsonl counters.csv spans.csv BENCH_telemetry.json; do
+        if [ ! -s "$tel/$artifact" ]; then
+            echo "FAIL: $bin produced empty or missing $tel/$artifact" >&2
+            exit 1
+        fi
+    done
+    lines=$(wc -l <"$tel/telemetry.jsonl")
+    echo "   ok: $lines telemetry records"
+done
+
+echo "telemetry smoke test passed for ${#BINS[@]} binaries (artifacts in $WORK)"

@@ -72,6 +72,65 @@ fn hero_training_is_deterministic_under_seed() {
     assert_eq!(run(), run());
 }
 
+/// Two trainer runs with the same seed must produce bit-identical
+/// episode-metric series AND identical telemetry counter totals (env
+/// steps, episodes, sampled transitions, gradient updates). Uses a
+/// thread-scoped telemetry sink so concurrently running tests cannot
+/// contaminate each other's registries.
+#[test]
+fn hero_training_metrics_and_telemetry_are_deterministic() {
+    use hero_rl::telemetry;
+
+    let cfg = EnvConfig {
+        max_steps: 6,
+        ..EnvConfig::default()
+    };
+    let run = || {
+        let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let skills = std::sync::Arc::new(SkillLibrary::untrained(
+            cfg,
+            SacConfig {
+                hidden: 8,
+                ..SacConfig::default()
+            },
+            23,
+        ));
+        let hero_cfg = HeroConfig {
+            hidden: 8,
+            batch_size: 8,
+            warmup: 8,
+            ..HeroConfig::default()
+        };
+        let mut env = scenario::congestion(cfg, 23);
+        let mut policy = build_method(
+            Method::Hero,
+            MethodParams {
+                n_agents: 3,
+                obs_dim: cfg.high_dim(),
+                batch_size: 8,
+                seed: 23,
+            },
+            Some((skills, hero_cfg)),
+        );
+        let rec = train_policy(&mut policy, &mut env, 3, 2, 23);
+        let series: Vec<(String, Vec<f32>)> = rec
+            .names()
+            .iter()
+            .map(|&n| (n.to_string(), rec.series(n).unwrap().to_vec()))
+            .collect();
+        (series, sink.snapshot().counter_totals())
+    };
+    let (series_a, counters_a) = run();
+    let (series_b, counters_b) = run();
+    assert_eq!(series_a, series_b, "episode-metric series must be bit-identical");
+    assert_eq!(counters_a, counters_b, "telemetry counter totals must match");
+    // The run must actually have been observed: 3 episodes of at most 6
+    // steps each (collisions may end an episode early).
+    assert_eq!(counters_a["episodes"], 3);
+    assert!((3..=18).contains(&counters_a["env_steps"]), "{counters_a:?}");
+    assert!(counters_a.contains_key("lidar_scans"));
+}
+
 #[test]
 fn dqn_checkpoint_restores_identical_greedy_policy() {
     let mut rng = StdRng::seed_from_u64(31);

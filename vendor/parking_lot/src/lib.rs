@@ -1,0 +1,211 @@
+//! Vendored minimal stand-in for the `parking_lot` crate.
+//!
+//! Backed by `std::sync` primitives with `parking_lot`'s ergonomic surface:
+//! `lock()`/`read()`/`write()` return guards directly (a poisoned std lock —
+//! only possible after a panic while holding it — is unwrapped into the
+//! still-consistent inner data, matching parking_lot's no-poisoning model).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// A mutual-exclusion lock (no poisoning).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized>(sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning its inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(sync::PoisonError::into_inner))
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// A reader–writer lock (no poisoning).
+#[derive(Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+/// Shared-read guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(sync::RwLockReadGuard<'a, T>);
+
+/// Exclusive-write guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new reader–writer lock.
+    pub const fn new(value: T) -> Self {
+        Self(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning its inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(sync::PoisonError::into_inner))
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(sync::PoisonError::into_inner))
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<'a, T: ?Sized> RwLockReadGuard<'a, T> {
+    /// Projects the guard onto a component of the protected data.
+    pub fn map<U: ?Sized, F>(guard: Self, f: F) -> MappedRwLockReadGuard<'a, U>
+    where
+        F: FnOnce(&T) -> &U,
+    {
+        // Box the std guard so the borrow target has a stable address, then
+        // keep the projection as a raw pointer alongside the owning box.
+        let owner: Box<sync::RwLockReadGuard<'a, T>> = Box::new(guard.0);
+        let value: *const U = f(&owner);
+        MappedRwLockReadGuard {
+            _owner: owner as Box<dyn Erased + 'a>,
+            value,
+        }
+    }
+}
+
+trait Erased {}
+impl<T> Erased for T {}
+
+/// Guard projecting a [`RwLockReadGuard`] onto a sub-borrow
+/// (see [`RwLockReadGuard::map`]).
+pub struct MappedRwLockReadGuard<'a, T: ?Sized> {
+    _owner: Box<dyn Erased + 'a>,
+    value: *const T,
+}
+
+impl<'a, T: ?Sized> Deref for MappedRwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: `value` points into the heap-boxed guard owned by
+        // `_owner`, which lives exactly as long as `self` and keeps the
+        // read lock held.
+        unsafe { &*self.value }
+    }
+}
+
+// SAFETY: the projection is a read-only view whose owner guard is Send/Sync
+// exactly when the protected data allows shared access from other threads.
+unsafe impl<'a, T: ?Sized + Sync> Sync for MappedRwLockReadGuard<'a, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn rwlock_map_projection() {
+        struct Pair {
+            a: i32,
+            b: String,
+        }
+        let l = RwLock::new(Pair {
+            a: 7,
+            b: "hello".into(),
+        });
+        let a = RwLockReadGuard::map(l.read(), |p| &p.a);
+        assert_eq!(*a, 7);
+        drop(a);
+        let b = RwLockReadGuard::map(l.read(), |p| p.b.as_str());
+        assert_eq!(&*b, "hello");
+    }
+
+    #[test]
+    fn rwlock_write_then_read() {
+        let l = RwLock::new(vec![1, 2]);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+}
