@@ -43,6 +43,7 @@ mod error;
 mod graph;
 mod tensor;
 
+pub mod diagnostics;
 pub mod loss;
 pub mod nn;
 pub mod optim;

@@ -5,11 +5,18 @@
 //! [`Graph::backward`](crate::Graph::backward), then [`Optimizer::step`]
 //! (which consumes and zeroes the accumulated gradients).
 
+use crate::diagnostics::{self, StepDiagnostics, StepScreen};
 use crate::graph::Parameter;
 
 /// Common interface of [`Sgd`] and [`Adam`].
 pub trait Optimizer {
     /// Applies one update from the accumulated gradients, then zeroes them.
+    ///
+    /// Every step is screened through one shared watchdog code path
+    /// ([`diagnostics::pre_step`]): non-finite gradients are never applied.
+    /// By default ([`diagnostics::WatchdogMode::Skip`]) a poisoned update
+    /// is dropped — weights *and* optimizer state (momentum, Adam moments
+    /// and step count) stay untouched — and counted under `watchdog/*`.
     fn step(&mut self);
 
     /// The parameters this optimizer updates.
@@ -20,6 +27,13 @@ pub trait Optimizer {
 
     /// Replaces the learning rate (for schedules).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Attaches per-step diagnostics: a metric label for per-layer
+    /// gradient telemetry and the watchdog mode.
+    fn set_diagnostics(&mut self, diag: StepDiagnostics);
+
+    /// The attached diagnostics, if any.
+    fn diagnostics(&self) -> Option<&StepDiagnostics>;
 }
 
 /// Plain stochastic gradient descent with optional momentum.
@@ -29,6 +43,7 @@ pub struct Sgd {
     lr: f32,
     momentum: f32,
     velocity: Vec<Vec<f32>>,
+    diag: Option<StepDiagnostics>,
 }
 
 impl Sgd {
@@ -46,12 +61,17 @@ impl Sgd {
             lr,
             momentum,
             velocity,
+            diag: None,
         }
     }
 }
 
 impl Optimizer for Sgd {
     fn step(&mut self) {
+        let probe = match diagnostics::pre_step(&self.params, self.diag.as_ref()) {
+            StepScreen::Proceed(probe) => probe,
+            StepScreen::Skip => return,
+        };
         for (p, vel) in self.params.iter().zip(&mut self.velocity) {
             p.apply_update(|value, grad| {
                 if self.momentum == 0.0 {
@@ -68,6 +88,7 @@ impl Optimizer for Sgd {
             });
             p.zero_grad();
         }
+        diagnostics::post_step(&self.params, &probe);
     }
 
     fn parameters(&self) -> &[Parameter] {
@@ -80,6 +101,14 @@ impl Optimizer for Sgd {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn set_diagnostics(&mut self, diag: StepDiagnostics) {
+        self.diag = Some(diag);
+    }
+
+    fn diagnostics(&self) -> Option<&StepDiagnostics> {
+        self.diag.as_ref()
     }
 }
 
@@ -94,6 +123,7 @@ pub struct Adam {
     t: u64,
     m: Vec<Vec<f32>>,
     v: Vec<Vec<f32>>,
+    diag: Option<StepDiagnostics>,
 }
 
 impl Adam {
@@ -115,12 +145,19 @@ impl Adam {
             t: 0,
             m,
             v,
+            diag: None,
         }
     }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self) {
+        let probe = match diagnostics::pre_step(&self.params, self.diag.as_ref()) {
+            StepScreen::Proceed(probe) => probe,
+            // A skipped step must not advance `t` either, or the bias
+            // correction would drift from the moments actually written.
+            StepScreen::Skip => return,
+        };
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
@@ -142,6 +179,7 @@ impl Optimizer for Adam {
             });
             p.zero_grad();
         }
+        diagnostics::post_step(&self.params, &probe);
     }
 
     fn parameters(&self) -> &[Parameter] {
@@ -154,6 +192,14 @@ impl Optimizer for Adam {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn set_diagnostics(&mut self, diag: StepDiagnostics) {
+        self.diag = Some(diag);
+    }
+
+    fn diagnostics(&self) -> Option<&StepDiagnostics> {
+        self.diag.as_ref()
     }
 }
 
@@ -252,6 +298,80 @@ mod tests {
         assert!(before > 1.0);
         let after: f32 = p.grad().data().iter().map(|g| g * g).sum::<f32>().sqrt();
         assert!((after - 1.0).abs() < 1e-4);
+    }
+
+    /// Seeds every gradient entry with NaN via a real backward pass.
+    fn poison_grad(p: &Parameter) {
+        let mut g = Graph::new();
+        let pn = g.param(p);
+        let scaled = g.scale(pn, f32::NAN);
+        let loss = g.sum(scaled);
+        g.backward(loss);
+    }
+
+    #[test]
+    fn nan_grad_never_corrupts_weights_in_skip_mode() {
+        // Even with no diagnostics attached: Skip is the default path.
+        for make in [
+            |p: Parameter| Box::new(Sgd::with_momentum(vec![p], 0.1, 0.9)) as Box<dyn Optimizer>,
+            |p: Parameter| Box::new(Adam::new(vec![p], 0.1)) as Box<dyn Optimizer>,
+        ] {
+            let p = Parameter::new("p", Tensor::from_slice(&[1.0, -2.0]));
+            let mut opt = make(p.clone());
+            poison_grad(&p);
+            opt.step();
+            assert_eq!(p.value().data(), &[1.0, -2.0], "weights untouched");
+            assert_eq!(p.grad().data(), &[0.0, 0.0], "poisoned grads cleared");
+            // The optimizer must still work afterwards: loss = sum(p)
+            // gives grad = 1 per element.
+            let mut g = Graph::new();
+            let pn = g.param(&p);
+            let loss = g.sum(pn);
+            g.backward(loss);
+            opt.step();
+            assert!(p.value().data()[0] != 1.0, "clean step still applies");
+            assert!(p.value().data().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn adam_skipped_step_does_not_advance_bias_correction() {
+        // Two optimizers over identical params; one sees a poisoned step
+        // first. After one identical clean step each, the updates must be
+        // bit-identical — i.e. `t`/moments were untouched by the skip.
+        let a = Parameter::new("a", Tensor::from_vec(vec![1, 1], vec![0.0]));
+        let b = Parameter::new("b", Tensor::from_vec(vec![1, 1], vec![0.0]));
+        let mut opt_a = Adam::new(vec![a.clone()], 0.2);
+        let mut opt_b = Adam::new(vec![b.clone()], 0.2);
+        poison_grad(&a);
+        opt_a.step(); // skipped
+        quadratic_step(&a);
+        opt_a.step();
+        quadratic_step(&b);
+        opt_b.step();
+        assert_eq!(a.value().item(), b.value().item());
+    }
+
+    #[test]
+    fn fatal_mode_panics_on_poisoned_step() {
+        let p = Parameter::new("p", Tensor::from_slice(&[1.0]));
+        let mut opt = Sgd::new(vec![p.clone()], 0.1);
+        opt.set_diagnostics(
+            crate::diagnostics::StepDiagnostics::named("unit")
+                .with_mode(crate::diagnostics::WatchdogMode::Fatal),
+        );
+        poison_grad(&p);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| opt.step()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn diagnostics_accessors() {
+        let p = Parameter::new("p", Tensor::from_slice(&[0.0]));
+        let mut opt = Adam::new(vec![p], 0.1);
+        assert!(opt.diagnostics().is_none());
+        opt.set_diagnostics(crate::diagnostics::StepDiagnostics::named("actor"));
+        assert_eq!(opt.diagnostics().unwrap().label(), "actor");
     }
 
     #[test]

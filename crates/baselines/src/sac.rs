@@ -6,6 +6,7 @@
 //! stabilize the soft TD target `r + γ(min Q' − α·log π)`. The entropy
 //! temperature α can be fixed or auto-tuned toward a target entropy.
 
+use hero_autograd::diagnostics::StepDiagnostics;
 use hero_autograd::nn::{Activation, ConvEncoder, Linear, Mlp, Module};
 use hero_autograd::optim::{Adam, Optimizer};
 use hero_autograd::{loss, zero_grads, Graph, NodeId, Parameter, Tensor};
@@ -377,10 +378,12 @@ impl SacAgent {
         let q2_target = mk("sac.q2t", rng);
         hard_update(&q1.parameters(), &q1_target.parameters());
         hard_update(&q2.parameters(), &q2_target.parameters());
-        let actor_opt = Adam::new(actor.parameters(), cfg.lr);
+        let mut actor_opt = Adam::new(actor.parameters(), cfg.lr);
+        actor_opt.set_diagnostics(StepDiagnostics::named("sac.actor"));
         let mut critic_params = q1.parameters();
         critic_params.extend(q2.parameters());
-        let critic_opt = Adam::new(critic_params, cfg.lr);
+        let mut critic_opt = Adam::new(critic_params, cfg.lr);
+        critic_opt.set_diagnostics(StepDiagnostics::named("sac.critic"));
         Self {
             actor,
             q1,
@@ -481,7 +484,7 @@ impl SacAgent {
             .collect();
 
         // Critic update.
-        let critic_loss = {
+        let (critic_loss, q_mean) = {
             let mut g = Graph::new();
             let x = g.input(obs_t.clone());
             let a = g.input(acts_t);
@@ -493,9 +496,10 @@ impl SacAgent {
             let l = g.add(l1, l2);
             let total = g.sum(l);
             let value = g.value(total).item();
+            let q_mean = (g.value(q1).mean() + g.value(q2).mean()) * 0.5;
             g.backward(total);
             self.critic_opt.step();
-            value / 2.0
+            (value / 2.0, q_mean)
         };
 
         // Actor update: minimize E[α·logπ − min Q]. Critic gradients from
@@ -531,6 +535,12 @@ impl SacAgent {
 
         soft_update(&self.q1.parameters(), &self.q1_target.parameters(), self.cfg.tau);
         soft_update(&self.q2.parameters(), &self.q2_target.parameters(), self.cfg.tau);
+
+        if hero_rl::telemetry::is_enabled() {
+            hero_rl::telemetry::observe("sac/alpha", f64::from(self.alpha()));
+            hero_rl::telemetry::observe("sac/q_mean", f64::from(q_mean));
+            hero_rl::telemetry::observe("sac/entropy", f64::from(-mean_logp));
+        }
 
         Some(UpdateStats {
             critic_loss,

@@ -1,7 +1,7 @@
 //! Minimal command-line parsing shared by the experiment binaries. Every
 //! binary accepts `--episodes N --eval-episodes N --seed S --out DIR
 //! --update-every K --batch-size N --skill-episodes N
-//! --telemetry-out DIR --paper-scale`.
+//! --telemetry-out DIR --trace-out FILE --paper-scale`.
 
 use std::path::PathBuf;
 
@@ -27,6 +27,9 @@ pub struct ExperimentArgs {
     /// `telemetry.jsonl` / `counters.csv` / `spans.csv` /
     /// `BENCH_telemetry.json` into this directory on exit.
     pub telemetry_out: Option<PathBuf>,
+    /// When set, record Chrome trace events for every span and write a
+    /// Perfetto-loadable `trace.json` to this file on exit.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl ExperimentArgs {
@@ -43,6 +46,7 @@ impl ExperimentArgs {
             batch_size: 128,
             skill_episodes: 1_000,
             telemetry_out: None,
+            trace_out: None,
         }
     }
 
@@ -76,13 +80,14 @@ impl ExperimentArgs {
                 "--telemetry-out" => {
                     out.telemetry_out = Some(PathBuf::from(value("--telemetry-out")))
                 }
+                "--trace-out" => out.trace_out = Some(PathBuf::from(value("--trace-out"))),
                 "--paper-scale" => {
                     out.episodes = 14_000;
                     out.batch_size = 1024;
                     out.update_every = 1;
                 }
                 other => panic!(
-                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--paper-scale"
+                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--trace-out/--paper-scale"
                 ),
             }
         }
@@ -134,7 +139,18 @@ mod tests {
             strs(&["--telemetry-out", "/tmp/tel", "--skill-episodes", "3"]),
         );
         assert_eq!(a.telemetry_out, Some(PathBuf::from("/tmp/tel")));
+        assert_eq!(a.trace_out, None, "trace capture stays off by default");
         assert_eq!(a.skill_episodes, 3);
+    }
+
+    #[test]
+    fn trace_out_parses_independently_of_telemetry_out() {
+        let a = ExperimentArgs::parse(
+            ExperimentArgs::defaults(100),
+            strs(&["--trace-out", "/tmp/tel/trace.json"]),
+        );
+        assert_eq!(a.trace_out, Some(PathBuf::from("/tmp/tel/trace.json")));
+        assert_eq!(a.telemetry_out, None);
     }
 
     #[test]

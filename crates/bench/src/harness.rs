@@ -273,8 +273,13 @@ pub fn build_method(
     match method {
         Method::Hero => {
             let (skills, cfg) = hero_parts.expect("HERO requires a skill library");
+            // Warm-up never exceeds one mini-batch: smoke-scale runs
+            // (`--batch-size 8 --episodes 2`) must reach the instrumented
+            // update path, and at paper scale the default warm-up is
+            // already below the batch size so nothing changes.
             let cfg = HeroConfig {
                 batch_size: params.batch_size,
+                warmup: cfg.warmup.min(params.batch_size),
                 ..cfg
             };
             TrainedPolicy::Hero(Box::new(HeroTeam::new(

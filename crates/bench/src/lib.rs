@@ -22,7 +22,9 @@
 //! under `target/experiments/`. Passing `--telemetry-out DIR`
 //! additionally records span timings, counters, and throughput gauges
 //! (see `hero_rl::telemetry`) and writes `telemetry.jsonl` plus CSV and
-//! `BENCH_telemetry.json` summaries into `DIR` on exit.
+//! `BENCH_telemetry.json` summaries into `DIR` on exit; passing
+//! `--trace-out FILE` records Chrome trace events for every span and
+//! writes a Perfetto-loadable `trace.json` to `FILE`.
 
 #![warn(missing_docs)]
 
@@ -46,18 +48,29 @@ use hero_sim::env::EnvConfig;
 pub const SKILL_BOOTSTRAP_EPISODES: usize = 1_000;
 
 /// Installs the telemetry subsystem for one experiment run when the user
-/// passed `--telemetry-out DIR`. Keep the returned guard alive for the
-/// whole run: dropping it flushes `telemetry.jsonl`, `counters.csv`,
-/// `spans.csv`, and `BENCH_telemetry.json` into the directory and
-/// uninstalls the sink. Returns `None` (telemetry stays disabled, with
-/// near-zero overhead) when the flag was absent.
+/// passed `--telemetry-out DIR` and/or `--trace-out FILE`. Keep the
+/// returned guard alive for the whole run: dropping it flushes
+/// `telemetry.jsonl`, `counters.csv`, `spans.csv`, and
+/// `BENCH_telemetry.json` into the directory (when `--telemetry-out` was
+/// given), writes the Chrome trace to the file (when `--trace-out` was
+/// given), and uninstalls the sink. Returns `None` (telemetry stays
+/// disabled, with near-zero overhead) when both flags were absent.
 pub fn init_telemetry(
     args: &ExperimentArgs,
     run_label: &str,
 ) -> Option<hero_rl::telemetry::InstallGuard> {
-    args.telemetry_out.as_ref().map(|dir| {
-        hero_rl::telemetry::install(hero_rl::telemetry::TelemetryConfig::to_dir(run_label, dir))
-    })
+    if args.telemetry_out.is_none() && args.trace_out.is_none() {
+        return None;
+    }
+    let mut cfg = hero_rl::telemetry::TelemetryConfig {
+        run_label: run_label.into(),
+        out_dir: args.telemetry_out.clone(),
+        ..Default::default()
+    };
+    if let Some(path) = &args.trace_out {
+        cfg = cfg.with_trace(path.clone());
+    }
+    Some(hero_rl::telemetry::install(cfg))
 }
 
 /// Loads the shared low-level skill library from
@@ -65,9 +78,13 @@ pub fn init_telemetry(
 /// checkpoint for the other experiment binaries to reuse.
 pub fn load_or_train_skills(args: &ExperimentArgs, env_cfg: EnvConfig) -> Arc<SkillLibrary> {
     let ckpt = args.out_file("skills.ckpt");
+    let defaults = SacConfig::default();
     let sac = SacConfig {
         batch_size: args.batch_size,
-        ..SacConfig::default()
+        // As in `build_method`: clamp warm-up to one mini-batch so tiny
+        // smoke runs exercise the SAC update (and its diagnostics).
+        warmup: defaults.warmup.min(args.batch_size),
+        ..defaults
     };
     if ckpt.exists() {
         let mut lib = SkillLibrary::untrained(env_cfg, sac, args.seed);

@@ -36,6 +36,9 @@ pub struct HeroAgent {
     selections: usize,
     /// Cumulative per-opponent prediction-loss traces (Fig. 10).
     opponent_losses: Vec<Vec<f32>>,
+    /// Telemetry namespace label (e.g. `agent0`); see
+    /// [`HeroAgent::set_metric_label`].
+    metric_label: String,
 }
 
 impl HeroAgent {
@@ -63,7 +66,15 @@ impl HeroAgent {
             cfg,
             selections: 0,
             opponent_losses: vec![Vec::new(); n_opponents],
+            metric_label: "agent".to_string(),
         }
+    }
+
+    /// Sets the label under which this agent's learning-health metrics are
+    /// recorded (`entropy/<label>`, `reward/option_segment`). The trainer
+    /// assigns `agent0`, `agent1`, … so per-agent curves stay separable.
+    pub fn set_metric_label(&mut self, label: impl Into<String>) {
+        self.metric_label = label.into();
     }
 
     /// The currently executing option, if any.
@@ -119,6 +130,20 @@ impl HeroAgent {
             let idx = self
                 .high
                 .select_option(high_obs, &opp_probs, rng, explore, epsilon);
+            if hero_rl::telemetry::is_enabled() {
+                // Policy entropy at selection time — the collapse gauge
+                // (DESIGN.md "learning-dynamics metrics": entropy/<agent>).
+                let probs = hero_rl::rng::softmax(&self.high.logits(high_obs, &opp_probs));
+                let entropy: f64 = -probs
+                    .iter()
+                    .filter(|&&p| p > 0.0)
+                    .map(|&p| (p as f64) * (p as f64).ln())
+                    .sum::<f64>();
+                hero_rl::telemetry::observe_dyn(
+                    &format!("entropy/{}", self.metric_label),
+                    entropy,
+                );
+            }
             let option = DrivingOption::from_index(idx);
             self.active = Some(ActiveOption::start(option, state, track));
             self.segment = Some(Segment {
@@ -194,6 +219,8 @@ impl HeroAgent {
     fn close_segment(&mut self, next_obs: &[f32], done: bool) {
         let active = self.active.take().expect("close_segment with active option");
         let segment = self.segment.take().expect("segment matches active option");
+        hero_rl::telemetry::observe("reward/option_segment", segment.reward as f64);
+        hero_rl::telemetry::observe("option/duration", active.elapsed.max(1) as f64);
         self.high.store(hero_rl::transition::OptionTransition {
             obs: segment.start_obs,
             option: active.option.index(),

@@ -10,6 +10,7 @@
 //! accumulated discounted reward `r_{h,t:t+c}` and the bootstrap uses
 //! `γ^c`.
 
+use hero_autograd::diagnostics::StepDiagnostics;
 use hero_autograd::nn::{Activation, Mlp, Module};
 use hero_autograd::optim::{Adam, Optimizer};
 use hero_autograd::{loss, zero_grads, Graph, Parameter, Tensor};
@@ -66,8 +67,10 @@ impl HighLevelLearner {
         let critic = Mlp::new("hero.critic", &critic_dims, Activation::Relu, rng);
         let critic_target = Mlp::new("hero.critic_t", &critic_dims, Activation::Relu, rng);
         hard_update(&critic.parameters(), &critic_target.parameters());
-        let actor_opt = Adam::new(actor.parameters(), cfg.lr);
-        let critic_opt = Adam::new(critic.parameters(), cfg.lr);
+        let mut actor_opt = Adam::new(actor.parameters(), cfg.lr);
+        let mut critic_opt = Adam::new(critic.parameters(), cfg.lr);
+        actor_opt.set_diagnostics(StepDiagnostics::named("actor"));
+        critic_opt.set_diagnostics(StepDiagnostics::named("critic"));
         Self {
             actor,
             critic,
@@ -230,6 +233,17 @@ impl HighLevelLearner {
             let y = g.input(Tensor::from_vec(vec![n, 1], targets));
             let l = loss::mse(&mut g, q, y);
             let v = g.value(l).item();
+            if hero_rl::telemetry::is_enabled() {
+                // Per-sample TD error and Q estimates (see DESIGN.md
+                // "learning-dynamics metrics": td_error, q/high).
+                let pred = g.value(q);
+                let target = g.value(y);
+                for row in 0..n {
+                    let p = pred.row(row)[0] as f64;
+                    hero_rl::telemetry::observe("td_error", target.row(row)[0] as f64 - p);
+                    hero_rl::telemetry::observe("q/high", p);
+                }
+            }
             g.backward(l);
             self.critic_opt.step();
             v

@@ -10,6 +10,7 @@
 //! prediction problem is tractable and the learned model stabilizes the
 //! high-level Q-function against non-stationarity.
 
+use hero_autograd::diagnostics::StepDiagnostics;
 use hero_autograd::nn::{Activation, Mlp, Module};
 use hero_autograd::optim::{Adam, Optimizer};
 use hero_autograd::{loss, Graph, Parameter, Tensor};
@@ -67,7 +68,11 @@ impl OpponentModel {
             .collect();
         let opts = nets
             .iter()
-            .map(|n| Adam::new(n.parameters(), lr))
+            .map(|n| {
+                let mut opt = Adam::new(n.parameters(), lr);
+                opt.set_diagnostics(StepDiagnostics::named("opponent"));
+                opt
+            })
             .collect();
         Self {
             nets,
@@ -206,7 +211,25 @@ impl OpponentModel {
             let entropy = loss::categorical_entropy(&mut g, logits);
             let ent_term = g.scale(entropy, -self.entropy_weight);
             let l = g.add(nll, ent_term);
-            losses.push(g.value(nll).item());
+            let nll_value = g.value(nll).item();
+            losses.push(nll_value);
+            if hero_rl::telemetry::is_enabled() {
+                // Prediction quality vs the options actually selected:
+                // per-batch cross-entropy and top-1 accuracy (DESIGN.md
+                // "learning-dynamics metrics": opponent/xent,
+                // opponent/accuracy — the Fig. 10 loss curve signal).
+                let logit_rows = g.value(logits);
+                let correct = picked
+                    .iter()
+                    .enumerate()
+                    .filter(|&(row, &o)| hero_rl::explore::greedy(logit_rows.row(row)) == o)
+                    .count();
+                hero_rl::telemetry::observe("opponent/xent", nll_value as f64);
+                hero_rl::telemetry::observe(
+                    "opponent/accuracy",
+                    correct as f64 / picked.len().max(1) as f64,
+                );
+            }
             g.backward(l);
             opt.step();
         }

@@ -252,6 +252,9 @@ fn train_one_skill(
                 let a = agent.act(&obs, &mut rng, true);
                 let (next, r, done) = env.step([a[0], a[1]]);
                 hero_rl::telemetry::counter_add("skill_env_steps", 1);
+                // Stage-one shaped reward — the "intrinsic" skill signal,
+                // as opposed to the cooperative reward of stage two.
+                hero_rl::telemetry::observe("reward/intrinsic", r as f64);
                 agent.observe(ContinuousTransition {
                     obs: obs.clone(),
                     action: a,

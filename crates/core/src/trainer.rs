@@ -42,7 +42,12 @@ impl HeroTeam {
         assert!(n_learners >= 1, "a team needs at least one learner");
         let mut rng = StdRng::seed_from_u64(seed);
         let agents = (0..n_learners)
-            .map(|_| HeroAgent::new(obs_dim, n_learners.saturating_sub(1), cfg, &mut rng))
+            .map(|k| {
+                let mut a =
+                    HeroAgent::new(obs_dim, n_learners.saturating_sub(1), cfg, &mut rng);
+                a.set_metric_label(format!("agent{k}"));
+                a
+            })
             .collect();
         Self {
             agents,

@@ -1,0 +1,577 @@
+//! Analysis of telemetry dumps produced by `hero_rl::telemetry`
+//! (`telemetry.jsonl`): terminal summaries, A-vs-B regression diffs, and
+//! learning-health anomaly reports.
+//!
+//! Three operations, mirroring the `hero-inspect` subcommands:
+//!
+//! - [`summarize`] — a human-readable instrument-panel report for one run.
+//! - [`diff`] — compare two runs metric-by-metric with relative tolerances;
+//!   drives the CI golden-baseline gate.
+//! - [`doctor`] — scan one run for known pathologies: watchdog events
+//!   (non-finite gradients), dead layers (zero gradient norm), and policy
+//!   entropy collapse.
+//!
+//! ## What `diff` compares (and what it deliberately ignores)
+//!
+//! Only *order-independent, seed-deterministic* statistics participate:
+//! counter totals and value-histogram `count`/`mean`/`min`/`max`. Everything
+//! time-dependent (span durations, rates, `elapsed_s`) and everything
+//! reservoir-dependent (`p50`/`p95`/`p99`, which vary with observation order
+//! under the parallel skill workers) is excluded, so a same-seed rerun diffs
+//! clean while a perturbed run trips the gate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use hero_telemetry::emit::{parse_jsonl, JsonValue};
+
+/// Summary statistics of one value or span histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Stat {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median estimate (reservoir; order-dependent).
+    pub p50: f64,
+    /// 95th-percentile estimate (reservoir; order-dependent).
+    pub p95: f64,
+    /// 99th-percentile estimate (reservoir; order-dependent).
+    pub p99: f64,
+}
+
+/// One monotonic counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Counter {
+    /// Final total.
+    pub total: u64,
+    /// Events per wall-clock second (time-dependent; never diffed).
+    pub rate_per_s: f64,
+}
+
+/// A fully parsed telemetry run.
+#[derive(Clone, Debug, Default)]
+pub struct Run {
+    /// The run label from the `meta` record.
+    pub label: String,
+    /// Wall-clock duration in seconds.
+    pub elapsed_s: f64,
+    /// Counters by name.
+    pub counters: BTreeMap<String, Counter>,
+    /// Span timing histograms by path.
+    pub spans: BTreeMap<String, Stat>,
+    /// Value histograms by metric name.
+    pub values: BTreeMap<String, Stat>,
+}
+
+fn field(rec: &BTreeMap<String, JsonValue>, key: &str) -> Result<f64, String> {
+    rec.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn stat_from(rec: &BTreeMap<String, JsonValue>, suffix: &str) -> Result<Stat, String> {
+    let get = |base: &str| field(rec, &format!("{base}{suffix}"));
+    Ok(Stat {
+        count: field(rec, "count")? as u64,
+        mean: get("mean")?,
+        min: get("min")?,
+        max: get("max")?,
+        p50: get("p50")?,
+        p95: get("p95")?,
+        p99: get("p99")?,
+    })
+}
+
+/// Parses the body of a `telemetry.jsonl` document into a [`Run`].
+///
+/// # Errors
+///
+/// Returns a line-prefixed description of the first malformed record.
+pub fn parse_run(text: &str) -> Result<Run, String> {
+    let records = parse_jsonl(text).map_err(|(line, e)| format!("line {line}: {e}"))?;
+    let mut run = Run::default();
+    for (i, rec) in records.iter().enumerate() {
+        let kind = rec
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("record {}: missing \"type\"", i + 1))?;
+        let name = || {
+            rec.get("name")
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("record {}: missing \"name\"", i + 1))
+        };
+        match kind {
+            "meta" => {
+                run.label = rec
+                    .get("run")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_owned();
+                run.elapsed_s = field(rec, "elapsed_s")?;
+            }
+            "counter" => {
+                run.counters.insert(
+                    name()?,
+                    Counter {
+                        total: field(rec, "total")? as u64,
+                        rate_per_s: field(rec, "rate_per_s")?,
+                    },
+                );
+            }
+            "span" => {
+                run.spans.insert(name()?, stat_from(rec, "_us")?);
+            }
+            "value" => {
+                run.values.insert(name()?, stat_from(rec, "")?);
+            }
+            other => return Err(format!("record {}: unknown type {other:?}", i + 1)),
+        }
+    }
+    Ok(run)
+}
+
+/// Loads a run from a `telemetry.jsonl` file, or from a directory
+/// containing one.
+///
+/// # Errors
+///
+/// Returns a description of any I/O or parse failure.
+pub fn load_run(path: &Path) -> Result<Run, String> {
+    let file = if path.is_dir() {
+        path.join("telemetry.jsonl")
+    } else {
+        path.to_path_buf()
+    };
+    let text = std::fs::read_to_string(&file)
+        .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    parse_run(&text).map_err(|e| format!("{}: {e}", file.display()))
+}
+
+// ---------------------------------------------------------------------------
+// summarize
+// ---------------------------------------------------------------------------
+
+/// Renders a terminal report of one run: counters, learning-health values,
+/// and the hottest spans.
+#[must_use]
+pub fn summarize(run: &Run) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "run {:?} ({:.2}s)", run.label, run.elapsed_s);
+    if !run.counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (name, c) in &run.counters {
+            let _ = writeln!(out, "  {name:<32} total {:<10} {:.1}/s", c.total, c.rate_per_s);
+        }
+    }
+    if !run.values.is_empty() {
+        let _ = writeln!(out, "\nvalues:");
+        for (name, v) in &run.values {
+            let _ = writeln!(
+                out,
+                "  {name:<32} n={:<7} mean {:>12.5} min {:>12.5} max {:>12.5} p95 {:>12.5}",
+                v.count, v.mean, v.min, v.max, v.p95
+            );
+        }
+    }
+    if !run.spans.is_empty() {
+        let mut spans: Vec<_> = run.spans.iter().collect();
+        spans.sort_by(|a, b| {
+            let (ta, tb) = (a.1.mean * a.1.count as f64, b.1.mean * b.1.count as f64);
+            tb.partial_cmp(&ta).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let _ = writeln!(out, "\nspans (by total time):");
+        for (name, s) in spans {
+            let _ = writeln!(
+                out,
+                "  {name:<32} n={:<7} total {:>10.0}us mean {:>9.1}us p95 {:>9.1}us",
+                s.count,
+                s.mean * s.count as f64,
+                s.mean,
+                s.p95
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------------
+
+/// Relative tolerances for [`diff`], expressed as fractions (0.4 = ±40%).
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Allowed relative drift of counter totals.
+    pub counter: f64,
+    /// Allowed relative drift of value `mean`/`min`/`max`.
+    pub value: f64,
+    /// Allowed relative drift of value observation counts.
+    pub count: f64,
+    /// Absolute slack added to every comparison, so metrics that hover
+    /// around zero (e.g. `td_error` mean) don't produce unbounded relative
+    /// deltas.
+    pub abs_floor: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Self { counter: 0.0, value: 0.4, count: 0.1, abs_floor: 1e-3 }
+    }
+}
+
+/// One compared quantity in a [`DiffReport`].
+#[derive(Clone, Debug)]
+pub struct DiffLine {
+    /// `counter/<name>/total`, `value/<name>/mean`, etc.
+    pub what: String,
+    /// Baseline quantity.
+    pub a: f64,
+    /// Candidate quantity.
+    pub b: f64,
+    /// Relative delta as a percentage of the larger magnitude.
+    pub delta_pct: f64,
+    /// Whether the delta stayed within tolerance.
+    pub within: bool,
+}
+
+/// The outcome of comparing two runs.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Every compared quantity, in deterministic name order.
+    pub lines: Vec<DiffLine>,
+    /// Human-readable descriptions of metrics present in only one run.
+    pub missing: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when any quantity exceeded tolerance or a metric disappeared.
+    #[must_use]
+    pub fn is_regression(&self) -> bool {
+        !self.missing.is_empty() || self.lines.iter().any(|l| !l.within)
+    }
+
+    /// Renders the report; with `verbose` false only violations are listed.
+    #[must_use]
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for m in &self.missing {
+            let _ = writeln!(out, "MISSING  {m}");
+        }
+        for l in &self.lines {
+            if verbose || !l.within {
+                let _ = writeln!(
+                    out,
+                    "{}  {:<44} {:>14.5} -> {:>14.5}  ({:+.2}%)",
+                    if l.within { "ok      " } else { "EXCEEDED" },
+                    l.what,
+                    l.a,
+                    l.b,
+                    l.delta_pct
+                );
+            }
+        }
+        let bad = self.lines.iter().filter(|l| !l.within).count();
+        let _ = writeln!(
+            out,
+            "{} compared, {} exceeded tolerance, {} missing",
+            self.lines.len(),
+            bad,
+            self.missing.len()
+        );
+        out
+    }
+}
+
+fn compare(report: &mut DiffReport, what: String, a: f64, b: f64, tol: f64, abs_floor: f64) {
+    let scale = a.abs().max(b.abs());
+    let delta = (b - a).abs();
+    let within = delta <= tol * scale + abs_floor;
+    let delta_pct = if scale > 0.0 { 100.0 * (b - a) / scale } else { 0.0 };
+    report.lines.push(DiffLine { what, a, b, delta_pct, within });
+}
+
+/// Compares run `b` (candidate) against run `a` (baseline).
+///
+/// Counter totals and value `count`/`mean`/`min`/`max` are compared under
+/// `tol`; spans, rates, percentiles, and `elapsed_s` are ignored (see the
+/// module docs). Metrics present in only one run are reported in
+/// [`DiffReport::missing`].
+#[must_use]
+pub fn diff(a: &Run, b: &Run, tol: &Tolerances) -> DiffReport {
+    let mut report = DiffReport::default();
+    for (name, ca) in &a.counters {
+        match b.counters.get(name) {
+            Some(cb) => compare(
+                &mut report,
+                format!("counter/{name}/total"),
+                ca.total as f64,
+                cb.total as f64,
+                tol.counter,
+                tol.abs_floor,
+            ),
+            None => report.missing.push(format!("counter {name:?} absent from candidate")),
+        }
+    }
+    for name in b.counters.keys() {
+        if !a.counters.contains_key(name) {
+            report.missing.push(format!("counter {name:?} absent from baseline"));
+        }
+    }
+    for (name, va) in &a.values {
+        match b.values.get(name) {
+            Some(vb) => {
+                compare(
+                    &mut report,
+                    format!("value/{name}/count"),
+                    va.count as f64,
+                    vb.count as f64,
+                    tol.count,
+                    tol.abs_floor,
+                );
+                for (fieldname, fa, fb) in [
+                    ("mean", va.mean, vb.mean),
+                    ("min", va.min, vb.min),
+                    ("max", va.max, vb.max),
+                ] {
+                    compare(
+                        &mut report,
+                        format!("value/{name}/{fieldname}"),
+                        fa,
+                        fb,
+                        tol.value,
+                        tol.abs_floor,
+                    );
+                }
+            }
+            None => report.missing.push(format!("value {name:?} absent from candidate")),
+        }
+    }
+    for name in b.values.keys() {
+        if !a.values.contains_key(name) {
+            report.missing.push(format!("value {name:?} absent from baseline"));
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// doctor
+// ---------------------------------------------------------------------------
+
+/// Severity of a [`Finding`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Worth a look but not necessarily fatal.
+    Warning,
+    /// Learning is almost certainly broken.
+    Critical,
+}
+
+/// One anomaly discovered by [`doctor`].
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// How bad it is.
+    pub severity: Severity,
+    /// What was observed and why it matters.
+    pub message: String,
+}
+
+/// Policy-entropy floor below which [`doctor`] reports collapse.
+pub const ENTROPY_COLLAPSE_FLOOR: f64 = 0.01;
+
+/// Scans a run for known learning pathologies:
+///
+/// - **NaN events** — non-zero `watchdog/*` counters mean the optimizer
+///   screened out poisoned gradients (critical: the loss surface produced
+///   non-finite values).
+/// - **Dead layers** — a `grad_norm/*` histogram whose `max` is exactly zero
+///   means that layer never received gradient (warning: frozen or
+///   disconnected parameters).
+/// - **Entropy collapse** — an `entropy/*` mean below
+///   [`ENTROPY_COLLAPSE_FLOOR`] nats means the high-level policy has
+///   become deterministic (warning: exploration is gone).
+#[must_use]
+pub fn doctor(run: &Run) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (name, c) in &run.counters {
+        if name.starts_with("watchdog/") && c.total > 0 {
+            findings.push(Finding {
+                severity: Severity::Critical,
+                message: format!(
+                    "{name} = {} — non-finite gradients were produced during training",
+                    c.total
+                ),
+            });
+        }
+    }
+    for (name, v) in &run.values {
+        if name.starts_with("grad_norm/") && v.count > 0 && v.max == 0.0 {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                message: format!(
+                    "{name} never left zero over {} updates — dead or disconnected layer",
+                    v.count
+                ),
+            });
+        }
+        if name.starts_with("entropy/") && v.count > 0 && v.mean < ENTROPY_COLLAPSE_FLOOR {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                message: format!(
+                    "{name} mean {:.4} nats < {ENTROPY_COLLAPSE_FLOOR} — policy entropy \
+                     collapse, exploration has stopped",
+                    v.mean
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Renders doctor findings (or a clean bill of health).
+#[must_use]
+pub fn render_findings(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return "healthy: no watchdog events, dead layers, or entropy collapse\n".into();
+    }
+    let mut out = String::new();
+    for f in findings {
+        let tag = match f.severity {
+            Severity::Warning => "WARN",
+            Severity::Critical => "CRIT",
+        };
+        let _ = writeln!(out, "{tag}  {}", f.message);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"
+{"type":"meta","run":"a","elapsed_s":1.5}
+{"type":"counter","name":"episodes","total":4,"rate_per_s":2.6}
+{"type":"counter","name":"grad_updates","total":100,"rate_per_s":66.0}
+{"type":"span","name":"rollout","count":4,"total_us":900,"mean_us":225,"min_us":200,"max_us":250,"p50_us":220,"p95_us":249,"p99_us":250}
+{"type":"value","name":"td_error","count":64,"mean":0.02,"min":-1.5,"max":1.75,"p50":0.01,"p95":1.2,"p99":1.6}
+{"type":"value","name":"entropy/agent0","count":32,"mean":1.05,"min":0.9,"max":1.1,"p50":1.0,"p95":1.1,"p99":1.1}
+"#;
+
+    #[test]
+    fn parses_all_record_kinds() {
+        let run = parse_run(BASE).unwrap();
+        assert_eq!(run.label, "a");
+        assert_eq!(run.counters["episodes"].total, 4);
+        assert_eq!(run.spans["rollout"].count, 4);
+        assert_eq!(run.values["td_error"].count, 64);
+        assert!((run.values["entropy/agent0"].mean - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_type() {
+        assert!(parse_run("{\"type\":\"bogus\",\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn summarize_mentions_every_metric() {
+        let run = parse_run(BASE).unwrap();
+        let text = summarize(&run);
+        for needle in ["episodes", "grad_updates", "td_error", "entropy/agent0", "rollout"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn identical_runs_diff_clean() {
+        let run = parse_run(BASE).unwrap();
+        let report = diff(&run, &run, &Tolerances::default());
+        assert!(!report.is_regression(), "{}", report.render(true));
+        assert!(report.lines.iter().all(|l| l.delta_pct == 0.0));
+    }
+
+    #[test]
+    fn perturbed_counter_total_is_a_regression() {
+        let a = parse_run(BASE).unwrap();
+        let mut b = a.clone();
+        b.counters.get_mut("grad_updates").unwrap().total = 150;
+        let report = diff(&a, &b, &Tolerances::default());
+        assert!(report.is_regression());
+        assert!(report
+            .lines
+            .iter()
+            .any(|l| l.what == "counter/grad_updates/total" && !l.within));
+    }
+
+    #[test]
+    fn value_drift_within_tolerance_passes_and_beyond_fails() {
+        let a = parse_run(BASE).unwrap();
+        let mut b = a.clone();
+        b.values.get_mut("entropy/agent0").unwrap().mean = 1.05 * 1.2;
+        assert!(!diff(&a, &b, &Tolerances::default()).is_regression());
+        b.values.get_mut("entropy/agent0").unwrap().mean = 1.05 * 2.0;
+        assert!(diff(&a, &b, &Tolerances::default()).is_regression());
+    }
+
+    #[test]
+    fn near_zero_means_use_the_absolute_floor() {
+        // td_error mean 0.02 vs 0.0205: 2.5% relative but tiny absolutely.
+        let a = parse_run(BASE).unwrap();
+        let mut b = a.clone();
+        b.values.get_mut("td_error").unwrap().mean = 0.0205;
+        assert!(!diff(&a, &b, &Tolerances::default()).is_regression());
+    }
+
+    #[test]
+    fn missing_metric_is_a_regression_both_ways() {
+        let a = parse_run(BASE).unwrap();
+        let mut b = a.clone();
+        b.values.remove("entropy/agent0");
+        let report = diff(&a, &b, &Tolerances::default());
+        assert!(report.is_regression());
+        assert!(report.missing[0].contains("absent from candidate"));
+        let report = diff(&b, &a, &Tolerances::default());
+        assert!(report.missing[0].contains("absent from baseline"));
+    }
+
+    #[test]
+    fn spans_and_rates_never_participate_in_diff() {
+        let a = parse_run(BASE).unwrap();
+        let mut b = a.clone();
+        b.spans.get_mut("rollout").unwrap().mean = 1e9;
+        b.counters.get_mut("episodes").unwrap().rate_per_s = 1e9;
+        b.elapsed_s = 1e9;
+        assert!(!diff(&a, &b, &Tolerances::default()).is_regression());
+    }
+
+    #[test]
+    fn doctor_flags_watchdog_dead_layer_and_collapse() {
+        let text = r#"
+{"type":"meta","run":"sick","elapsed_s":9}
+{"type":"counter","name":"watchdog/skipped_updates","total":3,"rate_per_s":0.3}
+{"type":"value","name":"grad_norm/actor/l1","count":50,"mean":0,"min":0,"max":0,"p50":0,"p95":0,"p99":0}
+{"type":"value","name":"entropy/agent0","count":50,"mean":0.001,"min":0,"max":0.002,"p50":0.001,"p95":0.002,"p99":0.002}
+"#;
+        let findings = doctor(&parse_run(text).unwrap());
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings.iter().any(|f| f.severity == Severity::Critical
+            && f.message.contains("watchdog/skipped_updates")));
+        assert!(findings.iter().any(|f| f.message.contains("dead or disconnected")));
+        assert!(findings.iter().any(|f| f.message.contains("entropy collapse")));
+        assert!(render_findings(&findings).contains("CRIT"));
+    }
+
+    #[test]
+    fn doctor_healthy_run_is_clean() {
+        let findings = doctor(&parse_run(BASE).unwrap());
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(render_findings(&findings).contains("healthy"));
+    }
+}

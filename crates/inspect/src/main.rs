@@ -1,0 +1,118 @@
+//! `hero-inspect` — terminal analyzer for telemetry dumps.
+//!
+//! ```text
+//! hero-inspect summarize RUN
+//! hero-inspect diff BASELINE CANDIDATE [--tol-value F] [--tol-count F]
+//!                  [--tol-counter F] [--abs-floor F] [--fail-on-regression]
+//!                  [--verbose]
+//! hero-inspect doctor RUN
+//! ```
+//!
+//! `RUN` is a `telemetry.jsonl` file or a directory containing one.
+//! `diff --fail-on-regression` exits 1 when any compared quantity leaves
+//! tolerance or a metric disappears; `doctor` exits 1 when a critical
+//! pathology (watchdog events) is found. Usage errors exit 2.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use hero_inspect::{diff, doctor, load_run, render_findings, summarize, Severity, Tolerances};
+
+const USAGE: &str = "usage: hero-inspect <summarize RUN | diff BASELINE CANDIDATE \
+                     [--tol-value F] [--tol-count F] [--tol-counter F] [--abs-floor F] \
+                     [--fail-on-regression] [--verbose] | doctor RUN>";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("hero-inspect: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return fail("missing subcommand");
+    };
+    match cmd.as_str() {
+        "summarize" => {
+            let [run] = rest else { return fail("summarize takes exactly one RUN") };
+            match load_run(Path::new(run)) {
+                Ok(run) => {
+                    print!("{}", summarize(&run));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "diff" => run_diff(rest),
+        "doctor" => {
+            let [run] = rest else { return fail("doctor takes exactly one RUN") };
+            match load_run(Path::new(run)) {
+                Ok(run) => {
+                    let findings = doctor(&run);
+                    print!("{}", render_findings(&findings));
+                    if findings.iter().any(|f| f.severity == Severity::Critical) {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        other => fail(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn run_diff(rest: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut tol = Tolerances::default();
+    let mut fail_on_regression = false;
+    let mut verbose = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut tol_flag = |slot: &mut f64| match it.next().map(|v| v.parse::<f64>()) {
+            Some(Ok(v)) if v >= 0.0 => {
+                *slot = v;
+                Ok(())
+            }
+            _ => Err(format!("{arg} requires a non-negative number")),
+        };
+        let parsed = match arg.as_str() {
+            "--tol-value" => tol_flag(&mut tol.value),
+            "--tol-count" => tol_flag(&mut tol.count),
+            "--tol-counter" => tol_flag(&mut tol.counter),
+            "--abs-floor" => tol_flag(&mut tol.abs_floor),
+            "--fail-on-regression" => {
+                fail_on_regression = true;
+                Ok(())
+            }
+            "--verbose" => {
+                verbose = true;
+                Ok(())
+            }
+            other if other.starts_with('-') => Err(format!("unknown flag {other:?}")),
+            other => {
+                paths.push(other.to_owned());
+                Ok(())
+            }
+        };
+        if let Err(e) = parsed {
+            return fail(&e);
+        }
+    }
+    let [baseline, candidate] = paths.as_slice() else {
+        return fail("diff takes exactly BASELINE and CANDIDATE");
+    };
+    let (a, b) = match (load_run(Path::new(baseline)), load_run(Path::new(candidate))) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    let report = diff(&a, &b, &tol);
+    print!("{}", report.render(verbose));
+    if fail_on_regression && report.is_regression() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

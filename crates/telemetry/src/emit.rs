@@ -34,6 +34,10 @@ fn num(x: f64) -> String {
 }
 
 /// Escapes a JSON string body.
+pub fn escape_json(s: &str) -> String {
+    escape(s)
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -182,7 +186,7 @@ pub fn write_all(snap: &Snapshot, dir: &Path) -> io::Result<()> {
     write("BENCH_telemetry.json", bench_summary_json(snap))
 }
 
-/// A scalar JSON value in a parsed JSONL record.
+/// A JSON value in a parsed JSONL record.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JsonValue {
     /// A string.
@@ -193,6 +197,8 @@ pub enum JsonValue {
     Bool(bool),
     /// `null`.
     Null,
+    /// A nested object (e.g. trace-event `args`).
+    Object(BTreeMap<String, JsonValue>),
 }
 
 impl JsonValue {
@@ -211,20 +217,49 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The fields, if this is a nested object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(o) => Some(o),
+            _ => None,
+        }
+    }
 }
 
-/// Parses one flat JSON object (no nesting), as emitted by [`to_jsonl`].
+/// Parses one JSON object (nested objects allowed; arrays are not, since
+/// no emitter in this crate produces them), as emitted by [`to_jsonl`] and
+/// the trace exporter.
 ///
 /// # Errors
 ///
 /// Returns a description of the first syntax error.
 pub fn parse_json_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
     let mut chars = line.trim().chars().peekable();
+    let out = parse_object_body(&mut chars)?;
+    skip_ws(&mut chars);
+    if let Some(c) = chars.next() {
+        return Err(format!("trailing character {c:?} after object"));
+    }
+    Ok(out)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_object_body(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<BTreeMap<String, JsonValue>, String> {
     let mut out = BTreeMap::new();
+    skip_ws(chars);
     if chars.next() != Some('{') {
         return Err("expected '{'".into());
     }
     loop {
+        skip_ws(chars);
         match chars.peek() {
             Some('}') => {
                 chars.next();
@@ -237,46 +272,55 @@ pub fn parse_json_object(line: &str) -> Result<BTreeMap<String, JsonValue>, Stri
             Some(c) => return Err(format!("unexpected character {c:?}")),
             None => return Err("unterminated object".into()),
         }
+        skip_ws(chars);
         if chars.peek() == Some(&'"') {
-            let key = parse_string(&mut chars)?;
+            let key = parse_string(chars)?;
+            skip_ws(chars);
             if chars.next() != Some(':') {
                 return Err(format!("expected ':' after key {key:?}"));
             }
-            let value = match chars.peek() {
-                Some('"') => JsonValue::Str(parse_string(&mut chars)?),
-                Some('t') => {
-                    expect_word(&mut chars, "true")?;
-                    JsonValue::Bool(true)
-                }
-                Some('f') => {
-                    expect_word(&mut chars, "false")?;
-                    JsonValue::Bool(false)
-                }
-                Some('n') => {
-                    expect_word(&mut chars, "null")?;
-                    JsonValue::Null
-                }
-                Some(_) => {
-                    let mut buf = String::new();
-                    while let Some(&c) = chars.peek() {
-                        if c == ',' || c == '}' {
-                            break;
-                        }
-                        buf.push(c);
-                        chars.next();
-                    }
-                    JsonValue::Num(
-                        buf.trim()
-                            .parse::<f64>()
-                            .map_err(|e| format!("bad number {buf:?}: {e}"))?,
-                    )
-                }
-                None => return Err("unterminated value".into()),
-            };
-            out.insert(key, value);
+            out.insert(key, parse_value(chars)?);
         }
     }
     Ok(out)
+}
+
+fn parse_value(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<JsonValue, String> {
+    skip_ws(chars);
+    match chars.peek() {
+        Some('"') => Ok(JsonValue::Str(parse_string(chars)?)),
+        Some('{') => Ok(JsonValue::Object(parse_object_body(chars)?)),
+        Some('t') => {
+            expect_word(chars, "true")?;
+            Ok(JsonValue::Bool(true))
+        }
+        Some('f') => {
+            expect_word(chars, "false")?;
+            Ok(JsonValue::Bool(false))
+        }
+        Some('n') => {
+            expect_word(chars, "null")?;
+            Ok(JsonValue::Null)
+        }
+        Some(_) => {
+            let mut buf = String::new();
+            while let Some(&c) = chars.peek() {
+                if c == ',' || c == '}' {
+                    break;
+                }
+                buf.push(c);
+                chars.next();
+            }
+            Ok(JsonValue::Num(
+                buf.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad number {buf:?}: {e}"))?,
+            ))
+        }
+        None => Err("unterminated value".into()),
+    }
 }
 
 fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
@@ -349,6 +393,20 @@ mod tests {
     fn rejects_malformed() {
         assert!(parse_json_object("{\"a\":}").is_err());
         assert!(parse_json_object("nope").is_err());
+        assert!(parse_json_object("{\"a\":{\"b\":1}").is_err(), "unclosed nest");
+        assert!(parse_json_object("{\"a\":1} x").is_err(), "trailing junk");
+    }
+
+    #[test]
+    fn parses_nested_objects() {
+        let rec = parse_json_object(
+            r#"{"name":"rollout","ph":"E","args":{"dur_us":12.5,"deep":{"k":1}}}"#,
+        )
+        .unwrap();
+        let args = rec["args"].as_object().unwrap();
+        assert_eq!(args["dur_us"].as_f64(), Some(12.5));
+        assert_eq!(args["deep"].as_object().unwrap()["k"].as_f64(), Some(1.0));
+        assert_eq!(rec["ph"].as_str(), Some("E"));
     }
 
     #[test]

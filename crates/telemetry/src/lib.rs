@@ -13,7 +13,10 @@
 //!   (rewards, losses) with bounded memory.
 //! * **Emitters** — [`flush`] writes `telemetry.jsonl`, `counters.csv`,
 //!   `spans.csv`, and a `BENCH_telemetry.json` summary; [`progress`] prints
-//!   a rate-limited human-readable line to stderr.
+//!   a rate-limited human-readable line to stderr. When
+//!   [`TelemetryConfig::trace_out`] is set, the span guards additionally
+//!   record Chrome trace events and [`flush`] writes a Perfetto-loadable
+//!   `trace.json` (see [`trace`]).
 //!
 //! ## Enabling
 //!
@@ -36,6 +39,7 @@
 pub mod emit;
 pub mod histogram;
 pub mod registry;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -46,6 +50,7 @@ use parking_lot::RwLock;
 
 pub use histogram::{HistogramStats, StreamingHistogram};
 pub use registry::{CounterStats, Registry, Snapshot, TelemetryConfig};
+pub use trace::{TraceEvent, TracePhase};
 
 /// Count of live sinks (global installs + scoped registries across all
 /// threads). `0` means every record path returns after one relaxed load.
@@ -177,8 +182,12 @@ impl Drop for ScopedGuard {
 }
 
 fn flush_registry(registry: &Registry) -> std::io::Result<()> {
+    let snap = registry.snapshot();
+    if let Some(path) = &registry.config().trace_out {
+        trace::write_trace(&registry.trace_events(), &snap, path)?;
+    }
     match &registry.config().out_dir {
-        Some(dir) => emit::write_all(&registry.snapshot(), dir),
+        Some(dir) => emit::write_all(&snap, dir),
         None => Ok(()),
     }
 }
@@ -193,6 +202,18 @@ pub fn span(name: &'static str) -> SpanGuard {
         return SpanGuard { active: None };
     }
     SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    let _ = with_registry(|r| {
+        if r.trace_enabled() {
+            let path = SPAN_STACK.with(|s| s.borrow().join("/"));
+            r.record_trace_event(TraceEvent {
+                phase: TracePhase::Begin,
+                name: path,
+                tid: trace::thread_id(),
+                ts_us: r.elapsed().as_secs_f64() * 1e6,
+                arg: None,
+            });
+        }
+    });
     SpanGuard {
         active: Some(Instant::now()),
     }
@@ -213,7 +234,19 @@ impl Drop for SpanGuard {
             stack.pop();
             path
         });
-        let _ = with_registry(|r| r.record_span(path, duration));
+        let _ = with_registry(|r| {
+            if r.trace_enabled() {
+                let dur_us = duration.as_secs_f64() * 1e6;
+                r.record_trace_event(TraceEvent {
+                    phase: TracePhase::End,
+                    name: path.clone(),
+                    tid: trace::thread_id(),
+                    ts_us: r.elapsed().as_secs_f64() * 1e6,
+                    arg: Some(("dur_us", dur_us)),
+                });
+            }
+            r.record_span(path, duration);
+        });
     }
 }
 
@@ -229,6 +262,14 @@ pub fn counter_add(name: &'static str, n: u64) {
 /// Records a free-form scalar observation (reward, loss, queue depth).
 #[inline]
 pub fn observe(name: &'static str, value: f64) {
+    observe_dyn(name, value);
+}
+
+/// [`observe`] for dynamically built metric names (e.g. per-layer
+/// gradient norms like `grad_norm/actor/l0.weight`). The name is only
+/// allocated into the registry the first time it is seen.
+#[inline]
+pub fn observe_dyn(name: &str, value: f64) {
     if disabled() {
         return;
     }

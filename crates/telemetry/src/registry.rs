@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 
 use crate::histogram::{HistogramStats, StreamingHistogram};
+use crate::trace::TraceEvent;
 
 /// Configuration for a telemetry sink.
 #[derive(Clone, Debug)]
@@ -19,6 +20,10 @@ pub struct TelemetryConfig {
     /// `spans.csv`, and `BENCH_telemetry.json`. `None` keeps everything
     /// in memory.
     pub out_dir: Option<std::path::PathBuf>,
+    /// File where `flush` writes a Chrome trace-event document
+    /// (`trace.json`). `None` (the default) disables trace recording
+    /// entirely — span guards then skip event capture.
+    pub trace_out: Option<std::path::PathBuf>,
     /// Minimum interval between human-readable progress lines on stderr.
     pub progress_every: Duration,
 }
@@ -28,6 +33,7 @@ impl Default for TelemetryConfig {
         Self {
             run_label: "run".to_string(),
             out_dir: None,
+            trace_out: None,
             progress_every: Duration::from_secs(5),
         }
     }
@@ -42,6 +48,13 @@ impl TelemetryConfig {
             ..Self::default()
         }
     }
+
+    /// Returns the config with Chrome trace capture writing to `path`.
+    #[must_use]
+    pub fn with_trace(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.trace_out = Some(path.into());
+        self
+    }
 }
 
 /// A live metric registry. Usually accessed through the module-level
@@ -51,7 +64,8 @@ pub struct Registry {
     start: Instant,
     counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
     spans: Mutex<BTreeMap<String, StreamingHistogram>>,
-    values: Mutex<BTreeMap<&'static str, StreamingHistogram>>,
+    values: Mutex<BTreeMap<String, StreamingHistogram>>,
+    trace: Mutex<Vec<TraceEvent>>,
     last_progress: Mutex<Option<Instant>>,
 }
 
@@ -64,6 +78,7 @@ impl Registry {
             counters: RwLock::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
             values: Mutex::new(BTreeMap::new()),
+            trace: Mutex::new(Vec::new()),
             last_progress: Mutex::new(None),
         }
     }
@@ -95,9 +110,33 @@ impl Registry {
             .observe(duration.as_secs_f64() * 1e6);
     }
 
-    /// Records a free-form scalar observation.
-    pub fn observe(&self, name: &'static str, value: f64) {
-        self.values.lock().entry(name).or_default().observe(value);
+    /// Records a free-form scalar observation. The name may be dynamic
+    /// (e.g. a per-layer metric like `grad_norm/actor/l0.weight`); the
+    /// allocation only happens the first time a name is seen.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut values = self.values.lock();
+        if let Some(h) = values.get_mut(name) {
+            h.observe(value);
+        } else {
+            values.entry(name.to_string()).or_default().observe(value);
+        }
+    }
+
+    /// Whether Chrome trace capture is on for this registry.
+    pub fn trace_enabled(&self) -> bool {
+        self.cfg.trace_out.is_some()
+    }
+
+    /// Appends one trace event (no-op unless [`Self::trace_enabled`]).
+    pub fn record_trace_event(&self, event: TraceEvent) {
+        if self.trace_enabled() {
+            self.trace.lock().push(event);
+        }
+    }
+
+    /// A copy of the trace events recorded so far.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.lock().clone()
     }
 
     /// Wall-clock time since the registry was created.
@@ -205,7 +244,10 @@ impl Snapshot {
             .collect()
     }
 
-    /// The human-readable progress line.
+    /// The human-readable progress line. Watchdog counters are pulled out
+    /// of the generic counter list into a dedicated learning-health tail,
+    /// together with current opponent-model accuracy, so long headless
+    /// runs surface training health without post-processing.
     pub fn progress_line(&self, context: &str) -> String {
         use std::fmt::Write;
         let mut line = format!(
@@ -215,7 +257,22 @@ impl Snapshot {
             self.elapsed.as_secs_f64()
         );
         for (name, c) in &self.counters {
+            if name.starts_with("watchdog/") {
+                continue;
+            }
             let _ = write!(line, " | {name} {} ({:.1}/s)", c.total, c.rate_per_s);
+        }
+        let skipped = self
+            .counters
+            .get("watchdog/skipped_updates")
+            .map_or(0, |c| c.total);
+        if skipped > 0 {
+            let _ = write!(line, " | watchdog skipped {skipped}");
+        }
+        if let Some(acc) = self.values.get("opponent/accuracy") {
+            if acc.count > 0 {
+                let _ = write!(line, " | opp_acc {:.3}", acc.mean);
+            }
         }
         line
     }
@@ -265,5 +322,56 @@ mod tests {
         let line = r.snapshot().progress_line("ep 3");
         assert!(line.contains("env_steps 7"), "{line}");
         assert!(line.contains("ep 3"), "{line}");
+    }
+
+    #[test]
+    fn progress_line_surfaces_learning_health() {
+        let r = Registry::new(TelemetryConfig::default());
+        r.counter_add("watchdog/skipped_updates", 2);
+        r.counter_add("watchdog/nonfinite_grads", 9);
+        r.observe("opponent/accuracy", 0.25);
+        r.observe("opponent/accuracy", 0.75);
+        let line = r.snapshot().progress_line("ep 1");
+        assert!(line.contains("watchdog skipped 2"), "{line}");
+        assert!(line.contains("opp_acc 0.500"), "{line}");
+        assert!(
+            !line.contains("watchdog/nonfinite_grads"),
+            "watchdog counters stay out of the generic list: {line}"
+        );
+    }
+
+    #[test]
+    fn dynamic_value_names_accumulate() {
+        let r = Registry::new(TelemetryConfig::default());
+        for layer in 0..3 {
+            let name = format!("grad_norm/actor/l{layer}");
+            r.observe(&name, layer as f64);
+            r.observe(&name, layer as f64 + 1.0);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.values.len(), 3);
+        assert_eq!(snap.values["grad_norm/actor/l1"].count, 2);
+        assert!((snap.values["grad_norm/actor/l1"].mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_capture_gated_on_config() {
+        use crate::trace::{TraceEvent, TracePhase};
+        let ev = || TraceEvent {
+            phase: TracePhase::Begin,
+            name: "x".into(),
+            tid: 1,
+            ts_us: 0.0,
+            arg: None,
+        };
+        let off = Registry::new(TelemetryConfig::default());
+        assert!(!off.trace_enabled());
+        off.record_trace_event(ev());
+        assert!(off.trace_events().is_empty());
+
+        let on = Registry::new(TelemetryConfig::default().with_trace("/tmp/trace.json"));
+        assert!(on.trace_enabled());
+        on.record_trace_event(ev());
+        assert_eq!(on.trace_events().len(), 1);
     }
 }

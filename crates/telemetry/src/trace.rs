@@ -1,0 +1,331 @@
+//! Chrome trace-event export (`trace.json`).
+//!
+//! The span timers in [`crate`] optionally record begin/end event pairs
+//! into the active [`Registry`](crate::Registry) when its
+//! [`TelemetryConfig::trace_out`](crate::TelemetryConfig) is set. On
+//! flush the events are serialized in the Chrome trace-event JSON format
+//! (the JSON-array flavour wrapped in `{"traceEvents": [...]}`), loadable
+//! in `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+//!
+//! ## Schema
+//!
+//! One event object per line inside the `traceEvents` array:
+//!
+//! ```text
+//! {"name":"<span path>","cat":"span","ph":"B","ts":<µs>,"pid":1,"tid":<n>}
+//! {"name":"<span path>","cat":"span","ph":"E","ts":<µs>,"pid":1,"tid":<n>,
+//!  "args":{"dur_us":<µs>}}
+//! {"name":"<counter>","cat":"counter","ph":"C","ts":<µs>,"pid":1,"tid":0,
+//!  "args":{"value":<total>}}
+//! ```
+//!
+//! * `ts` is microseconds since the registry was installed.
+//! * `tid` is a process-unique small integer assigned per OS thread in
+//!   first-use order; `tid` 0 is reserved for process-level counter
+//!   events appended at flush time.
+//! * `B`/`E` pairs are recorded in program order, so within any one `tid`
+//!   they are strictly balanced and properly nested (RAII span guards).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::emit::{parse_jsonl, JsonValue};
+use crate::registry::Snapshot;
+
+/// Phase of one trace event (`ph` in the Chrome format).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TracePhase {
+    /// A span began (`"B"`).
+    Begin,
+    /// A span ended (`"E"`).
+    End,
+    /// A counter sample (`"C"`).
+    Counter,
+}
+
+impl TracePhase {
+    fn code(self) -> &'static str {
+        match self {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+            TracePhase::Counter => "C",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Event phase.
+    pub phase: TracePhase,
+    /// Span path (or counter name for [`TracePhase::Counter`]).
+    pub name: String,
+    /// Process-unique thread id (see [`thread_id`]).
+    pub tid: u64,
+    /// Microseconds since the owning registry was created.
+    pub ts_us: f64,
+    /// Optional single argument rendered under `"args"`.
+    pub arg: Option<(&'static str, f64)>,
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small process-unique id for the calling OS thread, assigned in
+/// first-use order starting at 1 (0 is reserved for process-level
+/// counter events).
+pub fn thread_id() -> u64 {
+    TID.with(|t| *t)
+}
+
+fn num(x: f64) -> String {
+    let x = if x.is_finite() { x } else { 0.0 };
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn event_line(out: &mut String, e: &TraceEvent, trailing_comma: bool) {
+    let cat = match e.phase {
+        TracePhase::Counter => "counter",
+        _ => "span",
+    };
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+        crate::emit::escape_json(&e.name),
+        cat,
+        e.phase.code(),
+        num(e.ts_us),
+        e.tid
+    );
+    if let Some((key, value)) = e.arg {
+        let _ = write!(out, ",\"args\":{{\"{}\":{}}}", key, num(value));
+    }
+    out.push('}');
+    if trailing_comma {
+        out.push(',');
+    }
+    out.push('\n');
+}
+
+/// Renders span events plus one final counter sample per counter in
+/// `snap` as a Chrome trace-event JSON document (one event per line).
+pub fn to_chrome_trace(events: &[TraceEvent], snap: &Snapshot) -> String {
+    let elapsed_us = snap.elapsed.as_secs_f64() * 1e6;
+    let counters: Vec<TraceEvent> = snap
+        .counters
+        .iter()
+        .map(|(name, c)| TraceEvent {
+            phase: TracePhase::Counter,
+            name: name.clone(),
+            tid: 0,
+            ts_us: elapsed_us,
+            arg: Some(("value", c.total as f64)),
+        })
+        .collect();
+    let total = events.len() + counters.len();
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().chain(counters.iter()).enumerate() {
+        event_line(&mut out, e, i + 1 < total);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Writes the trace document to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_trace(events: &[TraceEvent], snap: &Snapshot, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_chrome_trace(events, snap).as_bytes())?;
+    f.flush()
+}
+
+/// Parses a trace document produced by [`to_chrome_trace`] back into
+/// per-line JSON records.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<BTreeMap<String, JsonValue>>, String> {
+    let trimmed = text.trim();
+    let body = trimmed
+        .strip_prefix("{\"traceEvents\":[")
+        .and_then(|rest| rest.strip_suffix("]}"))
+        .ok_or_else(|| "missing {\"traceEvents\":[...]} envelope".to_string())?;
+    let lines: String = body
+        .lines()
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .filter(|l| !l.is_empty())
+        .collect::<Vec<_>>()
+        .join("\n");
+    parse_jsonl(&lines).map_err(|(line, e)| format!("event {line}: {e}"))
+}
+
+/// Validates a trace document: every line parses, and within every
+/// thread the `B`/`E` events form strictly balanced, properly nested,
+/// time-ordered pairs. Returns the number of complete span pairs.
+///
+/// # Errors
+///
+/// Returns a description of the first structural violation.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let events = parse_chrome_trace(text)?;
+    let mut stacks: BTreeMap<u64, Vec<(String, f64)>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut pairs = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let tid = e
+            .get("tid")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as u64;
+        let ts = e
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let name = e
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?
+            .to_string();
+        if ph == "C" {
+            continue;
+        }
+        let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+        if ts < *prev {
+            return Err(format!("event {i}: ts {ts} goes backwards on tid {tid}"));
+        }
+        *prev = ts;
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => stack.push((name, ts)),
+            "E" => {
+                let (open, begin_ts) = stack
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: E without open B on tid {tid}"))?;
+                if open != name {
+                    return Err(format!(
+                        "event {i}: E for {name:?} but innermost open span is {open:?}"
+                    ));
+                }
+                if ts < begin_ts {
+                    return Err(format!("event {i}: span {name:?} ends before it begins"));
+                }
+                pairs += 1;
+            }
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid} has {} unclosed span(s): {:?}",
+                stack.len(),
+                stack.iter().map(|(n, _)| n).collect::<Vec<_>>()
+            ));
+        }
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Registry, TelemetryConfig};
+
+    fn span_event(phase: TracePhase, name: &str, tid: u64, ts_us: f64) -> TraceEvent {
+        TraceEvent {
+            phase,
+            name: name.to_string(),
+            tid,
+            ts_us,
+            arg: match phase {
+                TracePhase::End => Some(("dur_us", 1.0)),
+                _ => None,
+            },
+        }
+    }
+
+    fn empty_snapshot() -> Snapshot {
+        Registry::new(TelemetryConfig::default()).snapshot()
+    }
+
+    #[test]
+    fn balanced_trace_round_trips() {
+        let events = vec![
+            span_event(TracePhase::Begin, "rollout", 1, 0.0),
+            span_event(TracePhase::Begin, "rollout/env_step", 1, 1.0),
+            span_event(TracePhase::End, "rollout/env_step", 1, 2.0),
+            span_event(TracePhase::End, "rollout", 1, 3.0),
+        ];
+        let text = to_chrome_trace(&events, &empty_snapshot());
+        assert_eq!(validate_chrome_trace(&text), Ok(2));
+    }
+
+    #[test]
+    fn unbalanced_trace_rejected() {
+        let events = vec![span_event(TracePhase::Begin, "rollout", 1, 0.0)];
+        let text = to_chrome_trace(&events, &empty_snapshot());
+        assert!(validate_chrome_trace(&text)
+            .unwrap_err()
+            .contains("unclosed"));
+    }
+
+    #[test]
+    fn misnested_trace_rejected() {
+        let events = vec![
+            span_event(TracePhase::Begin, "a", 1, 0.0),
+            span_event(TracePhase::Begin, "a/b", 1, 1.0),
+            span_event(TracePhase::End, "a", 1, 2.0),
+            span_event(TracePhase::End, "a/b", 1, 3.0),
+        ];
+        let text = to_chrome_trace(&events, &empty_snapshot());
+        assert!(validate_chrome_trace(&text)
+            .unwrap_err()
+            .contains("innermost open span"));
+    }
+
+    #[test]
+    fn counter_events_from_snapshot() {
+        let r = Registry::new(TelemetryConfig::default());
+        r.counter_add("env_steps", 42);
+        let text = to_chrome_trace(&[], &r.snapshot());
+        let records = parse_chrome_trace(&text).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0]["ph"].as_str(), Some("C"));
+        assert_eq!(records[0]["name"].as_str(), Some("env_steps"));
+        match &records[0]["args"] {
+            JsonValue::Object(args) => assert_eq!(args["value"].as_f64(), Some(42.0)),
+            other => panic!("args not an object: {other:?}"),
+        }
+        assert_eq!(validate_chrome_trace(&text), Ok(0));
+    }
+
+    #[test]
+    fn thread_ids_are_distinct() {
+        let mine = thread_id();
+        let other = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(mine, other);
+        assert_eq!(mine, thread_id(), "stable within a thread");
+    }
+}

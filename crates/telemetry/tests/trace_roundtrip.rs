@@ -1,0 +1,82 @@
+//! End-to-end round-trip: span guards → trace capture → `trace.json` on
+//! disk → parse back as valid JSON with strictly balanced, properly
+//! nested, time-ordered begin–end pairs per thread.
+
+use hero_telemetry::trace::{parse_chrome_trace, validate_chrome_trace};
+use hero_telemetry::{counter_add, install, span, TelemetryConfig};
+
+/// One test (not several) so the process-global `install()` cannot race
+/// with another global install in this binary.
+#[test]
+fn trace_json_round_trips_balanced_per_thread() {
+    let dir = std::env::temp_dir().join(format!("hero-trace-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let trace_path = dir.join("trace.json");
+
+    {
+        let _g = install(
+            TelemetryConfig {
+                run_label: "trace-test".into(),
+                ..TelemetryConfig::default()
+            }
+            .with_trace(&trace_path),
+        );
+        counter_add("env_steps", 11);
+        {
+            let _rollout = span("rollout");
+            for _ in 0..3 {
+                let _step = span("env_step");
+            }
+        }
+        // Concurrent spans from worker threads must land on their own tids
+        // and stay balanced there.
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..4 {
+                        let _outer = span("skill_rollout");
+                        let _inner = span("env_step");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+    } // guard drop flushes trace.json
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace.json written");
+    let pairs = validate_chrome_trace(&text).expect("trace must be balanced + ordered");
+    assert_eq!(pairs, 1 + 3 + 2 * 4 * 2, "every span guard produced a pair");
+
+    let records = parse_chrome_trace(&text).expect("valid JSON per event");
+    let span_tids: std::collections::BTreeSet<u64> = records
+        .iter()
+        .filter(|r| r["ph"].as_str() != Some("C"))
+        .map(|r| r["tid"].as_f64().unwrap() as u64)
+        .collect();
+    assert!(
+        span_tids.len() >= 3,
+        "main + 2 workers should have distinct tids, got {span_tids:?}"
+    );
+    assert!(
+        records.iter().any(|r| r["name"].as_str() == Some("rollout/env_step")),
+        "nested spans keep their slash-joined paths"
+    );
+    assert!(
+        records.iter().any(|r| r["ph"].as_str() == Some("C")
+            && r["name"].as_str() == Some("env_steps")
+            && r["args"].as_object().and_then(|a| a["value"].as_f64()) == Some(11.0)),
+        "counter totals appear as C events"
+    );
+    // End events carry their duration as a counter arg.
+    assert!(records
+        .iter()
+        .filter(|r| r["ph"].as_str() == Some("E"))
+        .all(|r| r["args"]
+            .as_object()
+            .and_then(|a| a["dur_us"].as_f64())
+            .is_some_and(|d| d >= 0.0)));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

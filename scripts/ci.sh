@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the telemetry smoke test. Run from anywhere.
+# Tier-1 gate, telemetry smoke test, and the learning-dynamics golden
+# diff. Run from anywhere.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,5 +16,20 @@ cargo test --workspace -q
 
 echo "=== telemetry smoke"
 scripts/smoke_telemetry.sh
+
+echo "=== learning-dynamics golden diff"
+# Rerun the seeded diagnostics experiment into a FRESH output directory
+# (so the skill library retrains instead of loading a checkpoint, which
+# would change the telemetry) and gate against the committed baseline.
+# Only seed-deterministic statistics are compared; see DESIGN.md.
+cargo build --release -q -p hero-bench --bin fig10_opponent_loss -p hero-inspect
+DIAG=$(mktemp -d /tmp/hero-diag.XXXXXX)
+./target/release/fig10_opponent_loss \
+    --episodes 6 --eval-episodes 1 --skill-episodes 2 --batch-size 8 \
+    --update-every 1 --seed 7 --out "$DIAG/exp" \
+    --telemetry-out "$DIAG/tel" >/dev/null
+./target/release/hero-inspect diff \
+    tests/golden/diag_baseline.jsonl "$DIAG/tel" --fail-on-regression
+./target/release/hero-inspect doctor "$DIAG/tel"
 
 echo "=== CI passed"

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Smoke test: every experiment binary must run at a tiny budget with
-# --telemetry-out and emit non-empty telemetry artifacts.
+# --telemetry-out/--trace-out and emit non-empty telemetry artifacts,
+# including a Chrome trace and (for the skill-bootstrapping first run)
+# per-layer gradient diagnostics.
 #
 # Usage: scripts/smoke_telemetry.sh [workdir]
 # Exits non-zero on the first binary that fails or emits no telemetry.
@@ -24,18 +26,34 @@ BINS=(
 
 cargo build --release -p hero-bench --bins
 
+first=1
 for bin in "${BINS[@]}"; do
     tel="$WORK/telemetry/$bin"
     echo "== smoke: $bin"
     cargo run --release -q -p hero-bench --bin "$bin" -- \
-        --episodes 2 --eval-episodes 1 --skill-episodes 2 \
-        --seed 7 --out "$OUT" --telemetry-out "$tel" >/dev/null
-    for artifact in telemetry.jsonl counters.csv spans.csv BENCH_telemetry.json; do
+        --episodes 2 --eval-episodes 1 --skill-episodes 2 --batch-size 8 \
+        --seed 7 --out "$OUT" --telemetry-out "$tel" \
+        --trace-out "$tel/trace.json" >/dev/null
+    for artifact in telemetry.jsonl counters.csv spans.csv BENCH_telemetry.json trace.json; do
         if [ ! -s "$tel/$artifact" ]; then
             echo "FAIL: $bin produced empty or missing $tel/$artifact" >&2
             exit 1
         fi
     done
+    # Any run that timed spans must have matching begin events in the
+    # trace (table1_hyperparams runs no spans — just prints a table).
+    if grep -q '"type":"span"' "$tel/telemetry.jsonl" \
+        && ! grep -q '"ph":"B"' "$tel/trace.json"; then
+        echo "FAIL: $bin trace.json has no begin events" >&2
+        exit 1
+    fi
+    # The first binary trains the shared skill checkpoint, so its run must
+    # contain per-layer gradient diagnostics from the SAC optimizers.
+    if [ "$first" = 1 ] && ! grep -q '"name":"grad_norm/' "$tel/telemetry.jsonl"; then
+        echo "FAIL: $bin emitted no per-layer gradient diagnostics" >&2
+        exit 1
+    fi
+    first=0
     lines=$(wc -l <"$tel/telemetry.jsonl")
     echo "   ok: $lines telemetry records"
 done
