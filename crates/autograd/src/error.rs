@@ -46,6 +46,20 @@ pub enum CheckpointError {
     },
     /// The file ended before all declared data was read.
     Truncated,
+    /// The file declares a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The CRC32 footer does not match the file contents.
+    CorruptedCrc {
+        /// CRC computed over the bytes actually read.
+        computed: u32,
+        /// CRC stored in the footer.
+        stored: u32,
+    },
+    /// A section the reader requires is absent from the file.
+    MissingSection(String),
+    /// A structural invariant of the format is violated (bad lengths,
+    /// impossible counts, non-UTF-8 names, ...).
+    Malformed(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -57,6 +71,17 @@ impl fmt::Display for CheckpointError {
                 write!(f, "checkpoint mismatch: expected {expected}, found {found}")
             }
             CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "checkpoint format version {v} is not supported")
+            }
+            CheckpointError::CorruptedCrc { computed, stored } => write!(
+                f,
+                "checkpoint crc mismatch: computed {computed:#010x}, stored {stored:#010x}"
+            ),
+            CheckpointError::MissingSection(name) => {
+                write!(f, "checkpoint is missing required section `{name}`")
+            }
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
         }
     }
 }

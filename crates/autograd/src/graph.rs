@@ -124,7 +124,11 @@ impl Parameter {
         Arc::ptr_eq(&self.0, &other.0)
     }
 
-    fn accumulate_grad(&self, g: &Tensor) {
+    /// Adds `g` element-wise into the accumulated gradient (what
+    /// [`Graph::backward`] does internally). Public so external harnesses
+    /// can accumulate manual gradients — e.g. the fault-injection harness
+    /// poisons a gradient with NaN to exercise the optimizer watchdog.
+    pub fn accumulate_grad(&self, g: &Tensor) {
         self.0.write().grad.add_assign(g);
     }
 }

@@ -51,4 +51,5 @@ pub mod serialize;
 
 pub use error::{CheckpointError, TensorError};
 pub use graph::{copy_params, zero_grads, Graph, NodeId, Parameter};
+pub use optim::OptimizerState;
 pub use tensor::{matmul, Tensor};

@@ -6,7 +6,66 @@
 //! (which consumes and zeroes the accumulated gradients).
 
 use crate::diagnostics::{self, StepDiagnostics, StepScreen};
+use crate::error::CheckpointError;
 use crate::graph::Parameter;
+
+/// A snapshot of an optimizer's mutable state, sufficient to resume
+/// training bit-identically: kind tag, step counter `t` (Adam bias
+/// correction), learning rate, and per-slot per-parameter buffers
+/// (SGD: `[velocity]`; Adam: `[m, v]`).
+///
+/// Serialized via [`crate::serialize::encode_optimizer`] /
+/// [`crate::serialize::decode_optimizer`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimizerState {
+    /// `"sgd"` or `"adam"`.
+    pub kind: String,
+    /// Number of applied (non-skipped) steps.
+    pub t: u64,
+    /// Learning rate at capture time.
+    pub lr: f32,
+    /// State buffers: `slots[slot][param][element]`.
+    pub slots: Vec<Vec<Vec<f32>>>,
+}
+
+impl OptimizerState {
+    fn check_slots(
+        &self,
+        kind: &str,
+        expected_slots: usize,
+        params: &[Parameter],
+    ) -> Result<(), CheckpointError> {
+        if self.kind != kind {
+            return Err(CheckpointError::ParameterMismatch {
+                expected: format!("{kind} optimizer state"),
+                found: format!("{} optimizer state", self.kind),
+            });
+        }
+        if self.slots.len() != expected_slots {
+            return Err(CheckpointError::ParameterMismatch {
+                expected: format!("{expected_slots} state slots"),
+                found: format!("{} state slots", self.slots.len()),
+            });
+        }
+        for slot in &self.slots {
+            if slot.len() != params.len() {
+                return Err(CheckpointError::ParameterMismatch {
+                    expected: format!("{} parameter buffers", params.len()),
+                    found: format!("{} parameter buffers", slot.len()),
+                });
+            }
+            for (buf, p) in slot.iter().zip(params) {
+                if buf.len() != p.len() {
+                    return Err(CheckpointError::ParameterMismatch {
+                        expected: format!("{} with {} elements", p.name(), p.len()),
+                        found: format!("buffer with {} elements", buf.len()),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Common interface of [`Sgd`] and [`Adam`].
 pub trait Optimizer {
@@ -63,6 +122,25 @@ impl Sgd {
             velocity,
             diag: None,
         }
+    }
+
+    /// Captures the mutable state (velocity buffers) for checkpointing.
+    pub fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            kind: "sgd".to_string(),
+            t: 0,
+            lr: self.lr,
+            slots: vec![self.velocity.clone()],
+        }
+    }
+
+    /// Restores state captured by [`Sgd::export_state`]. The buffer shapes
+    /// must match this optimizer's parameters.
+    pub fn import_state(&mut self, state: OptimizerState) -> Result<(), CheckpointError> {
+        state.check_slots("sgd", 1, &self.params)?;
+        self.lr = state.lr;
+        self.velocity = state.slots.into_iter().next().unwrap();
+        Ok(())
     }
 }
 
@@ -147,6 +225,29 @@ impl Adam {
             v,
             diag: None,
         }
+    }
+
+    /// Captures the mutable state (step counter and both moment buffers)
+    /// for checkpointing.
+    pub fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            kind: "adam".to_string(),
+            t: self.t,
+            lr: self.lr,
+            slots: vec![self.m.clone(), self.v.clone()],
+        }
+    }
+
+    /// Restores state captured by [`Adam::export_state`]. The buffer shapes
+    /// must match this optimizer's parameters.
+    pub fn import_state(&mut self, state: OptimizerState) -> Result<(), CheckpointError> {
+        state.check_slots("adam", 2, &self.params)?;
+        self.lr = state.lr;
+        self.t = state.t;
+        let mut slots = state.slots.into_iter();
+        self.m = slots.next().unwrap();
+        self.v = slots.next().unwrap();
+        Ok(())
     }
 }
 

@@ -25,7 +25,6 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// grad_health norms match a naive f64 reference over random tensors.
-    #[test]
     fn grad_norms_match_naive_reference(
         weights in prop::collection::vec(-10.0f32..10.0, 1..24),
         grads in prop::collection::vec(-10.0f32..10.0, 1..24),
@@ -45,7 +44,6 @@ proptest! {
     }
 
     /// Non-finite entries are counted exactly and excluded from the norms.
-    #[test]
     fn nonfinite_counted_and_excluded(
         grads in prop::collection::vec(-5.0f32..5.0, 1..24),
         stride in 1usize..5,
@@ -69,7 +67,6 @@ proptest! {
     /// For plain SGD the update is exactly `lr·g`, so the recorded
     /// update-to-weight ratio must equal `lr·‖g‖ / ‖w_pre‖` — and is
     /// always finite and non-negative.
-    #[test]
     fn sgd_update_ratio_matches_lr_times_grad_norm(
         weights in prop::collection::vec(0.5f32..8.0, 2..12),
         grads in prop::collection::vec(-4.0f32..4.0, 2..12),

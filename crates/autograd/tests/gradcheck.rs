@@ -59,43 +59,36 @@ fn smooth_values(n: usize) -> impl Strategy<Value = Vec<f32>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    #[test]
     fn grad_tanh(vals in smooth_values(6)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
         check_gradient(&p, |g, x| { let y = g.tanh(x); g.sum(y) });
     }
 
-    #[test]
     fn grad_sigmoid(vals in smooth_values(6)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
         check_gradient(&p, |g, x| { let y = g.sigmoid(x); g.sum(y) });
     }
 
-    #[test]
     fn grad_relu(vals in smooth_values(6)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
         check_gradient(&p, |g, x| { let y = g.relu(x); g.sum(y) });
     }
 
-    #[test]
     fn grad_exp(vals in smooth_values(4)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
         check_gradient(&p, |g, x| { let y = g.exp(x); g.sum(y) });
     }
 
-    #[test]
     fn grad_ln_of_positive(vals in prop::collection::vec(0.3f32..3.0, 4)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
         check_gradient(&p, |g, x| { let y = g.ln(x); g.sum(y) });
     }
 
-    #[test]
     fn grad_softplus(vals in smooth_values(6)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
         check_gradient(&p, |g, x| { let y = g.softplus(x); g.sum(y) });
     }
 
-    #[test]
     fn grad_softmax_weighted(vals in smooth_values(8)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 4], vals));
         // Weight the softmax so the gradient is not identically zero.
@@ -110,7 +103,6 @@ proptest! {
         });
     }
 
-    #[test]
     fn grad_log_softmax(vals in smooth_values(8)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 4], vals));
         check_gradient(&p, |g, x| {
@@ -124,7 +116,6 @@ proptest! {
         });
     }
 
-    #[test]
     fn grad_matmul(vals in smooth_values(6)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
         check_gradient(&p, |g, x| {
@@ -138,7 +129,6 @@ proptest! {
         });
     }
 
-    #[test]
     fn grad_mul_and_add_chain(vals in smooth_values(4)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
         check_gradient(&p, |g, x| {
@@ -152,7 +142,6 @@ proptest! {
         });
     }
 
-    #[test]
     fn grad_sub_neg(vals in smooth_values(4)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
         check_gradient(&p, |g, x| {
@@ -164,7 +153,6 @@ proptest! {
         });
     }
 
-    #[test]
     fn grad_add_bias(vals in smooth_values(3)) {
         let p = Parameter::new("bias", Tensor::from_vec(vec![3], vals));
         check_gradient(&p, |g, b| {
@@ -179,7 +167,6 @@ proptest! {
         });
     }
 
-    #[test]
     fn grad_sum_rows_row_scale(vals in smooth_values(6)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
         check_gradient(&p, |g, x| {
@@ -191,7 +178,6 @@ proptest! {
         });
     }
 
-    #[test]
     fn grad_concat_slice(vals in smooth_values(4)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
         check_gradient(&p, |g, x| {
@@ -203,7 +189,6 @@ proptest! {
         });
     }
 
-    #[test]
     fn grad_minimum(vals in smooth_values(4)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
         check_gradient(&p, |g, x| {
@@ -215,7 +200,6 @@ proptest! {
         });
     }
 
-    #[test]
     fn grad_transpose(vals in smooth_values(6)) {
         let p = Parameter::new("p", Tensor::from_vec(vec![2, 3], vals));
         check_gradient(&p, |g, x| {
@@ -229,7 +213,6 @@ proptest! {
         });
     }
 
-    #[test]
     fn grad_conv2d(vals in smooth_values(9)) {
         let p = Parameter::new("img", Tensor::from_vec(vec![1, 1, 3, 3], vals));
         check_gradient(&p, |g, x| {
@@ -245,7 +228,6 @@ proptest! {
         });
     }
 
-    #[test]
     fn grad_conv2d_weights(vals in smooth_values(8)) {
         let p = Parameter::new("w", Tensor::from_vec(vec![2, 1, 2, 2], vals));
         check_gradient(&p, |g, w| {

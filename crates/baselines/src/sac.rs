@@ -9,10 +9,11 @@
 use hero_autograd::diagnostics::StepDiagnostics;
 use hero_autograd::nn::{Activation, ConvEncoder, Linear, Mlp, Module};
 use hero_autograd::optim::{Adam, Optimizer};
-use hero_autograd::{loss, zero_grads, Graph, NodeId, Parameter, Tensor};
+use hero_autograd::{loss, serialize, zero_grads, CheckpointError, Graph, NodeId, Parameter, Tensor};
 use rand::rngs::StdRng;
 
 use hero_rl::buffer::ReplayBuffer;
+use hero_rl::snapshot;
 use hero_rl::rng::fill_standard_normal;
 use hero_rl::target::{hard_update, soft_update};
 use hero_rl::transition::ContinuousTransition;
@@ -556,6 +557,88 @@ impl SacAgent {
         p.extend(self.q2.parameters());
         p
     }
+
+    /// Target-network parameters (q1 target followed by q2 target).
+    fn target_parameters(&self) -> Vec<Parameter> {
+        let mut p = self.q1_target.parameters();
+        p.extend(self.q2_target.parameters());
+        p
+    }
+
+    /// Captures the complete agent state — networks, target networks, both
+    /// Adam optimizers, the replay buffer, and the entropy temperature — as
+    /// named checkpoint sections. Restoring via [`SacAgent::load_state`]
+    /// makes continued training bit-identical to never having stopped.
+    pub fn save_state(&self) -> Vec<(String, Vec<u8>)> {
+        let mut scalars = Vec::with_capacity(8);
+        scalars.extend_from_slice(&self.log_alpha.to_le_bytes());
+        scalars.extend_from_slice(&self.target_entropy.to_le_bytes());
+        vec![
+            ("params".to_string(), serialize::encode_params(&self.parameters())),
+            (
+                "q_targets".to_string(),
+                serialize::encode_params(&self.target_parameters()),
+            ),
+            (
+                "actor_opt".to_string(),
+                serialize::encode_optimizer(&self.actor_opt.export_state()),
+            ),
+            (
+                "critic_opt".to_string(),
+                serialize::encode_optimizer(&self.critic_opt.export_state()),
+            ),
+            ("buffer".to_string(), snapshot::encode_replay(&self.buffer)),
+            ("scalars".to_string(), scalars),
+        ]
+    }
+
+    /// Restores state captured by [`SacAgent::save_state`] into an agent
+    /// built with the same dimensions and config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when a section is missing, malformed, or
+    /// shaped for a different architecture. The agent is left unchanged on
+    /// a decode error in any section that is validated before application.
+    pub fn load_state(&mut self, sections: &[(String, Vec<u8>)]) -> Result<(), CheckpointError> {
+        let malformed = |what: String| CheckpointError::Malformed(what);
+        // Decode everything fallible first, then apply.
+        let actor_state =
+            serialize::decode_optimizer(serialize::require_section(sections, "actor_opt")?)?;
+        let critic_state =
+            serialize::decode_optimizer(serialize::require_section(sections, "critic_opt")?)?;
+        let buffer = snapshot::decode_replay::<ContinuousTransition>(serialize::require_section(
+            sections, "buffer",
+        )?)
+        .map_err(|e| malformed(format!("sac buffer: {e}")))?;
+        let scalars = serialize::require_section(sections, "scalars")?;
+        if scalars.len() != 8 {
+            return Err(malformed(format!(
+                "sac scalars section has {} bytes, expected 8",
+                scalars.len()
+            )));
+        }
+        let log_alpha = f32::from_le_bytes(scalars[0..4].try_into().unwrap());
+        let target_entropy = f32::from_le_bytes(scalars[4..8].try_into().unwrap());
+        if !log_alpha.is_finite() || !target_entropy.is_finite() {
+            return Err(malformed("sac scalars are not finite".to_string()));
+        }
+
+        serialize::decode_params(
+            serialize::require_section(sections, "params")?,
+            &self.parameters(),
+        )?;
+        serialize::decode_params(
+            serialize::require_section(sections, "q_targets")?,
+            &self.target_parameters(),
+        )?;
+        self.actor_opt.import_state(actor_state)?;
+        self.critic_opt.import_state(critic_state)?;
+        self.buffer = buffer;
+        self.log_alpha = log_alpha;
+        self.target_entropy = target_entropy;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -695,6 +778,75 @@ mod tests {
             hidden: 8,
             ..SacConfig::default()
         }, &mut rng).parameters().len() - 6, "encoder params present");
+    }
+
+    #[test]
+    fn save_load_state_resumes_bit_identically() {
+        let drive = |agent: &mut SacAgent, rng: &mut StdRng, steps: usize| -> Vec<f32> {
+            let mut out = Vec::new();
+            for i in 0..steps {
+                let obs = vec![(i % 7) as f32 * 0.1, -0.3];
+                let a = agent.act(&obs, rng, true);
+                out.extend_from_slice(&a);
+                let r = 0.5 - a[0] * a[0];
+                agent.observe(ContinuousTransition {
+                    obs,
+                    action: a,
+                    reward: r,
+                    next_obs: vec![((i + 1) % 7) as f32 * 0.1, -0.3],
+                    done: i % 5 == 0,
+                });
+                if let Some(stats) = agent.update(rng) {
+                    out.push(stats.critic_loss);
+                    out.push(stats.actor_loss);
+                }
+            }
+            out.push(agent.alpha());
+            out
+        };
+
+        // Uninterrupted reference run: 40 warmup/training steps + 30 more.
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut agent_a = SacAgent::new(2, 1, small_cfg(), &mut rng_a);
+        drive(&mut agent_a, &mut rng_a, 40);
+        let tail_a = drive(&mut agent_a, &mut rng_a, 30);
+
+        // Interrupted run: same 40 steps, snapshot, restore into a FRESH
+        // agent (different init seed), resume the rng stream, continue.
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let mut agent_b = SacAgent::new(2, 1, small_cfg(), &mut rng_b);
+        drive(&mut agent_b, &mut rng_b, 40);
+        let sections = agent_b.save_state();
+        let rng_state = rng_b.state();
+        drop(agent_b);
+
+        let mut scratch = StdRng::seed_from_u64(999);
+        let mut restored = SacAgent::new(2, 1, small_cfg(), &mut scratch);
+        restored.load_state(&sections).unwrap();
+        let mut rng_c = StdRng::from_state(rng_state);
+        let tail_b = drive(&mut restored, &mut rng_c, 30);
+
+        assert_eq!(tail_a, tail_b, "resumed run must match uninterrupted run");
+    }
+
+    #[test]
+    fn load_state_rejects_missing_and_malformed_sections() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut agent = SacAgent::new(2, 1, small_cfg(), &mut rng);
+        let mut sections = agent.save_state();
+        sections.retain(|(name, _)| name != "critic_opt");
+        assert!(matches!(
+            agent.load_state(&sections),
+            Err(CheckpointError::MissingSection(_))
+        ));
+
+        let mut sections = agent.save_state();
+        for (name, bytes) in &mut sections {
+            if name == "scalars" {
+                bytes.truncate(3);
+            }
+        }
+        assert!(agent.load_state(&sections).is_err());
     }
 
     #[test]

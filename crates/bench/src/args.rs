@@ -1,9 +1,14 @@
 //! Minimal command-line parsing shared by the experiment binaries. Every
 //! binary accepts `--episodes N --eval-episodes N --seed S --out DIR
 //! --update-every K --batch-size N --skill-episodes N
-//! --telemetry-out DIR --trace-out FILE --paper-scale`.
+//! --telemetry-out DIR --trace-out FILE --paper-scale
+//! --checkpoint-every N --checkpoint-dir DIR --checkpoint-retain K
+//! --resume --fault-plan SPEC`.
 
 use std::path::PathBuf;
+
+use hero_core::CheckpointConfig;
+use hero_faultplan::{FaultPlan, KillMode};
 
 /// Parsed experiment arguments.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,6 +35,18 @@ pub struct ExperimentArgs {
     /// When set, record Chrome trace events for every span and write a
     /// Perfetto-loadable `trace.json` to this file on exit.
     pub trace_out: Option<PathBuf>,
+    /// Save a full trainer checkpoint every this many episodes
+    /// (`0` disables checkpointing).
+    pub checkpoint_every: usize,
+    /// Directory for rotating checkpoint files.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// How many good checkpoints to retain per training run.
+    pub checkpoint_retain: usize,
+    /// Resume from the newest valid checkpoint in `--checkpoint-dir`.
+    pub resume: bool,
+    /// Unparsed fault-injection spec (see [`hero_faultplan::FaultPlan`]),
+    /// e.g. `kill@ep:3,truncate@save:1`.
+    pub fault_plan: Option<String>,
 }
 
 impl ExperimentArgs {
@@ -47,6 +64,11 @@ impl ExperimentArgs {
             skill_episodes: 1_000,
             telemetry_out: None,
             trace_out: None,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
+            checkpoint_retain: 3,
+            resume: false,
+            fault_plan: None,
         }
     }
 
@@ -81,13 +103,24 @@ impl ExperimentArgs {
                     out.telemetry_out = Some(PathBuf::from(value("--telemetry-out")))
                 }
                 "--trace-out" => out.trace_out = Some(PathBuf::from(value("--trace-out"))),
+                "--checkpoint-every" => {
+                    out.checkpoint_every = value("--checkpoint-every").parse().expect("usize")
+                }
+                "--checkpoint-dir" => {
+                    out.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")))
+                }
+                "--checkpoint-retain" => {
+                    out.checkpoint_retain = value("--checkpoint-retain").parse().expect("usize")
+                }
+                "--resume" => out.resume = true,
+                "--fault-plan" => out.fault_plan = Some(value("--fault-plan")),
                 "--paper-scale" => {
                     out.episodes = 14_000;
                     out.batch_size = 1024;
                     out.update_every = 1;
                 }
                 other => panic!(
-                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--trace-out/--paper-scale"
+                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--trace-out/--checkpoint-every/--checkpoint-dir/--checkpoint-retain/--resume/--fault-plan/--paper-scale"
                 ),
             }
         }
@@ -97,6 +130,31 @@ impl ExperimentArgs {
     /// Parses the current process arguments.
     pub fn from_env(defaults: Self) -> Self {
         Self::parse(defaults, std::env::args().skip(1))
+    }
+
+    /// Builds the [`CheckpointConfig`] for one training run. `scope`
+    /// isolates runs that share a binary (multi-method figures checkpoint
+    /// each method under `<checkpoint-dir>/<scope>`). Kills from the
+    /// fault plan terminate the whole process with exit code 137 so CI
+    /// can distinguish an injected crash from a real failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the parse error when `--fault-plan` is malformed.
+    pub fn checkpoint_config(&self, scope: &str) -> CheckpointConfig {
+        let fault_plan = match &self.fault_plan {
+            Some(spec) => FaultPlan::parse(spec)
+                .unwrap_or_else(|e| panic!("invalid --fault-plan {spec:?}: {e}")),
+            None => FaultPlan::none(),
+        };
+        CheckpointConfig {
+            every: self.checkpoint_every,
+            dir: self.checkpoint_dir.as_ref().map(|d| d.join(scope)),
+            resume: self.resume,
+            retain: self.checkpoint_retain,
+            fault_plan,
+            kill_mode: KillMode::Exit,
+        }
     }
 
     /// Ensures the output directory exists and returns the path of a file
@@ -165,5 +223,53 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn unknown_flag_rejected() {
         ExperimentArgs::parse(ExperimentArgs::defaults(1), strs(&["--bogus"]));
+    }
+
+    #[test]
+    fn checkpoint_flags_parse_and_scope_the_directory() {
+        let a = ExperimentArgs::parse(
+            ExperimentArgs::defaults(10),
+            strs(&[
+                "--checkpoint-every",
+                "2",
+                "--checkpoint-dir",
+                "/tmp/ckpts",
+                "--checkpoint-retain",
+                "5",
+                "--resume",
+                "--fault-plan",
+                "kill@ep:3,truncate@save:1",
+            ]),
+        );
+        assert_eq!(a.checkpoint_every, 2);
+        assert_eq!(a.checkpoint_dir, Some(PathBuf::from("/tmp/ckpts")));
+        assert!(a.resume);
+        let cfg = a.checkpoint_config("HERO");
+        assert_eq!(cfg.every, 2);
+        assert_eq!(cfg.retain, 5);
+        assert_eq!(cfg.dir, Some(PathBuf::from("/tmp/ckpts/HERO")));
+        assert!(cfg.resume);
+        assert!(cfg.fault_plan.should_kill(3));
+        assert!(!cfg.fault_plan.should_kill(2));
+    }
+
+    #[test]
+    fn checkpointing_stays_off_by_default() {
+        let a = ExperimentArgs::defaults(10);
+        let cfg = a.checkpoint_config("HERO");
+        assert_eq!(cfg.every, 0);
+        assert_eq!(cfg.dir, None);
+        assert!(!cfg.resume);
+        assert!(cfg.fault_plan.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --fault-plan")]
+    fn malformed_fault_plan_rejected() {
+        let a = ExperimentArgs::parse(
+            ExperimentArgs::defaults(1),
+            strs(&["--fault-plan", "explode@never"]),
+        );
+        a.checkpoint_config("HERO");
     }
 }

@@ -6,8 +6,8 @@
 
 use hero_baselines::sac::{SacAgent, SacConfig};
 use hero_bench::{
-    build_method, load_or_train_skills, print_eval_row, train_policy, ExperimentArgs, Method,
-    MethodParams,
+    build_method, load_or_train_skills, print_eval_row, train_policy_checkpointed, ExperimentArgs,
+    Method, MethodParams,
 };
 use hero_core::config::HeroConfig;
 use hero_core::trainer::EvalStats;
@@ -147,12 +147,13 @@ fn main() {
             Some((skills, HeroConfig::default())),
         );
         eprintln!("ablation: training HERO...");
-        let rec = train_policy(
+        let rec = train_policy_checkpointed(
             &mut policy,
             &mut env,
             args.episodes,
             args.update_every,
             args.seed,
+            &args.checkpoint_config("HERO"),
         );
         for metric in ["reward", "collision"] {
             if let Some(series) = rec.smoothed(metric, 100) {

@@ -5,8 +5,8 @@
 //! costs (or buys) in learning terms.
 
 use hero_bench::{
-    build_method, load_or_train_skills, print_eval_row, train_policy, ExperimentArgs, Method,
-    MethodParams,
+    build_method, load_or_train_skills, print_eval_row, train_policy_checkpointed, ExperimentArgs,
+    Method, MethodParams,
 };
 use hero_core::config::{HeroConfig, TerminationMode};
 use hero_rl::metrics::Recorder;
@@ -45,12 +45,13 @@ fn main() {
             Some((skills.clone(), cfg)),
         );
         eprintln!("ablation: training {label}...");
-        let rec = train_policy(
+        let rec = train_policy_checkpointed(
             &mut policy,
             &mut env,
             args.episodes,
             args.update_every,
             args.seed,
+            &args.checkpoint_config(label),
         );
         for metric in ["reward", "collision", "success"] {
             if let Some(series) = rec.smoothed(metric, 100) {

@@ -22,7 +22,7 @@ fn main() {
     };
     let mut env = scenario::congestion(env_cfg, args.seed);
     let mut team = HeroTeam::new(3, env_cfg.high_dim(), skills.clone(), cfg, args.seed);
-    let _ = hero_core::trainer::train_team(
+    let _ = hero_core::trainer::train_team_checkpointed(
         &mut team,
         &mut env,
         &TrainOptions {
@@ -30,6 +30,7 @@ fn main() {
             update_every: 4,
             seed: args.seed,
         },
+        &args.checkpoint_config("HERO"),
     );
 
     // Greedy probes with narration.

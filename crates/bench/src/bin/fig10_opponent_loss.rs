@@ -4,7 +4,10 @@
 //! model converges much later, reflecting how strongly each opponent's
 //! behaviour couples to vehicle 2's observations.
 
-use hero_bench::{build_method, load_or_train_skills, train_policy, ExperimentArgs, Method, MethodParams};
+use hero_bench::{
+    build_method, load_or_train_skills, train_policy_checkpointed, ExperimentArgs, Method,
+    MethodParams,
+};
 use hero_core::config::HeroConfig;
 use hero_rl::metrics::{summarize, Recorder};
 use hero_sim::env::EnvConfig;
@@ -28,12 +31,13 @@ fn main() {
         Some((skills, HeroConfig::default())),
     );
     eprintln!("fig10: training HERO for {} episodes...", args.episodes);
-    let _ = train_policy(
+    let _ = train_policy_checkpointed(
         &mut policy,
         &mut env,
         args.episodes,
         args.update_every,
         args.seed,
+        &args.checkpoint_config("HERO"),
     );
 
     let hero_bench::TrainedPolicy::Hero(team) = &policy else {

@@ -3,8 +3,8 @@
 //! the highest, and ≈0.048 for MAAC, the lowest).
 
 use hero_bench::{
-    build_method, load_or_train_skills, print_eval_row, train_policy, ExperimentArgs, Method,
-    MethodParams,
+    build_method, load_or_train_skills, print_eval_row, train_policy_checkpointed, ExperimentArgs,
+    Method, MethodParams,
 };
 use hero_core::config::HeroConfig;
 use hero_rl::metrics::Recorder;
@@ -36,12 +36,13 @@ fn main() {
             Some((skills.clone(), hero_cfg)),
         );
         eprintln!("fig11: training {}...", method.name());
-        let _ = train_policy(
+        let _ = train_policy_checkpointed(
             &mut policy,
             &mut env,
             args.episodes,
             args.update_every,
             args.seed,
+            &args.checkpoint_config(method.name()),
         );
         let stats = policy.evaluate(&mut env, args.eval_episodes, args.seed ^ 0x51ED);
         print_eval_row(method.name(), &stats);

@@ -6,7 +6,10 @@
 //! Emits one CSV with columns `<metric>/<method>` per training episode
 //! and prints the final-window comparison the figure's right edge shows.
 
-use hero_bench::{build_method, load_or_train_skills, train_policy, ExperimentArgs, Method, MethodParams};
+use hero_bench::{
+    build_method, load_or_train_skills, train_policy_checkpointed, ExperimentArgs, Method,
+    MethodParams,
+};
 use hero_core::config::HeroConfig;
 use hero_rl::metrics::Recorder;
 use hero_sim::env::EnvConfig;
@@ -41,12 +44,13 @@ fn main() {
             Some((skills.clone(), hero_cfg)),
         );
         eprintln!("fig7: training {}...", method.name());
-        let rec = train_policy(
+        let rec = train_policy_checkpointed(
             &mut policy,
             &mut env,
             args.episodes,
             args.update_every,
             args.seed,
+            &args.checkpoint_config(method.name()),
         );
         for metric in ["reward", "collision", "success", "mean_speed"] {
             if let Some(series) = rec.smoothed(metric, 100) {

@@ -6,8 +6,8 @@
 //! rate, mean speed.
 
 use hero_bench::{
-    build_method, load_or_train_skills, print_eval_row, train_policy, ExperimentArgs, Method,
-    MethodParams,
+    build_method, load_or_train_skills, print_eval_row, train_policy_checkpointed, ExperimentArgs,
+    Method, MethodParams,
 };
 use hero_core::config::HeroConfig;
 use hero_rl::metrics::Recorder;
@@ -40,12 +40,13 @@ fn main() {
             Some((skills.clone(), hero_cfg)),
         );
         eprintln!("table2: training {} in simulation...", method.name());
-        let _ = train_policy(
+        let _ = train_policy_checkpointed(
             &mut policy,
             &mut sim,
             args.episodes,
             args.update_every,
             args.seed,
+            &args.checkpoint_config(method.name()),
         );
         // Deploy: same scenario behind the domain gap.
         let mut testbed = SimToRealEnv::new(

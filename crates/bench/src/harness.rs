@@ -15,7 +15,10 @@ use hero_baselines::maac::{Maac, MaacConfig};
 use hero_baselines::maddpg::{Maddpg, MaddpgConfig};
 use hero_core::config::HeroConfig;
 use hero_core::skills::SkillLibrary;
-use hero_core::trainer::{evaluate_team, train_team, EvalStats, HeroTeam, TrainOptions};
+use hero_core::trainer::{
+    evaluate_team, train_team_checkpointed, CheckpointConfig, EvalStats, HeroTeam, TrainOptions,
+};
+use hero_faultplan::KillMode;
 use hero_rl::metrics::Recorder;
 use hero_rl::telemetry;
 use hero_rl::transition::JointTransition;
@@ -42,11 +45,46 @@ where
     W: CooperativeWorld,
     A: MultiAgentAlgorithm + ?Sized,
 {
+    train_baseline_faulted(algo, env, opts, &CheckpointConfig::default())
+}
+
+/// [`train_baseline`] honoring the kill faults of a [`CheckpointConfig`]'s
+/// fault plan, so the flat baselines participate in crash-injection CI.
+///
+/// Flat baselines do **not** support checkpoint save/resume — the
+/// [`MultiAgentAlgorithm`] trait exposes no parameter or buffer state, so
+/// a resumed run would silently restart learning from scratch. When the
+/// config asks for checkpointing or resume this logs a notice and trains
+/// from episode zero; only HERO (and the low-level SAC skills) offer
+/// bit-identical resume.
+pub fn train_baseline_faulted<W, A>(
+    algo: &mut A,
+    env: &mut W,
+    opts: &BaselineTrainOptions,
+    ckpt: &CheckpointConfig,
+) -> Recorder
+where
+    W: CooperativeWorld,
+    A: MultiAgentAlgorithm + ?Sized,
+{
+    if ckpt.every > 0 || ckpt.resume {
+        telemetry::progress(
+            "flat baselines do not support checkpoint save/resume; training from scratch",
+        );
+    }
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut rec = Recorder::new();
     let executor = ScriptedExecutor::new();
     let mut step_counter = 0usize;
     for episode in 0..opts.episodes {
+        if ckpt.fault_plan.should_kill(episode) {
+            telemetry::counter_add("checkpoint/fault_kill", 1);
+            let _ = telemetry::flush();
+            match ckpt.kill_mode {
+                KillMode::Exit => std::process::exit(137),
+                KillMode::Return => return rec,
+            }
+        }
         let mut obs = env.reset();
         let mut ep_reward = 0.0;
         let mut ep_speed = 0.0;
@@ -338,17 +376,43 @@ pub fn train_policy<W: CooperativeWorld>(
     update_every: usize,
     seed: u64,
 ) -> Recorder {
+    train_policy_checkpointed(
+        policy,
+        env,
+        episodes,
+        update_every,
+        seed,
+        &CheckpointConfig::default(),
+    )
+}
+
+/// [`train_policy`] with crash safety: HERO gets full checkpoint/resume
+/// and fault injection through
+/// [`train_team_checkpointed`]; the flat baselines honor kill faults only
+/// (see [`train_baseline_faulted`] for why resume is HERO-only).
+pub fn train_policy_checkpointed<W: CooperativeWorld>(
+    policy: &mut TrainedPolicy,
+    env: &mut W,
+    episodes: usize,
+    update_every: usize,
+    seed: u64,
+    ckpt: &CheckpointConfig,
+) -> Recorder {
     match policy {
-        TrainedPolicy::Hero(team) => train_team(
-            team,
-            env,
-            &TrainOptions {
-                episodes,
-                update_every,
-                seed,
-            },
-        ),
-        TrainedPolicy::Baseline(algo) => train_baseline(
+        TrainedPolicy::Hero(team) => {
+            train_team_checkpointed(
+                team,
+                env,
+                &TrainOptions {
+                    episodes,
+                    update_every,
+                    seed,
+                },
+                ckpt,
+            )
+            .recorder
+        }
+        TrainedPolicy::Baseline(algo) => train_baseline_faulted(
             algo.as_mut(),
             env,
             &BaselineTrainOptions {
@@ -356,6 +420,7 @@ pub fn train_policy<W: CooperativeWorld>(
                 update_every,
                 seed,
             },
+            ckpt,
         ),
     }
 }

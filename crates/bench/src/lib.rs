@@ -25,6 +25,14 @@
 //! `BENCH_telemetry.json` summaries into `DIR` on exit; passing
 //! `--trace-out FILE` records Chrome trace events for every span and
 //! writes a Perfetto-loadable `trace.json` to `FILE`.
+//!
+//! Crash-safe training: `--checkpoint-every N --checkpoint-dir DIR`
+//! snapshots the full HERO trainer state every `N` episodes into a
+//! rotating set of atomic, CRC-checked checkpoint files, `--resume`
+//! continues bit-identically from the newest valid one, and
+//! `--fault-plan SPEC` (e.g. `kill@ep:3,truncate@save:1`) injects
+//! deterministic crashes, IO errors, checkpoint corruption, and NaN
+//! gradients for recovery drills. Injected kills exit with code 137.
 
 #![warn(missing_docs)]
 
@@ -33,8 +41,8 @@ pub mod harness;
 
 pub use args::ExperimentArgs;
 pub use harness::{
-    build_method, evaluate_baseline, train_baseline, train_policy, BaselineTrainOptions, Method,
-    MethodParams, TrainedPolicy,
+    build_method, evaluate_baseline, train_baseline, train_baseline_faulted, train_policy,
+    train_policy_checkpointed, BaselineTrainOptions, Method, MethodParams, TrainedPolicy,
 };
 
 use std::sync::Arc;

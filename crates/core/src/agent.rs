@@ -2,7 +2,9 @@
 //! the SMDP segment bookkeeping that turns environment steps into option
 //! transitions (Algorithm 1).
 
+use hero_autograd::CheckpointError;
 use hero_baselines::common::UpdateStats;
+use hero_rl::snapshot::{self, Codec};
 use rand::rngs::StdRng;
 
 use hero_sim::options::DrivingOption;
@@ -250,6 +252,91 @@ impl HeroAgent {
     /// Number of stored option transitions.
     pub fn buffer_len(&self) -> usize {
         self.high.buffer_len()
+    }
+
+    /// Poisons the high-level actor's first parameter gradient with NaN,
+    /// so the next optimizer step trips the non-finite watchdog (used by
+    /// the fault-injection harness to prove the watchdog path survives a
+    /// real training loop).
+    pub fn poison_gradients(&mut self) {
+        if let Some(p) = self.high.parameters().first() {
+            let shape = p.grad().shape().to_vec();
+            p.accumulate_grad(&hero_autograd::Tensor::full(shape, f32::NAN));
+        }
+    }
+
+    /// Captures the agent's full state — high-level learner, opponent
+    /// model, and selection/loss bookkeeping — as named sections (relative
+    /// names; the caller prefixes them per agent).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called mid-option-segment: snapshots are only taken at
+    /// episode boundaries, where no option is active.
+    pub fn save_state(&self) -> Vec<(String, Vec<u8>)> {
+        assert!(
+            self.active.is_none() && self.segment.is_none(),
+            "agent state can only be captured at an episode boundary"
+        );
+        let mut sections: Vec<(String, Vec<u8>)> = self
+            .high
+            .save_state()
+            .into_iter()
+            .map(|(name, bytes)| (format!("high/{name}"), bytes))
+            .collect();
+        sections.extend(
+            self.opponent
+                .save_state()
+                .into_iter()
+                .map(|(name, bytes)| (format!("opp/{name}"), bytes)),
+        );
+        let mut book = Vec::new();
+        book.extend_from_slice(&(self.selections as u64).to_le_bytes());
+        self.opponent_losses.encode(&mut book);
+        sections.push(("bookkeeping".to_string(), book));
+        sections
+    }
+
+    /// Restores state captured by [`HeroAgent::save_state`] into an agent
+    /// built with the same dimensions and config. Any active option is
+    /// discarded (the snapshot was taken at an episode boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when a section is missing, malformed, or
+    /// shaped for a different architecture.
+    pub fn load_state(&mut self, sections: &[(String, Vec<u8>)]) -> Result<(), CheckpointError> {
+        let strip = |prefix: &str| -> Vec<(String, Vec<u8>)> {
+            sections
+                .iter()
+                .filter_map(|(name, bytes)| {
+                    name.strip_prefix(prefix)
+                        .map(|rest| (rest.to_string(), bytes.clone()))
+                })
+                .collect()
+        };
+        let book = hero_autograd::serialize::require_section(sections, "bookkeeping")?;
+        let mut r = snapshot::Reader::new(book);
+        let mapped = |e: snapshot::SnapshotError| {
+            CheckpointError::Malformed(format!("agent bookkeeping: {e}"))
+        };
+        let selections = r.u64().map_err(mapped)? as usize;
+        let opponent_losses: Vec<Vec<f32>> = Codec::decode(&mut r).map_err(mapped)?;
+        r.finish().map_err(mapped)?;
+        if opponent_losses.len() != self.opponent_losses.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "checkpoint tracks {} opponents, agent has {}",
+                opponent_losses.len(),
+                self.opponent_losses.len()
+            )));
+        }
+        self.high.load_state(&strip("high/"))?;
+        self.opponent.load_state(&strip("opp/"))?;
+        self.selections = selections;
+        self.opponent_losses = opponent_losses;
+        self.active = None;
+        self.segment = None;
+        Ok(())
     }
 }
 

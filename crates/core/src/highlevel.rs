@@ -13,12 +13,13 @@
 use hero_autograd::diagnostics::StepDiagnostics;
 use hero_autograd::nn::{Activation, Mlp, Module};
 use hero_autograd::optim::{Adam, Optimizer};
-use hero_autograd::{loss, zero_grads, Graph, Parameter, Tensor};
+use hero_autograd::{loss, serialize, zero_grads, CheckpointError, Graph, Parameter, Tensor};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use hero_baselines::common::UpdateStats;
 use hero_rl::buffer::ReplayBuffer;
+use hero_rl::snapshot;
 use hero_rl::explore::greedy;
 use hero_rl::rng::sample_from_logits;
 use hero_rl::target::{hard_update, soft_update};
@@ -319,6 +320,58 @@ impl HighLevelLearner {
         let mut p = self.actor.parameters();
         p.extend(self.critic.parameters());
         p
+    }
+
+    /// Captures the learner's full state — networks, target critic, both
+    /// Adam optimizers, and the option-segment replay buffer — as named
+    /// sections (relative names; the caller prefixes them per agent).
+    pub fn save_state(&self) -> Vec<(String, Vec<u8>)> {
+        vec![
+            ("params".to_string(), serialize::encode_params(&self.parameters())),
+            (
+                "critic_target".to_string(),
+                serialize::encode_params(&self.critic_target.parameters()),
+            ),
+            (
+                "actor_opt".to_string(),
+                serialize::encode_optimizer(&self.actor_opt.export_state()),
+            ),
+            (
+                "critic_opt".to_string(),
+                serialize::encode_optimizer(&self.critic_opt.export_state()),
+            ),
+            ("buffer".to_string(), snapshot::encode_replay(&self.buffer)),
+        ]
+    }
+
+    /// Restores state captured by [`HighLevelLearner::save_state`] into a
+    /// learner built with the same dimensions and config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when a section is missing, malformed, or
+    /// shaped for a different architecture.
+    pub fn load_state(&mut self, sections: &[(String, Vec<u8>)]) -> Result<(), CheckpointError> {
+        let actor_opt =
+            serialize::decode_optimizer(serialize::require_section(sections, "actor_opt")?)?;
+        let critic_opt =
+            serialize::decode_optimizer(serialize::require_section(sections, "critic_opt")?)?;
+        let buffer = snapshot::decode_replay::<OptionTransition>(serialize::require_section(
+            sections, "buffer",
+        )?)
+        .map_err(|e| CheckpointError::Malformed(format!("high-level buffer: {e}")))?;
+        serialize::decode_params(
+            serialize::require_section(sections, "params")?,
+            &self.parameters(),
+        )?;
+        serialize::decode_params(
+            serialize::require_section(sections, "critic_target")?,
+            &self.critic_target.parameters(),
+        )?;
+        self.actor_opt.import_state(actor_opt)?;
+        self.critic_opt.import_state(critic_opt)?;
+        self.buffer = buffer;
+        Ok(())
     }
 }
 

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod checkpoint;
 pub mod config;
 pub mod highlevel;
 pub mod opponent;
@@ -56,9 +57,13 @@ pub mod skills;
 pub mod trainer;
 
 pub use agent::HeroAgent;
+pub use checkpoint::{CheckpointStore, TrainerSnapshot};
 pub use config::{HeroConfig, TerminationMode};
 pub use highlevel::HighLevelLearner;
 pub use opponent::OpponentModel;
 pub use options::ActiveOption;
 pub use skills::{SkillLibrary, SkillTrainingConfig};
-pub use trainer::{evaluate_team, train_team, EvalStats, HeroTeam, TrainOptions};
+pub use trainer::{
+    evaluate_team, train_team, train_team_checkpointed, CheckpointConfig, EvalStats, HeroTeam,
+    TrainOptions, TrainOutcome,
+};

@@ -13,11 +13,12 @@
 use hero_autograd::diagnostics::StepDiagnostics;
 use hero_autograd::nn::{Activation, Mlp, Module};
 use hero_autograd::optim::{Adam, Optimizer};
-use hero_autograd::{loss, Graph, Parameter, Tensor};
+use hero_autograd::{loss, serialize, CheckpointError, Graph, Parameter, Tensor};
 use rand::rngs::StdRng;
 
 use hero_rl::buffer::ReplayBuffer;
 use hero_rl::rng::{log_softmax, softmax};
+use hero_rl::snapshot;
 
 /// One observation for the opponent model: the agent's own high-level
 /// state paired with every opponent's observed option.
@@ -239,6 +240,82 @@ impl OpponentModel {
     /// Trainable parameters of every opponent network (for checkpointing).
     pub fn parameters(&self) -> Vec<Parameter> {
         self.nets.iter().flat_map(|n| n.parameters()).collect()
+    }
+
+    /// Captures the model's full state — every opponent network, its Adam
+    /// optimizer, and the observation buffer — as named sections (relative
+    /// names; the caller prefixes them per agent).
+    pub fn save_state(&self) -> Vec<(String, Vec<u8>)> {
+        let mut opts = Vec::new();
+        opts.extend_from_slice(&(self.opts.len() as u64).to_le_bytes());
+        for opt in &self.opts {
+            let blob = serialize::encode_optimizer(&opt.export_state());
+            opts.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            opts.extend_from_slice(&blob);
+        }
+        vec![
+            ("params".to_string(), serialize::encode_params(&self.parameters())),
+            ("opts".to_string(), opts),
+            ("buffer".to_string(), snapshot::encode_replay(&self.buffer)),
+        ]
+    }
+
+    /// Restores state captured by [`OpponentModel::save_state`] into a
+    /// model built with the same dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when a section is missing, malformed, or
+    /// sized for a different opponent count/architecture.
+    pub fn load_state(&mut self, sections: &[(String, Vec<u8>)]) -> Result<(), CheckpointError> {
+        let malformed = |what: String| CheckpointError::Malformed(what);
+        let opts_blob = serialize::require_section(sections, "opts")?;
+        let mut r = snapshot::Reader::new(opts_blob);
+        let n = r
+            .u64()
+            .map_err(|e| malformed(format!("opponent opts: {e}")))? as usize;
+        if n != self.opts.len() {
+            return Err(malformed(format!(
+                "checkpoint has {n} opponent optimizers, model has {}",
+                self.opts.len()
+            )));
+        }
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = r
+                .len(1)
+                .map_err(|e| malformed(format!("opponent opts: {e}")))?;
+            let blob = r
+                .take(len)
+                .map_err(|e| malformed(format!("opponent opts: {e}")))?;
+            states.push(serialize::decode_optimizer(blob)?);
+        }
+        let buffer = snapshot::decode_replay::<OpponentSample>(serialize::require_section(
+            sections, "buffer",
+        )?)
+        .map_err(|e| malformed(format!("opponent buffer: {e}")))?;
+        serialize::decode_params(
+            serialize::require_section(sections, "params")?,
+            &self.parameters(),
+        )?;
+        for (opt, state) in self.opts.iter_mut().zip(states) {
+            opt.import_state(state)?;
+        }
+        self.buffer = buffer;
+        Ok(())
+    }
+}
+
+impl snapshot::Codec for OpponentSample {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.obs.encode(out);
+        self.options.encode(out);
+    }
+    fn decode(r: &mut snapshot::Reader<'_>) -> Result<Self, snapshot::SnapshotError> {
+        Ok(Self {
+            obs: snapshot::Codec::decode(r)?,
+            options: snapshot::Codec::decode(r)?,
+        })
     }
 }
 

@@ -6,17 +6,22 @@
 //! their (frozen) skills in the multi-vehicle world while learning the
 //! high-level cooperative option policy with opponent modeling.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use hero_autograd::CheckpointError;
+use hero_faultplan::{FaultPlan, KillMode};
 use hero_rl::metrics::Recorder;
+use hero_rl::snapshot::{self, Codec};
 use hero_rl::telemetry;
 use hero_sim::env::{CooperativeWorld, Observation};
 use hero_sim::vehicle::VehicleCommand;
 
 use crate::agent::HeroAgent;
+use crate::checkpoint::{self, CheckpointStore, TrainerSnapshot};
 use crate::config::{HeroConfig, TerminationMode};
 use crate::skills::SkillLibrary;
 
@@ -178,6 +183,67 @@ impl HeroTeam {
         }
     }
 
+    /// Captures the team's full state — every agent plus the joint
+    /// last-options vector — as named checkpoint sections.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any agent holds a half-finished option segment:
+    /// snapshots are only taken at episode boundaries.
+    pub fn save_state(&self) -> Vec<(String, Vec<u8>)> {
+        let mut sections = Vec::new();
+        let mut last = Vec::new();
+        self.last_options.encode(&mut last);
+        sections.push(("team/last_options".to_string(), last));
+        for (k, agent) in self.agents.iter().enumerate() {
+            sections.extend(
+                agent
+                    .save_state()
+                    .into_iter()
+                    .map(|(name, bytes)| (format!("agent{k}/{name}"), bytes)),
+            );
+        }
+        sections
+    }
+
+    /// Restores state captured by [`HeroTeam::save_state`] into a team
+    /// built with the same size, dimensions, and config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] when sections are missing, malformed,
+    /// or shaped for a different team.
+    pub fn load_state(&mut self, sections: &[(String, Vec<u8>)]) -> Result<(), CheckpointError> {
+        let last_blob =
+            hero_autograd::serialize::require_section(sections, "team/last_options")?;
+        let mut r = snapshot::Reader::new(last_blob);
+        let mapped = |e: snapshot::SnapshotError| {
+            CheckpointError::Malformed(format!("team/last_options: {e}"))
+        };
+        let last_options: Vec<usize> = Codec::decode(&mut r).map_err(mapped)?;
+        r.finish().map_err(mapped)?;
+        if last_options.len() != self.agents.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "checkpoint is for a team of {}, this team has {}",
+                last_options.len(),
+                self.agents.len()
+            )));
+        }
+        for (k, agent) in self.agents.iter_mut().enumerate() {
+            let prefix = format!("agent{k}/");
+            let agent_sections: Vec<(String, Vec<u8>)> = sections
+                .iter()
+                .filter_map(|(name, bytes)| {
+                    name.strip_prefix(&prefix)
+                        .map(|rest| (rest.to_string(), bytes.clone()))
+                })
+                .collect();
+            agent.load_state(&agent_sections)?;
+        }
+        self.last_options = last_options;
+        Ok(())
+    }
+
     /// One learning pass over every agent; returns mean losses when any
     /// agent updated.
     pub fn update(&mut self, rng: &mut StdRng) -> Option<(f32, f32)> {
@@ -225,10 +291,141 @@ pub fn train_team<W: CooperativeWorld>(
     env: &mut W,
     opts: &TrainOptions,
 ) -> Recorder {
+    // Delegates with checkpointing disabled so the plain and crash-safe
+    // loops cannot drift apart step-for-step.
+    train_team_checkpointed(team, env, opts, &CheckpointConfig::default()).recorder
+}
+
+/// How (and whether) [`train_team_checkpointed`] checkpoints and injects
+/// faults.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Save a checkpoint every this many episodes; `0` disables saving.
+    pub every: usize,
+    /// Directory for checkpoint files (required for saving or resuming).
+    pub dir: Option<PathBuf>,
+    /// Resume from the newest valid checkpoint in `dir` (fresh start when
+    /// none is loadable).
+    pub resume: bool,
+    /// How many good checkpoints to retain.
+    pub retain: usize,
+    /// Deterministic fault injection (kills, IO errors, corruption,
+    /// gradient poisoning); [`FaultPlan::none`] in production.
+    pub fault_plan: FaultPlan,
+    /// How a `kill@ep:N` fault terminates the run.
+    pub kill_mode: KillMode,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self {
+            every: 0,
+            dir: None,
+            resume: false,
+            retain: 3,
+            fault_plan: FaultPlan::none(),
+            kill_mode: KillMode::Return,
+        }
+    }
+}
+
+/// The result of a checkpointed training run.
+#[derive(Debug)]
+pub struct TrainOutcome {
+    /// The per-episode metric series (cumulative across resumes).
+    pub recorder: Recorder,
+    /// `false` when a fault-plan kill stopped the run early
+    /// ([`KillMode::Return`] only — [`KillMode::Exit`] never returns).
+    pub completed: bool,
+    /// Episodes actually run in this invocation (excludes episodes
+    /// restored from a checkpoint).
+    pub episodes_run: usize,
+}
+
+/// [`train_team`] plus crash safety: periodically snapshots the complete
+/// trainer state (team, RNG streams, recorder, telemetry) into a rotating
+/// checkpoint directory, optionally resumes from the newest valid
+/// checkpoint, and honors a deterministic [`FaultPlan`].
+///
+/// With `ckpt.every == 0`, no directory, and an empty fault plan this is
+/// step-for-step identical to [`train_team`]. A seeded run that is killed
+/// and resumed produces bit-identical metric series and telemetry (modulo
+/// the `checkpoint/*` counters themselves) to an uninterrupted run with
+/// the same checkpoint cadence.
+pub fn train_team_checkpointed<W: CooperativeWorld>(
+    team: &mut HeroTeam,
+    env: &mut W,
+    opts: &TrainOptions,
+    ckpt: &CheckpointConfig,
+) -> TrainOutcome {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut rec = Recorder::new();
     let mut step_counter = 0usize;
-    for episode in 0..opts.episodes {
+    let mut update_counter = 0usize;
+    let mut start_episode = 0usize;
+
+    if ckpt.resume {
+        if let Some(dir) = &ckpt.dir {
+            match checkpoint::load_latest(dir) {
+                Ok(Some(loaded)) => {
+                    match TrainerSnapshot::from_sections(&loaded.sections)
+                        .and_then(|snap| restore_snapshot(team, env, &snap).map(|()| snap))
+                    {
+                        Ok(snap) => {
+                            // Counters AFTER the telemetry restore, which
+                            // would otherwise wipe them.
+                            telemetry::counter_add("checkpoint/loaded", 1);
+                            telemetry::counter_add(
+                                "checkpoint/corrupt_skipped",
+                                loaded.corrupt_skipped as u64,
+                            );
+                            if loaded.corrupt_skipped > 0 {
+                                telemetry::counter_add("checkpoint/fallback", 1);
+                            }
+                            rng = StdRng::from_state(snap.trainer_rng);
+                            rec = snap.recorder;
+                            step_counter = snap.step_counter;
+                            update_counter = snap.update_counter;
+                            start_episode = snap.next_episode;
+                        }
+                        Err(e) => {
+                            telemetry::counter_add("checkpoint/corrupt_skipped", 1);
+                            telemetry::progress(&format!("resume failed, starting fresh: {e}"));
+                        }
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    telemetry::progress(&format!("checkpoint dir unreadable, starting fresh: {e}"));
+                }
+            }
+        }
+    }
+
+    let mut store = if ckpt.every > 0 {
+        ckpt.dir
+            .as_ref()
+            .and_then(|dir| CheckpointStore::open(dir, ckpt.retain).ok())
+    } else {
+        None
+    };
+
+    let mut episodes_run = 0usize;
+    for episode in start_episode..opts.episodes {
+        if ckpt.fault_plan.should_kill(episode) {
+            telemetry::counter_add("checkpoint/fault_kill", 1);
+            let _ = telemetry::flush();
+            match ckpt.kill_mode {
+                KillMode::Exit => std::process::exit(137),
+                KillMode::Return => {
+                    return TrainOutcome {
+                        recorder: rec,
+                        completed: false,
+                        episodes_run,
+                    }
+                }
+            }
+        }
         let mut obs = env.reset();
         team.begin_episode();
         let mut ep_reward = 0.0;
@@ -250,6 +447,14 @@ pub fn train_team<W: CooperativeWorld>(
             step_counter += 1;
             if step_counter % opts.update_every == 0 {
                 let _update = telemetry::span("update");
+                if ckpt.fault_plan.nan_grad_at(update_counter) {
+                    // Poison one gradient so the optimizer watchdog must
+                    // catch and skip it (counted under watchdog/*).
+                    if let Some(agent) = team.agents_mut().first_mut() {
+                        agent.poison_gradients();
+                    }
+                }
+                update_counter += 1;
                 if let Some((c, a)) = team.update(&mut rng) {
                     telemetry::counter_add("grad_updates", 1);
                     telemetry::observe("critic_loss", c as f64);
@@ -263,8 +468,42 @@ pub fn train_team<W: CooperativeWorld>(
         telemetry::counter_add("episodes", 1);
         telemetry::progress(&format!("ep {}", episode + 1));
         record_episode(&mut rec, env, ep_reward, ep_speed, steps);
+        episodes_run += 1;
+
+        if let Some(store) = store.as_mut() {
+            if ckpt.every > 0 && (episode + 1) % ckpt.every == 0 {
+                let snap = TrainerSnapshot {
+                    next_episode: episode + 1,
+                    step_counter,
+                    update_counter,
+                    trainer_rng: rng.state(),
+                    env_rng: env.rng_state(),
+                    recorder: rec.clone(),
+                    telemetry: telemetry::export_state(),
+                    team_sections: team.save_state(),
+                };
+                store.save(&snap.to_sections(), &ckpt.fault_plan);
+            }
+        }
     }
-    rec
+    TrainOutcome {
+        recorder: rec,
+        completed: true,
+        episodes_run,
+    }
+}
+
+fn restore_snapshot<W: CooperativeWorld>(
+    team: &mut HeroTeam,
+    env: &mut W,
+    snap: &TrainerSnapshot,
+) -> Result<(), hero_autograd::CheckpointError> {
+    team.load_state(&snap.team_sections)?;
+    env.set_rng_state(&snap.env_rng);
+    if let Some(state) = &snap.telemetry {
+        let _ = telemetry::restore_state(state);
+    }
+    Ok(())
 }
 
 /// Greedy evaluation results over a batch of episodes (the paper's

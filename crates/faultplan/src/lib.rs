@@ -1,0 +1,265 @@
+//! # hero-faultplan
+//!
+//! Deterministic fault injection for crash-safety testing.
+//!
+//! A [`FaultPlan`] is parsed from a compact spec string (the CLI's
+//! `--fault-plan`) and consulted by the training loop and checkpoint
+//! writer at well-defined points. Every fault is keyed to a deterministic
+//! index (episode number, save number, update number), so a faulted run is
+//! exactly reproducible.
+//!
+//! ## Spec grammar
+//!
+//! Comma-separated directives:
+//!
+//! | directive | effect |
+//! |---|---|
+//! | `kill@ep:N` | kill the training loop at the start of episode `N` |
+//! | `io-err@save:N` | the `N`-th checkpoint save fails once with an IO error |
+//! | `io-err@save:N:persistent` | ...fails on every retry too |
+//! | `truncate@save:N` | the `N`-th checkpoint file is truncated after writing |
+//! | `bitflip@save:N` | one bit of the `N`-th checkpoint file is flipped |
+//! | `nan-grad@update:N` | the `N`-th gradient update is poisoned with NaN |
+//!
+//! All indices are 0-based. Example:
+//! `--fault-plan kill@ep:3,bitflip@save:1`.
+
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// How a `kill@ep:N` directive terminates the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillMode {
+    /// Terminate the process with exit code 137 (as a SIGKILL would).
+    /// Used by the experiment binaries so CI can assert on the code.
+    Exit,
+    /// Return early from the training loop, in-process. Used by tests.
+    Return,
+}
+
+/// How a checkpoint file is corrupted after a successful write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptMode {
+    /// Truncate the file to half its length.
+    Truncate,
+    /// Flip one bit in the middle of the file.
+    BitFlip,
+}
+
+/// Error parsing a fault-plan spec string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.0)
+    }
+}
+
+impl Error for ParseError {}
+
+/// A deterministic schedule of faults to inject into a training run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    kill_at_episode: Option<usize>,
+    io_err_saves: Vec<(usize, bool)>,
+    corrupt_saves: Vec<(usize, CorruptMode)>,
+    nan_grad_updates: Vec<usize>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Parses a spec string (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on unknown directives, bad anchors, or
+    /// unparsable indices.
+    pub fn parse(spec: &str) -> Result<Self, ParseError> {
+        let mut plan = Self::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (fault, anchor) = part
+                .split_once('@')
+                .ok_or_else(|| ParseError(format!("`{part}` is missing `@`")))?;
+            let mut fields = anchor.split(':');
+            let site = fields
+                .next()
+                .ok_or_else(|| ParseError(format!("`{part}` is missing an anchor site")))?;
+            let index: usize = fields
+                .next()
+                .ok_or_else(|| ParseError(format!("`{part}` is missing an index")))?
+                .parse()
+                .map_err(|_| ParseError(format!("`{part}` has a non-numeric index")))?;
+            let modifier = fields.next();
+            if fields.next().is_some() {
+                return Err(ParseError(format!("`{part}` has too many fields")));
+            }
+            match (fault, site, modifier) {
+                ("kill", "ep", None) => {
+                    if plan.kill_at_episode.is_some() {
+                        return Err(ParseError("more than one kill directive".to_string()));
+                    }
+                    plan.kill_at_episode = Some(index);
+                }
+                ("io-err", "save", None) => plan.io_err_saves.push((index, false)),
+                ("io-err", "save", Some("persistent")) => plan.io_err_saves.push((index, true)),
+                ("truncate", "save", None) => {
+                    plan.corrupt_saves.push((index, CorruptMode::Truncate));
+                }
+                ("bitflip", "save", None) => {
+                    plan.corrupt_saves.push((index, CorruptMode::BitFlip));
+                }
+                ("nan-grad", "update", None) => plan.nan_grad_updates.push(index),
+                _ => return Err(ParseError(format!("unknown directive `{part}`"))),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Whether the run should die at the start of episode `episode`.
+    pub fn should_kill(&self, episode: usize) -> bool {
+        self.kill_at_episode == Some(episode)
+    }
+
+    /// The episode a kill is scheduled for, if any.
+    pub fn kill_episode(&self) -> Option<usize> {
+        self.kill_at_episode
+    }
+
+    /// Whether checkpoint save number `save_index` should fail with an IO
+    /// error on attempt `attempt` (0-based; non-persistent faults only fail
+    /// attempt 0, so a retry succeeds).
+    pub fn io_error_at(&self, save_index: usize, attempt: usize) -> bool {
+        self.io_err_saves
+            .iter()
+            .any(|&(idx, persistent)| idx == save_index && (persistent || attempt == 0))
+    }
+
+    /// How checkpoint save number `save_index` should be corrupted after a
+    /// successful write, if at all.
+    pub fn corrupt_after_save(&self, save_index: usize) -> Option<CorruptMode> {
+        self.corrupt_saves
+            .iter()
+            .find(|&&(idx, _)| idx == save_index)
+            .map(|&(_, mode)| mode)
+    }
+
+    /// Whether gradient update number `update_index` should be poisoned
+    /// with non-finite values (to exercise the NaN watchdog).
+    pub fn nan_grad_at(&self, update_index: usize) -> bool {
+        self.nan_grad_updates.contains(&update_index)
+    }
+}
+
+/// Applies a [`CorruptMode`] to the file at `path`.
+///
+/// Truncation halves the file; a bit flip toggles the lowest bit of the
+/// middle byte. Both are deterministic.
+///
+/// # Errors
+///
+/// Returns any underlying IO error.
+pub fn corrupt_file(path: &std::path::Path, mode: CorruptMode) -> std::io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    let corrupted = match mode {
+        CorruptMode::Truncate => bytes[..bytes.len() / 2].to_vec(),
+        CorruptMode::BitFlip => {
+            let mut b = bytes;
+            if !b.is_empty() {
+                let mid = b.len() / 2;
+                b[mid] ^= 1;
+            }
+            b
+        }
+    };
+    std::fs::write(path, corrupted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        assert!(!plan.should_kill(0));
+        assert!(!plan.io_error_at(0, 0));
+        assert!(plan.corrupt_after_save(0).is_none());
+        assert!(!plan.nan_grad_at(0));
+    }
+
+    #[test]
+    fn full_grammar_parses() {
+        let plan = FaultPlan::parse(
+            "kill@ep:3, io-err@save:1, io-err@save:2:persistent, \
+             truncate@save:4, bitflip@save:5, nan-grad@update:7",
+        )
+        .unwrap();
+        assert!(plan.should_kill(3));
+        assert!(!plan.should_kill(2));
+        assert_eq!(plan.kill_episode(), Some(3));
+        // Non-persistent IO error: fails first attempt only.
+        assert!(plan.io_error_at(1, 0));
+        assert!(!plan.io_error_at(1, 1));
+        // Persistent: fails every attempt.
+        assert!(plan.io_error_at(2, 0));
+        assert!(plan.io_error_at(2, 5));
+        assert!(!plan.io_error_at(3, 0));
+        assert_eq!(plan.corrupt_after_save(4), Some(CorruptMode::Truncate));
+        assert_eq!(plan.corrupt_after_save(5), Some(CorruptMode::BitFlip));
+        assert!(plan.corrupt_after_save(6).is_none());
+        assert!(plan.nan_grad_at(7));
+        assert!(!plan.nan_grad_at(6));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in [
+            "kill",                 // no @
+            "kill@ep",              // no index
+            "kill@ep:x",            // non-numeric
+            "kill@step:3",          // unknown site
+            "explode@ep:3",         // unknown fault
+            "kill@ep:1,kill@ep:2",  // duplicate kill
+            "io-err@save:1:always", // unknown modifier
+            "kill@ep:1:2:3",        // too many fields
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn corrupt_file_modes() {
+        let dir = std::env::temp_dir().join(format!("faultplan-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob");
+
+        std::fs::write(&path, [0u8; 64]).unwrap();
+        corrupt_file(&path, CorruptMode::Truncate).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap().len(), 32);
+
+        std::fs::write(&path, [0u8; 64]).unwrap();
+        corrupt_file(&path, CorruptMode::BitFlip).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), 64);
+        assert_eq!(bytes.iter().filter(|&&b| b != 0).count(), 1);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -305,8 +305,24 @@ fn compare(report: &mut DiffReport, what: String, a: f64, b: f64, tol: f64, abs_
 /// [`DiffReport::missing`].
 #[must_use]
 pub fn diff(a: &Run, b: &Run, tol: &Tolerances) -> DiffReport {
+    diff_with(a, b, tol, &[])
+}
+
+/// [`diff`] with metric-name prefixes excluded from the comparison.
+///
+/// A counter or value whose name starts with any of `ignore_prefixes` is
+/// neither compared nor reported missing. The kill-and-resume CI gate
+/// uses `checkpoint/` here: a resumed run legitimately accrues extra
+/// `checkpoint/loaded`-style bookkeeping while every learning metric must
+/// still match the uninterrupted run bit-for-bit.
+#[must_use]
+pub fn diff_with(a: &Run, b: &Run, tol: &Tolerances, ignore_prefixes: &[String]) -> DiffReport {
+    let ignored = |name: &str| ignore_prefixes.iter().any(|p| name.starts_with(p.as_str()));
     let mut report = DiffReport::default();
     for (name, ca) in &a.counters {
+        if ignored(name) {
+            continue;
+        }
         match b.counters.get(name) {
             Some(cb) => compare(
                 &mut report,
@@ -320,11 +336,14 @@ pub fn diff(a: &Run, b: &Run, tol: &Tolerances) -> DiffReport {
         }
     }
     for name in b.counters.keys() {
-        if !a.counters.contains_key(name) {
+        if !a.counters.contains_key(name) && !ignored(name) {
             report.missing.push(format!("counter {name:?} absent from baseline"));
         }
     }
     for (name, va) in &a.values {
+        if ignored(name) {
+            continue;
+        }
         match b.values.get(name) {
             Some(vb) => {
                 compare(
@@ -354,7 +373,7 @@ pub fn diff(a: &Run, b: &Run, tol: &Tolerances) -> DiffReport {
         }
     }
     for name in b.values.keys() {
-        if !a.values.contains_key(name) {
+        if !a.values.contains_key(name) && !ignored(name) {
             report.missing.push(format!("value {name:?} absent from baseline"));
         }
     }
@@ -397,6 +416,12 @@ pub const ENTROPY_COLLAPSE_FLOOR: f64 = 0.01;
 /// - **Entropy collapse** — an `entropy/*` mean below
 ///   [`ENTROPY_COLLAPSE_FLOOR`] nats means the high-level policy has
 ///   become deterministic (warning: exploration is gone).
+/// - **Checkpoint health** — `checkpoint/dropped > 0` means a snapshot was
+///   abandoned after exhausting its IO retries (critical: a crash after
+///   that point loses more work than `--checkpoint-every` promises);
+///   non-zero `checkpoint/save_failed`, `checkpoint/fallback`, or
+///   `checkpoint/corrupt_skipped` are warnings that storage is flaky or a
+///   checkpoint file was corrupted and an older one had to be used.
 #[must_use]
 pub fn doctor(run: &Run) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -409,6 +434,32 @@ pub fn doctor(run: &Run) -> Vec<Finding> {
                     c.total
                 ),
             });
+        }
+    }
+    if let Some(c) = run.counters.get("checkpoint/dropped") {
+        if c.total > 0 {
+            findings.push(Finding {
+                severity: Severity::Critical,
+                message: format!(
+                    "checkpoint/dropped = {} — snapshots were abandoned after exhausting IO \
+                     retries; a crash now loses more work than the checkpoint cadence promises",
+                    c.total
+                ),
+            });
+        }
+    }
+    for (name, why) in [
+        ("checkpoint/save_failed", "checkpoint writes hit IO errors (retries recovered them)"),
+        ("checkpoint/fallback", "the newest checkpoint was unreadable and an older one was used"),
+        ("checkpoint/corrupt_skipped", "corrupt checkpoint files were skipped during recovery"),
+    ] {
+        if let Some(c) = run.counters.get(name) {
+            if c.total > 0 {
+                findings.push(Finding {
+                    severity: Severity::Warning,
+                    message: format!("{name} = {} — {why}", c.total),
+                });
+            }
         }
     }
     for (name, v) in &run.values {
@@ -573,5 +624,59 @@ mod tests {
         let findings = doctor(&parse_run(BASE).unwrap());
         assert!(findings.is_empty(), "{findings:?}");
         assert!(render_findings(&findings).contains("healthy"));
+    }
+
+    #[test]
+    fn diff_with_ignores_prefixed_metrics_on_either_side() {
+        let a = parse_run(BASE).unwrap();
+        let mut b = a.clone();
+        // Resumed runs accrue checkpoint bookkeeping the baseline lacks,
+        // and vice versa — both directions must be excluded.
+        b.counters.insert(
+            "checkpoint/loaded".into(),
+            Counter { total: 1, rate_per_s: 0.1 },
+        );
+        let mut a2 = a.clone();
+        a2.counters.insert(
+            "checkpoint/saved".into(),
+            Counter { total: 5, rate_per_s: 0.5 },
+        );
+        let ignore = vec!["checkpoint/".to_string()];
+        let report = diff_with(&a2, &b, &Tolerances::default(), &ignore);
+        assert!(!report.is_regression(), "{}", report.render(true));
+        // Without the ignore list the same comparison trips on both sides.
+        assert!(diff(&a2, &b, &Tolerances::default()).is_regression());
+    }
+
+    #[test]
+    fn doctor_flags_checkpoint_problems() {
+        let text = r#"
+{"type":"meta","run":"flaky","elapsed_s":9}
+{"type":"counter","name":"checkpoint/dropped","total":1,"rate_per_s":0.1}
+{"type":"counter","name":"checkpoint/save_failed","total":2,"rate_per_s":0.2}
+{"type":"counter","name":"checkpoint/fallback","total":1,"rate_per_s":0.1}
+{"type":"counter","name":"checkpoint/corrupt_skipped","total":1,"rate_per_s":0.1}
+"#;
+        let findings = doctor(&parse_run(text).unwrap());
+        assert_eq!(findings.len(), 4, "{findings:?}");
+        assert!(findings.iter().any(|f| f.severity == Severity::Critical
+            && f.message.contains("checkpoint/dropped")));
+        assert!(findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+            == 3);
+    }
+
+    #[test]
+    fn doctor_ignores_healthy_checkpoint_bookkeeping() {
+        let text = r#"
+{"type":"meta","run":"ok","elapsed_s":9}
+{"type":"counter","name":"checkpoint/saved","total":10,"rate_per_s":1}
+{"type":"counter","name":"checkpoint/loaded","total":1,"rate_per_s":0.1}
+{"type":"counter","name":"checkpoint/dropped","total":0,"rate_per_s":0}
+"#;
+        let findings = doctor(&parse_run(text).unwrap());
+        assert!(findings.is_empty(), "{findings:?}");
     }
 }

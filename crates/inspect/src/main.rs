@@ -3,24 +3,27 @@
 //! ```text
 //! hero-inspect summarize RUN
 //! hero-inspect diff BASELINE CANDIDATE [--tol-value F] [--tol-count F]
-//!                  [--tol-counter F] [--abs-floor F] [--fail-on-regression]
-//!                  [--verbose]
+//!                  [--tol-counter F] [--abs-floor F] [--ignore PREFIX]...
+//!                  [--fail-on-regression] [--verbose]
 //! hero-inspect doctor RUN
 //! ```
 //!
 //! `RUN` is a `telemetry.jsonl` file or a directory containing one.
 //! `diff --fail-on-regression` exits 1 when any compared quantity leaves
-//! tolerance or a metric disappears; `doctor` exits 1 when a critical
-//! pathology (watchdog events) is found. Usage errors exit 2.
+//! tolerance or a metric disappears; `--ignore PREFIX` (repeatable)
+//! excludes metrics by name prefix, e.g. `--ignore checkpoint/` when
+//! comparing a resumed run against an uninterrupted one. `doctor` exits 1
+//! when a critical pathology (watchdog events, dropped checkpoints) is
+//! found. Usage errors exit 2.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use hero_inspect::{diff, doctor, load_run, render_findings, summarize, Severity, Tolerances};
+use hero_inspect::{diff_with, doctor, load_run, render_findings, summarize, Severity, Tolerances};
 
 const USAGE: &str = "usage: hero-inspect <summarize RUN | diff BASELINE CANDIDATE \
                      [--tol-value F] [--tol-count F] [--tol-counter F] [--abs-floor F] \
-                     [--fail-on-regression] [--verbose] | doctor RUN>";
+                     [--ignore PREFIX]... [--fail-on-regression] [--verbose] | doctor RUN>";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("hero-inspect: {msg}");
@@ -67,6 +70,7 @@ fn main() -> ExitCode {
 fn run_diff(rest: &[String]) -> ExitCode {
     let mut paths = Vec::new();
     let mut tol = Tolerances::default();
+    let mut ignore_prefixes: Vec<String> = Vec::new();
     let mut fail_on_regression = false;
     let mut verbose = false;
     let mut it = rest.iter();
@@ -83,6 +87,13 @@ fn run_diff(rest: &[String]) -> ExitCode {
             "--tol-count" => tol_flag(&mut tol.count),
             "--tol-counter" => tol_flag(&mut tol.counter),
             "--abs-floor" => tol_flag(&mut tol.abs_floor),
+            "--ignore" => match it.next() {
+                Some(prefix) if !prefix.is_empty() => {
+                    ignore_prefixes.push(prefix.clone());
+                    Ok(())
+                }
+                _ => Err("--ignore requires a non-empty metric-name prefix".into()),
+            },
             "--fail-on-regression" => {
                 fail_on_regression = true;
                 Ok(())
@@ -108,7 +119,7 @@ fn run_diff(rest: &[String]) -> ExitCode {
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), _) | (_, Err(e)) => return fail(&e),
     };
-    let report = diff(&a, &b, &tol);
+    let report = diff_with(&a, &b, &tol, &ignore_prefixes);
     print!("{}", report.render(verbose));
     if fail_on_regression && report.is_regression() {
         ExitCode::FAILURE

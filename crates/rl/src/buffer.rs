@@ -115,6 +115,47 @@ impl<T> ReplayBuffer<T> {
         self.items.clear();
         self.head = 0;
     }
+
+    /// The eviction cursor (next slot to overwrite once full) — exposed
+    /// together with [`ReplayBuffer::items`] so checkpoints can rebuild the
+    /// buffer bit-identically via [`ReplayBuffer::from_parts`].
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// All stored items in raw storage order (not insertion order once the
+    /// buffer has wrapped).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Rebuilds a buffer from state captured via [`ReplayBuffer::items`] /
+    /// [`ReplayBuffer::head`]. Future pushes, samples, and evictions behave
+    /// exactly as they would have on the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the parts are inconsistent (zero capacity,
+    /// more items than capacity, or an out-of-range head).
+    pub fn from_parts(capacity: usize, items: Vec<T>, head: usize) -> Result<Self, String> {
+        if capacity == 0 {
+            return Err("replay buffer capacity must be positive".to_string());
+        }
+        if items.len() > capacity {
+            return Err(format!(
+                "{} items exceed capacity {capacity}",
+                items.len()
+            ));
+        }
+        if head >= capacity {
+            return Err(format!("head {head} out of range for capacity {capacity}"));
+        }
+        Ok(Self {
+            items,
+            capacity,
+            head,
+        })
+    }
 }
 
 impl<'a, T> IntoIterator for &'a ReplayBuffer<T> {

@@ -37,6 +37,7 @@ pub mod per;
 pub mod rng;
 pub mod rollout;
 pub mod schedule;
+pub mod snapshot;
 pub mod target;
 pub mod transition;
 
@@ -45,6 +46,7 @@ pub use explore::{greedy, EpsilonGreedy, GaussianNoise, OrnsteinUhlenbeck};
 pub use metrics::{summarize, MovingAverage, Recorder, Summary};
 pub use per::{PrioritizedReplay, PrioritizedSample, SumTree};
 pub use schedule::Schedule;
+pub use snapshot::{Codec, SnapshotError};
 pub use target::{hard_update, soft_update};
 pub use transition::{
     ContinuousTransition, DiscreteTransition, JointTransition, OptionTransition, Transition,

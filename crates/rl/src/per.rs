@@ -191,6 +191,94 @@ impl<T> PrioritizedReplay<T> {
         self.max_priority = self.max_priority.max(p);
         self.tree.set(index, p.powf(self.alpha));
     }
+
+    /// Total number of slots.
+    pub fn capacity(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Prioritization exponent α.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Importance-correction exponent β.
+    pub fn beta(&self) -> f32 {
+        self.beta
+    }
+
+    /// Largest raw priority seen so far (assigned to fresh pushes).
+    pub fn max_priority(&self) -> f32 {
+        self.max_priority
+    }
+
+    /// The eviction cursor (next slot to overwrite).
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// Slot `i`'s item (if occupied) and its stored leaf mass (`p^α`, the
+    /// value actually held by the sum tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= capacity`.
+    pub fn slot(&self, i: usize) -> (Option<&T>, f32) {
+        (self.items[i].as_ref(), self.tree.get(i))
+    }
+
+    /// Rebuilds a buffer from per-slot state captured via
+    /// [`PrioritizedReplay::slot`] plus the scalar bookkeeping, making
+    /// future sampling and eviction bit-identical to the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the parts are inconsistent (no slots, an
+    /// out-of-range head, or a non-finite/negative priority or
+    /// `max_priority`).
+    pub fn from_parts(
+        alpha: f32,
+        beta: f32,
+        max_priority: f32,
+        head: usize,
+        slots: Vec<(Option<T>, f32)>,
+    ) -> Result<Self, String> {
+        if slots.is_empty() {
+            return Err("prioritized replay needs at least one slot".to_string());
+        }
+        if head >= slots.len() {
+            return Err(format!(
+                "head {head} out of range for capacity {}",
+                slots.len()
+            ));
+        }
+        if !(max_priority.is_finite() && max_priority >= 0.0) {
+            return Err(format!("invalid max_priority {max_priority}"));
+        }
+        let capacity = slots.len();
+        let mut tree = SumTree::new(capacity);
+        let mut items = Vec::with_capacity(capacity);
+        let mut len = 0;
+        for (i, (item, mass)) in slots.into_iter().enumerate() {
+            if !(mass.is_finite() && mass >= 0.0) {
+                return Err(format!("invalid priority mass {mass} at slot {i}"));
+            }
+            if item.is_some() {
+                len += 1;
+            }
+            tree.set(i, mass);
+            items.push(item);
+        }
+        Ok(Self {
+            items,
+            tree,
+            head,
+            len,
+            alpha,
+            beta,
+            max_priority,
+        })
+    }
 }
 
 #[cfg(test)]

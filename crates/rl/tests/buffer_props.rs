@@ -12,7 +12,6 @@ proptest! {
 
     /// A ring buffer never exceeds capacity and always retains exactly the
     /// most recent `min(pushes, capacity)` items.
-    #[test]
     fn ring_buffer_retains_most_recent(
         capacity in 1usize..64,
         pushes in 0usize..200,
@@ -29,7 +28,6 @@ proptest! {
     }
 
     /// Sampled indices are always in range and distinct.
-    #[test]
     fn sample_indices_valid(capacity in 1usize..128, n in 0usize..256) {
         let mut buf = ReplayBuffer::new(capacity);
         for i in 0..capacity {
@@ -47,7 +45,6 @@ proptest! {
 
     /// The sum tree's total always equals the sum of leaf priorities, under
     /// any sequence of sets.
-    #[test]
     fn sum_tree_total_consistent(
         capacity in 1usize..64,
         ops in prop::collection::vec((0usize..64, 0.0f32..10.0), 1..100),
@@ -67,7 +64,6 @@ proptest! {
     }
 
     /// `find` always returns a leaf with positive priority.
-    #[test]
     fn sum_tree_find_hits_positive_leaf(
         capacity in 2usize..64,
         priorities in prop::collection::vec(0.0f32..5.0, 2..64),
@@ -86,7 +82,6 @@ proptest! {
     }
 
     /// Prioritized sampling never returns evicted slots.
-    #[test]
     fn prioritized_never_returns_stale(capacity in 2usize..32, pushes in 33usize..128) {
         let mut buf = PrioritizedReplay::new(capacity, 0.6, 0.4);
         for i in 0..pushes {
@@ -99,7 +94,6 @@ proptest! {
     }
 
     /// Schedules are monotone in the direction of their endpoints.
-    #[test]
     fn linear_schedule_monotone(start in -5.0f32..5.0, end in -5.0f32..5.0, steps in 1usize..100) {
         let s = Schedule::Linear { start, end, steps };
         let mut prev = s.value(0);

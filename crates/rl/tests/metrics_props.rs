@@ -36,7 +36,6 @@ proptest! {
 
     /// After each push the average equals the mean of the last `window`
     /// observations, and the window never holds more than `window` items.
-    #[test]
     fn moving_average_matches_naive_reference(
         values in prop::collection::vec(-1.0e3f32..1.0e3, 1..80),
         window in 1usize..20,
@@ -59,7 +58,6 @@ proptest! {
     }
 
     /// `value()` is stable between pushes and `0.0` when empty.
-    #[test]
     fn moving_average_value_is_idempotent(window in 1usize..10, v in -10.0f32..10.0) {
         let mut ma = MovingAverage::new(window);
         prop_assert_eq!(ma.value(), 0.0);
@@ -72,7 +70,6 @@ proptest! {
     /// Writing a recorder to CSV and parsing the text back yields exactly
     /// the recorded series (same names, same order, same values), with no
     /// NaN/Inf tokens in the file.
-    #[test]
     fn recorder_csv_round_trips(
         a in prop::collection::vec(-1.0e4f32..1.0e4, 0..30),
         b in prop::collection::vec(-1.0e4f32..1.0e4, 0..30),

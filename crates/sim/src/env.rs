@@ -173,6 +173,14 @@ pub trait CooperativeWorld {
     fn has_collided(&self, i: usize) -> bool;
     /// The environment configuration.
     fn config(&self) -> &EnvConfig;
+    /// The internal RNG stream position(s), so a checkpoint can resume
+    /// spawn jitter and domain-randomization noise bit-identically. Worlds
+    /// with several generators concatenate their 4-word states.
+    fn rng_state(&self) -> Vec<u64>;
+    /// Restores RNG stream position(s) captured via
+    /// [`CooperativeWorld::rng_state`]. Ignores input of the wrong length
+    /// (a checkpoint from a different world type).
+    fn set_rng_state(&mut self, state: &[u64]);
 }
 
 /// The multi-vehicle cooperative lane-change environment.
@@ -767,5 +775,13 @@ impl CooperativeWorld for LaneChangeEnv {
     }
     fn config(&self) -> &EnvConfig {
         LaneChangeEnv::config(self)
+    }
+    fn rng_state(&self) -> Vec<u64> {
+        self.rng.state().to_vec()
+    }
+    fn set_rng_state(&mut self, state: &[u64]) {
+        if let Ok(words) = <[u64; 4]>::try_from(state) {
+            self.rng = StdRng::from_state(words);
+        }
     }
 }

@@ -332,4 +332,19 @@ impl crate::env::CooperativeWorld for SimToRealEnv {
     fn config(&self) -> &EnvConfig {
         SimToRealEnv::config(self)
     }
+    fn rng_state(&self) -> Vec<u64> {
+        // Own noise generator first, then the wrapped world's generator.
+        let mut words = self.rng.state().to_vec();
+        words.extend(crate::env::CooperativeWorld::rng_state(&self.inner));
+        words
+    }
+    fn set_rng_state(&mut self, state: &[u64]) {
+        if state.len() != 8 {
+            return;
+        }
+        if let Ok(words) = <[u64; 4]>::try_from(&state[..4]) {
+            self.rng = rand::rngs::StdRng::from_state(words);
+        }
+        crate::env::CooperativeWorld::set_rng_state(&mut self.inner, &state[4..]);
+    }
 }

@@ -24,7 +24,6 @@ proptest! {
 
     /// Lidar returns are always normalized and finite, for any vehicle
     /// configuration.
-    #[test]
     fn lidar_always_normalized(vehicles in prop::collection::vec(arbitrary_vehicle(), 1..6)) {
         let track = Track::double_lane();
         let params = VehicleParams::default();
@@ -38,7 +37,6 @@ proptest! {
 
     /// Lidar is monotone in obstacle distance: moving the only obstacle
     /// farther away (straight ahead) never shortens the front beam.
-    #[test]
     fn lidar_monotone_in_distance(d1 in 0.5f32..1.0, extra in 0.05f32..0.9) {
         let track = Track::double_lane();
         let params = VehicleParams::default();
@@ -52,7 +50,6 @@ proptest! {
     }
 
     /// Camera cells only ever take the three defined values.
-    #[test]
     fn camera_values_are_categorical(vehicles in prop::collection::vec(arbitrary_vehicle(), 1..6)) {
         let track = Track::double_lane();
         let params = VehicleParams::default();
@@ -64,7 +61,6 @@ proptest! {
 
     /// A ray that reports a hit at distance t: the point origin + t·dir
     /// lies on (or inside) the box boundary.
-    #[test]
     fn ray_hits_land_on_box(
         cx in -2.0f32..2.0,
         cy in -2.0f32..2.0,
@@ -83,7 +79,6 @@ proptest! {
     }
 
     /// OBB intersection is reflexive and symmetric.
-    #[test]
     fn obb_intersection_symmetric(
         ax in -2.0f32..2.0, ay in -1.0f32..1.0, ah in -1.5f32..1.5,
         bx in -2.0f32..2.0, by in -1.0f32..1.0, bh in -1.5f32..1.5,
@@ -96,7 +91,6 @@ proptest! {
 
     /// Vehicles never exceed their speed limits after a step, and heading
     /// stays clamped.
-    #[test]
     fn kinematics_respect_limits(
         mut v in arbitrary_vehicle(),
         lin in -1.0f32..1.0,

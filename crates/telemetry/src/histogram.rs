@@ -136,6 +136,53 @@ impl StreamingHistogram {
         sorted[idx].clamp(self.min, self.max)
     }
 
+    /// Captures the complete internal state — exact moments, reservoir
+    /// contents, and the reservoir RNG — for checkpointing. Restoring via
+    /// [`StreamingHistogram::from_state`] and replaying the same
+    /// observation sequence reproduces bit-identical [`stats`](Self::stats).
+    pub fn export_state(&self) -> HistogramState {
+        HistogramState {
+            count: self.count,
+            rejected: self.rejected,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            reservoir: self.reservoir.clone(),
+            capacity: self.capacity,
+            rng_state: self.rng_state,
+        }
+    }
+
+    /// Rebuilds a histogram from state captured by
+    /// [`StreamingHistogram::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the state is structurally inconsistent
+    /// (zero capacity or an over-full reservoir).
+    pub fn from_state(state: HistogramState) -> Result<Self, String> {
+        if state.capacity == 0 {
+            return Err("histogram capacity must be positive".to_string());
+        }
+        if state.reservoir.len() > state.capacity {
+            return Err(format!(
+                "reservoir holds {} samples but capacity is {}",
+                state.reservoir.len(),
+                state.capacity
+            ));
+        }
+        Ok(Self {
+            count: state.count,
+            rejected: state.rejected,
+            sum: state.sum,
+            min: state.min,
+            max: state.max,
+            reservoir: state.reservoir,
+            capacity: state.capacity,
+            rng_state: state.rng_state,
+        })
+    }
+
     /// Condensed summary used by the emitters.
     pub fn stats(&self) -> HistogramStats {
         HistogramStats {
@@ -149,6 +196,28 @@ impl StreamingHistogram {
             p99: self.quantile(0.99),
         }
     }
+}
+
+/// Complete internal state of a [`StreamingHistogram`], captured by
+/// [`StreamingHistogram::export_state`] for checkpointing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramState {
+    /// Accepted observation count.
+    pub count: u64,
+    /// Dropped (non-finite) observation count.
+    pub rejected: u64,
+    /// Exact running sum.
+    pub sum: f64,
+    /// Raw running minimum (`+inf` when empty).
+    pub min: f64,
+    /// Raw running maximum (`-inf` when empty).
+    pub max: f64,
+    /// Reservoir samples in insertion order.
+    pub reservoir: Vec<f64>,
+    /// Reservoir capacity.
+    pub capacity: usize,
+    /// SplitMix64 state of the reservoir RNG.
+    pub rng_state: u64,
 }
 
 /// Point-in-time summary of a [`StreamingHistogram`].
@@ -226,6 +295,37 @@ mod tests {
             h.stats()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_bit_identically() {
+        // Interrupt-and-resume at an arbitrary point must match the
+        // uninterrupted stream exactly, including reservoir quantiles.
+        let observe_range = |h: &mut StreamingHistogram, range: std::ops::Range<u64>| {
+            for i in range {
+                h.observe((i as f64).sin() * 50.0);
+            }
+        };
+        let mut full = StreamingHistogram::with_capacity(32);
+        observe_range(&mut full, 0..5_000);
+
+        let mut part1 = StreamingHistogram::with_capacity(32);
+        observe_range(&mut part1, 0..1_234);
+        let mut part2 = StreamingHistogram::from_state(part1.export_state()).unwrap();
+        observe_range(&mut part2, 1_234..5_000);
+
+        assert_eq!(full.stats(), part2.stats());
+        assert_eq!(full.export_state(), part2.export_state());
+    }
+
+    #[test]
+    fn invalid_state_rejected() {
+        let mut state = StreamingHistogram::with_capacity(4).export_state();
+        state.capacity = 0;
+        assert!(StreamingHistogram::from_state(state.clone()).is_err());
+        state.capacity = 2;
+        state.reservoir = vec![1.0, 2.0, 3.0];
+        assert!(StreamingHistogram::from_state(state).is_err());
     }
 
     #[test]

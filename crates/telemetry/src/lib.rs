@@ -48,8 +48,8 @@ use std::time::Instant;
 
 use parking_lot::RwLock;
 
-pub use histogram::{HistogramStats, StreamingHistogram};
-pub use registry::{CounterStats, Registry, Snapshot, TelemetryConfig};
+pub use histogram::{HistogramState, HistogramStats, StreamingHistogram};
+pub use registry::{CounterStats, Registry, RegistryState, Snapshot, TelemetryConfig};
 pub use trace::{TraceEvent, TracePhase};
 
 /// Count of live sinks (global installs + scoped registries across all
@@ -291,6 +291,35 @@ pub fn snapshot() -> Option<Snapshot> {
         return None;
     }
     with_registry(Registry::snapshot)
+}
+
+/// Captures the full mutable state of the registry visible to this thread
+/// (counters, span histograms, value histograms) for checkpointing.
+/// `None` without an active sink.
+pub fn export_state() -> Option<RegistryState> {
+    if disabled() {
+        return None;
+    }
+    with_registry(Registry::export_state)
+}
+
+/// Restores state captured by [`export_state`] into the registry visible
+/// to this thread. Returns `Ok(false)` without an active sink (the state
+/// is simply dropped — resuming an un-instrumented run stays valid).
+///
+/// # Errors
+///
+/// Propagates structural-validation failures from
+/// [`Registry::restore_state`].
+pub fn restore_state(state: &RegistryState) -> Result<bool, String> {
+    if disabled() {
+        return Ok(false);
+    }
+    match with_registry(|r| r.restore_state(state)) {
+        Some(Ok(())) => Ok(true),
+        Some(Err(e)) => Err(e),
+        None => Ok(false),
+    }
 }
 
 /// Writes emitter outputs for the registry visible to this thread.

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
-use crate::histogram::{HistogramStats, StreamingHistogram};
+use crate::histogram::{HistogramState, HistogramStats, StreamingHistogram};
 use crate::trace::TraceEvent;
 
 /// Configuration for a telemetry sink.
@@ -184,6 +184,67 @@ impl Registry {
         }
     }
 
+    /// Captures the complete mutable state of every counter, span
+    /// histogram, and value histogram for checkpointing. Restoring via
+    /// [`Registry::restore_state`] and replaying the same record sequence
+    /// reproduces bit-identical counter totals and value statistics.
+    /// (Trace events and wall-clock elapsed time are deliberately not
+    /// captured; they describe the process, not the training run.)
+    pub fn export_state(&self) -> RegistryState {
+        RegistryState {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(name, c)| ((*name).to_string(), c.load(Ordering::Relaxed)))
+                .collect(),
+            spans: self
+                .spans
+                .lock()
+                .iter()
+                .map(|(name, h)| (name.clone(), h.export_state()))
+                .collect(),
+            values: self
+                .values
+                .lock()
+                .iter()
+                .map(|(name, h)| (name.clone(), h.export_state()))
+                .collect(),
+        }
+    }
+
+    /// Replaces this registry's counters and histograms with `state`
+    /// (captured by [`Registry::export_state`], possibly in a previous
+    /// process).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a histogram state is structurally invalid;
+    /// the registry is left unchanged in that case.
+    pub fn restore_state(&self, state: &RegistryState) -> Result<(), String> {
+        let mut spans = BTreeMap::new();
+        for (name, hs) in &state.spans {
+            spans.insert(name.clone(), StreamingHistogram::from_state(hs.clone())?);
+        }
+        let mut values = BTreeMap::new();
+        for (name, hs) in &state.values {
+            values.insert(name.clone(), StreamingHistogram::from_state(hs.clone())?);
+        }
+        let mut counters = BTreeMap::new();
+        for (name, total) in &state.counters {
+            // The counter map is keyed by `&'static str` so the hot
+            // `counter_add` path stays allocation-free. Restored names come
+            // from a file; leak them once. The name set is small and fixed
+            // per run, so the leak is bounded.
+            let name: &'static str = Box::leak(name.clone().into_boxed_str());
+            counters.insert(name, Arc::new(AtomicU64::new(*total)));
+        }
+        *self.counters.write() = counters;
+        *self.spans.lock() = spans;
+        *self.values.lock() = values;
+        Ok(())
+    }
+
     /// Prints a rate-limited one-line progress summary to stderr. Returns
     /// whether a line was printed.
     pub fn progress(&self, context: &str) -> bool {
@@ -207,6 +268,155 @@ impl std::fmt::Debug for Registry {
             .field("run_label", &self.cfg.run_label)
             .field("elapsed", &self.elapsed())
             .finish_non_exhaustive()
+    }
+}
+
+/// Complete mutable state of a [`Registry`], captured by
+/// [`Registry::export_state`] for trainer checkpoints.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistryState {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Full span-histogram states by span path.
+    pub spans: BTreeMap<String, HistogramState>,
+    /// Full value-histogram states by name.
+    pub values: BTreeMap<String, HistogramState>,
+}
+
+impl RegistryState {
+    /// Serializes the state to a compact little-endian byte blob, suitable
+    /// for storage as an opaque checkpoint section.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        fn put_hist(out: &mut Vec<u8>, h: &HistogramState) {
+            out.extend_from_slice(&h.count.to_le_bytes());
+            out.extend_from_slice(&h.rejected.to_le_bytes());
+            out.extend_from_slice(&h.sum.to_le_bytes());
+            out.extend_from_slice(&h.min.to_le_bytes());
+            out.extend_from_slice(&h.max.to_le_bytes());
+            out.extend_from_slice(&(h.capacity as u64).to_le_bytes());
+            out.extend_from_slice(&h.rng_state.to_le_bytes());
+            out.extend_from_slice(&(h.reservoir.len() as u64).to_le_bytes());
+            for v in &h.reservoir {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.counters.len() as u32).to_le_bytes());
+        for (name, total) in &self.counters {
+            put_str(&mut out, name);
+            out.extend_from_slice(&total.to_le_bytes());
+        }
+        for map in [&self.spans, &self.values] {
+            out.extend_from_slice(&(map.len() as u32).to_le_bytes());
+            for (name, h) in map {
+                put_str(&mut out, name);
+                put_hist(&mut out, h);
+            }
+        }
+        out
+    }
+
+    /// Parses a blob produced by [`RegistryState::to_bytes`]. Every length
+    /// field is validated against the bytes present before any allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on any truncation or structural inconsistency.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        struct R<'a> {
+            buf: &'a [u8],
+            pos: usize,
+        }
+        impl<'a> R<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+                if n > self.buf.len() - self.pos {
+                    return Err("telemetry state blob is truncated".to_string());
+                }
+                let out = &self.buf[self.pos..self.pos + n];
+                self.pos += n;
+                Ok(out)
+            }
+            fn u32(&mut self) -> Result<u32, String> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+            fn u64(&mut self) -> Result<u64, String> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+            fn f64(&mut self) -> Result<f64, String> {
+                Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+            fn string(&mut self) -> Result<String, String> {
+                let len = self.u32()? as usize;
+                if len > 1 << 16 {
+                    return Err(format!("telemetry state name length {len} is absurd"));
+                }
+                String::from_utf8(self.take(len)?.to_vec())
+                    .map_err(|_| "telemetry state name is not utf-8".to_string())
+            }
+            fn hist(&mut self) -> Result<HistogramState, String> {
+                let count = self.u64()?;
+                let rejected = self.u64()?;
+                let sum = self.f64()?;
+                let min = self.f64()?;
+                let max = self.f64()?;
+                let capacity = self.u64()? as usize;
+                let rng_state = self.u64()?;
+                let len = self.u64()? as usize;
+                if len > capacity || capacity > 1 << 24 {
+                    return Err(format!(
+                        "telemetry histogram reservoir length {len} exceeds capacity {capacity}"
+                    ));
+                }
+                let raw = self.take(len.checked_mul(8).ok_or("reservoir length overflows")?)?;
+                let mut reservoir = Vec::with_capacity(len);
+                for chunk in raw.chunks_exact(8) {
+                    reservoir.push(f64::from_le_bytes(chunk.try_into().unwrap()));
+                }
+                Ok(HistogramState {
+                    count,
+                    rejected,
+                    sum,
+                    min,
+                    max,
+                    reservoir,
+                    capacity,
+                    rng_state,
+                })
+            }
+        }
+        let mut r = R { buf: bytes, pos: 0 };
+        let n_counters = r.u32()? as usize;
+        let mut counters = BTreeMap::new();
+        for _ in 0..n_counters {
+            let name = r.string()?;
+            let total = r.u64()?;
+            counters.insert(name, total);
+        }
+        let mut maps = [BTreeMap::new(), BTreeMap::new()];
+        for map in &mut maps {
+            let n = r.u32()? as usize;
+            for _ in 0..n {
+                let name = r.string()?;
+                let h = r.hist()?;
+                map.insert(name, h);
+            }
+        }
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after telemetry state",
+                bytes.len() - r.pos
+            ));
+        }
+        let [spans, values] = maps;
+        Ok(Self {
+            counters,
+            spans,
+            values,
+        })
     }
 }
 
@@ -352,6 +562,49 @@ mod tests {
         assert_eq!(snap.values.len(), 3);
         assert_eq!(snap.values["grad_norm/actor/l1"].count, 2);
         assert!((snap.values["grad_norm/actor/l1"].mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_identical() {
+        let a = Registry::new(TelemetryConfig::default());
+        a.counter_add("env_steps", 41);
+        a.record_span("rollout".into(), Duration::from_micros(120));
+        for i in 0..200 {
+            a.observe("reward", (i as f64).cos());
+        }
+        let blob = a.export_state().to_bytes();
+        let state = RegistryState::from_bytes(&blob).unwrap();
+        assert_eq!(state, a.export_state());
+
+        let b = Registry::new(TelemetryConfig::default());
+        b.restore_state(&state).unwrap();
+        // Continue both identically; stats must stay bit-identical.
+        for r in [&a, &b] {
+            r.counter_add("env_steps", 1);
+            for i in 200..400 {
+                r.observe("reward", (i as f64).cos());
+            }
+        }
+        assert_eq!(a.export_state(), b.export_state());
+        assert_eq!(
+            a.snapshot().counter_totals(),
+            b.snapshot().counter_totals()
+        );
+        assert_eq!(a.snapshot().values, b.snapshot().values);
+    }
+
+    #[test]
+    fn state_from_truncated_bytes_fails_cleanly() {
+        let r = Registry::new(TelemetryConfig::default());
+        r.counter_add("c", 7);
+        r.observe("v", 1.0);
+        let blob = r.export_state().to_bytes();
+        for cut in 0..blob.len() {
+            assert!(
+                RegistryState::from_bytes(&blob[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
     }
 
     #[test]

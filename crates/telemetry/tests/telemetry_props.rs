@@ -14,7 +14,6 @@ proptest! {
 
     /// Every quantile estimate stays inside `[min, max]` of the observed
     /// values, for any stream and any reservoir capacity.
-    #[test]
     fn quantiles_bounded_by_observed_extremes(
         values in prop::collection::vec(-1.0e6f64..1.0e6, 1..200),
         capacity in 1usize..64,
@@ -34,7 +33,6 @@ proptest! {
 
     /// Exact moments match a naive reference and non-finite observations
     /// never contaminate them.
-    #[test]
     fn histogram_moments_match_reference(
         values in prop::collection::vec(-1.0e3f64..1.0e3, 0..100),
         junk in 0usize..4,
@@ -57,7 +55,6 @@ proptest! {
     /// Counter totals equal the sum of all increments regardless of how
     /// increments to different counters interleave, and every prefix of
     /// the sequence leaves the running total monotonically non-decreasing.
-    #[test]
     fn counters_monotone_under_interleavings(
         ops in prop::collection::vec((0usize..3, 0u64..1000), 1..60),
     ) {
@@ -82,7 +79,6 @@ proptest! {
     }
 
     /// Concurrent increments from several threads are never lost.
-    #[test]
     fn counters_exact_under_concurrency(per_thread in 1u64..500, threads in 1usize..5) {
         let r = std::sync::Arc::new(Registry::new(TelemetryConfig::default()));
         std::thread::scope(|s| {
@@ -100,7 +96,6 @@ proptest! {
 
     /// JSONL emit → parse round-trips counter totals, span counts, and
     /// value summaries exactly, and the text never contains NaN/Inf.
-    #[test]
     fn jsonl_round_trip(
         counts in prop::collection::vec(0u64..100_000, 1..5),
         samples in prop::collection::vec(-1.0e3f64..1.0e3, 1..40),
@@ -146,7 +141,6 @@ proptest! {
 
     /// The BENCH summary is itself one parseable flat JSON object carrying
     /// each counter's total.
-    #[test]
     fn bench_summary_parses(counts in prop::collection::vec(0u64..1_000, 1..4)) {
         let r = Registry::new(TelemetryConfig::default());
         let names = ["env_steps", "episodes", "grad_updates"];

@@ -22,7 +22,8 @@ echo "=== learning-dynamics golden diff"
 # (so the skill library retrains instead of loading a checkpoint, which
 # would change the telemetry) and gate against the committed baseline.
 # Only seed-deterministic statistics are compared; see DESIGN.md.
-cargo build --release -q -p hero-bench --bin fig10_opponent_loss -p hero-inspect
+cargo build --release -q -p hero-bench --bin fig10_opponent_loss \
+    -p hero-inspect --bin hero-inspect
 DIAG=$(mktemp -d /tmp/hero-diag.XXXXXX)
 ./target/release/fig10_opponent_loss \
     --episodes 6 --eval-episodes 1 --skill-episodes 2 --batch-size 8 \
@@ -31,5 +32,57 @@ DIAG=$(mktemp -d /tmp/hero-diag.XXXXXX)
 ./target/release/hero-inspect diff \
     tests/golden/diag_baseline.jsonl "$DIAG/tel" --fail-on-regression
 ./target/release/hero-inspect doctor "$DIAG/tel"
+
+echo "=== kill-and-resume smoke"
+# A seeded run crashed mid-training (injected kill, exit 137) and resumed
+# from its checkpoint must be indistinguishable from an uninterrupted run:
+# zero-tolerance telemetry diff (checkpoint/ bookkeeping excluded) and
+# byte-identical figure CSVs. Then corrupt the newest checkpoint and prove
+# resume falls back to the previous good one.
+CRASH=$(mktemp -d /tmp/hero-crash.XXXXXX)
+RUN_FLAGS=(--episodes 6 --eval-episodes 1 --skill-episodes 2 --batch-size 8
+           --update-every 1 --seed 7 --checkpoint-every 2)
+# Reuse one skill bootstrap for every run: the library is trained once,
+# checkpointed under --out, and loaded (bit-identically) thereafter.
+./target/release/fig10_opponent_loss "${RUN_FLAGS[@]}" \
+    --out "$CRASH/shared" --telemetry-out "$CRASH/tel-warm" \
+    --checkpoint-dir "$CRASH/ckpt-warm" >/dev/null
+
+# Run A: uninterrupted.
+./target/release/fig10_opponent_loss "${RUN_FLAGS[@]}" \
+    --out "$CRASH/shared" --telemetry-out "$CRASH/tel-a" \
+    --checkpoint-dir "$CRASH/ckpt-a" >/dev/null
+cp "$CRASH/shared/fig10_opponent_loss.csv" "$CRASH/fig10_a.csv"
+
+# Run B: killed at episode 3 (expected exit 137), then resumed. The
+# killed run needs telemetry installed too — checkpoints embed the live
+# registry state so the resumed run's totals cover the whole run.
+rc=0
+./target/release/fig10_opponent_loss "${RUN_FLAGS[@]}" \
+    --out "$CRASH/shared" --telemetry-out "$CRASH/tel-b1" \
+    --checkpoint-dir "$CRASH/ckpt-b" \
+    --fault-plan kill@ep:3 >/dev/null || rc=$?
+test "$rc" -eq 137 || { echo "expected exit 137 from injected kill, got $rc"; exit 1; }
+./target/release/fig10_opponent_loss "${RUN_FLAGS[@]}" \
+    --out "$CRASH/shared" --telemetry-out "$CRASH/tel-b" \
+    --checkpoint-dir "$CRASH/ckpt-b" --resume >/dev/null
+
+# Bit-identical telemetry (counters AND value statistics) and CSVs.
+./target/release/hero-inspect diff "$CRASH/tel-a" "$CRASH/tel-b" \
+    --tol-value 0 --tol-count 0 --tol-counter 0 --abs-floor 0 \
+    --ignore checkpoint/ --fail-on-regression
+cmp "$CRASH/fig10_a.csv" "$CRASH/shared/fig10_opponent_loss.csv"
+
+# Corrupt the newest checkpoint of run B; resume must fall back to the
+# previous good one and count the recovery.
+newest=$(ls "$CRASH/ckpt-b/HERO"/ckpt-*.hero | sort | tail -n 1)
+truncate -s 64 "$newest"
+./target/release/fig10_opponent_loss "${RUN_FLAGS[@]}" \
+    --out "$CRASH/shared" --telemetry-out "$CRASH/tel-c" \
+    --checkpoint-dir "$CRASH/ckpt-b" --resume >/dev/null
+grep -q '^checkpoint/fallback,1,' "$CRASH/tel-c/counters.csv" \
+    || { echo "expected checkpoint/fallback=1 after corrupting the newest checkpoint"; \
+         cat "$CRASH/tel-c/counters.csv"; exit 1; }
+rm -rf "$CRASH"
 
 echo "=== CI passed"

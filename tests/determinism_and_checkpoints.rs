@@ -131,6 +131,220 @@ fn hero_training_metrics_and_telemetry_are_deterministic() {
     assert!(counters_a.contains_key("lidar_scans"));
 }
 
+/// Builds the same tiny HERO training setup every time it is called, so a
+/// killed-and-resumed process (modelled here as a fresh team + env fed
+/// from the checkpoint) starts from exactly the state a real restart
+/// would reconstruct.
+fn hero_crash_fixture(seed: u64) -> (hero_sim::env::LaneChangeEnv, hero_core::HeroTeam) {
+    let cfg = EnvConfig {
+        max_steps: 6,
+        ..EnvConfig::default()
+    };
+    let skills = std::sync::Arc::new(SkillLibrary::untrained(
+        cfg,
+        SacConfig {
+            hidden: 8,
+            ..SacConfig::default()
+        },
+        seed,
+    ));
+    let hero_cfg = HeroConfig {
+        hidden: 8,
+        batch_size: 8,
+        warmup: 8,
+        ..HeroConfig::default()
+    };
+    let env = scenario::congestion(cfg, seed);
+    let team = hero_core::HeroTeam::new(3, cfg.high_dim(), skills, hero_cfg, seed);
+    (env, team)
+}
+
+fn crash_opts(episodes: usize, seed: u64) -> hero_core::trainer::TrainOptions {
+    hero_core::trainer::TrainOptions {
+        episodes,
+        update_every: 2,
+        seed,
+    }
+}
+
+/// Deterministic non-`checkpoint/` telemetry: counter totals plus the
+/// order-independent fields of every value histogram.
+type TelemetryFingerprint = (
+    std::collections::BTreeMap<String, u64>,
+    std::collections::BTreeMap<String, (u64, f64, f64, f64)>,
+);
+
+fn telemetry_fingerprint(snap: &hero_rl::telemetry::Snapshot) -> TelemetryFingerprint {
+    let counters = snap
+        .counter_totals()
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("checkpoint/"))
+        .collect();
+    let values = snap
+        .values
+        .iter()
+        .map(|(name, v)| (name.clone(), (v.count, v.mean, v.min, v.max)))
+        .collect();
+    (counters, values)
+}
+
+fn recorder_series(rec: &hero_rl::metrics::Recorder) -> Vec<(String, Vec<f32>)> {
+    rec.names()
+        .iter()
+        .map(|&n| (n.to_string(), rec.series(n).unwrap().to_vec()))
+        .collect()
+}
+
+/// The tentpole guarantee: a seeded HERO run killed mid-training and
+/// resumed from its checkpoint produces bit-identical metric series AND
+/// bit-identical telemetry (counters and value statistics, modulo the
+/// `checkpoint/*` bookkeeping) to the same run left uninterrupted.
+#[test]
+fn hero_kill_and_resume_is_bit_identical() {
+    use hero_core::trainer::{train_team_checkpointed, CheckpointConfig};
+    use hero_faultplan::{FaultPlan, KillMode};
+    use hero_rl::telemetry;
+
+    let base = std::env::temp_dir().join(format!("hero_resume_it_{}", std::process::id()));
+    let dir_a = base.join("uninterrupted");
+    let dir_b = base.join("crashed");
+    let seed = 23;
+    let episodes = 6;
+
+    // Run A: uninterrupted, checkpointing every 2 episodes.
+    let (series_a, telem_a) = {
+        let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let (mut env, mut team) = hero_crash_fixture(seed);
+        let out = train_team_checkpointed(
+            &mut team,
+            &mut env,
+            &crash_opts(episodes, seed),
+            &CheckpointConfig {
+                every: 2,
+                dir: Some(dir_a.clone()),
+                ..CheckpointConfig::default()
+            },
+        );
+        assert!(out.completed);
+        assert_eq!(out.episodes_run, episodes);
+        (recorder_series(&out.recorder), telemetry_fingerprint(&sink.snapshot()))
+    };
+
+    // Run B1: identical setup, killed at the start of episode 3 — after
+    // the episode-1 checkpoint, so episode 2's work is lost and must be
+    // redone identically on resume.
+    {
+        let _sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let (mut env, mut team) = hero_crash_fixture(seed);
+        let out = train_team_checkpointed(
+            &mut team,
+            &mut env,
+            &crash_opts(episodes, seed),
+            &CheckpointConfig {
+                every: 2,
+                dir: Some(dir_b.clone()),
+                fault_plan: FaultPlan::parse("kill@ep:3").unwrap(),
+                kill_mode: KillMode::Return,
+                ..CheckpointConfig::default()
+            },
+        );
+        assert!(!out.completed, "the injected kill must stop the run");
+        assert_eq!(out.episodes_run, 3);
+    }
+
+    // Run B2: fresh process state, resumed from the crashed run's
+    // newest checkpoint.
+    let (series_b, telem_b, loaded) = {
+        let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let (mut env, mut team) = hero_crash_fixture(seed);
+        let out = train_team_checkpointed(
+            &mut team,
+            &mut env,
+            &crash_opts(episodes, seed),
+            &CheckpointConfig {
+                every: 2,
+                dir: Some(dir_b.clone()),
+                resume: true,
+                ..CheckpointConfig::default()
+            },
+        );
+        assert!(out.completed);
+        assert!(out.episodes_run < episodes, "resume must skip completed episodes");
+        let snap = sink.snapshot();
+        let loaded = snap.counter_totals().get("checkpoint/loaded").copied();
+        (recorder_series(&out.recorder), telemetry_fingerprint(&snap), loaded)
+    };
+
+    assert_eq!(loaded, Some(1), "the resume must come from a checkpoint");
+    assert_eq!(series_a, series_b, "metric series must be bit-identical");
+    assert_eq!(telem_a.0, telem_b.0, "counter totals must be bit-identical");
+    assert_eq!(telem_a.1, telem_b.1, "value statistics must be bit-identical");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// When the newest checkpoint file is corrupted, resume must fall back to
+/// the previous good one (counting the skip) instead of failing or
+/// silently restarting from scratch.
+#[test]
+fn hero_resume_falls_back_past_corrupt_newest_checkpoint() {
+    use hero_core::trainer::{train_team_checkpointed, CheckpointConfig};
+    use hero_faultplan::{corrupt_file, CorruptMode};
+    use hero_rl::telemetry;
+
+    let dir = std::env::temp_dir().join(format!("hero_fallback_it_{}", std::process::id()));
+    let seed = 29;
+
+    {
+        let _sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let (mut env, mut team) = hero_crash_fixture(seed);
+        let out = train_team_checkpointed(
+            &mut team,
+            &mut env,
+            &crash_opts(4, seed),
+            &CheckpointConfig {
+                every: 1,
+                dir: Some(dir.clone()),
+                ..CheckpointConfig::default()
+            },
+        );
+        assert!(out.completed);
+    }
+
+    // Corrupt the newest checkpoint file on disk.
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "hero"))
+        .max()
+        .expect("checkpoints were written");
+    corrupt_file(&newest, CorruptMode::Truncate).unwrap();
+
+    let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+    let (mut env, mut team) = hero_crash_fixture(seed);
+    let out = train_team_checkpointed(
+        &mut team,
+        &mut env,
+        &crash_opts(6, seed),
+        &CheckpointConfig {
+            every: 2,
+            dir: Some(dir.clone()),
+            resume: true,
+            ..CheckpointConfig::default()
+        },
+    );
+    assert!(out.completed);
+    let counters = sink.snapshot().counter_totals();
+    assert_eq!(counters.get("checkpoint/loaded"), Some(&1), "{counters:?}");
+    assert_eq!(counters.get("checkpoint/fallback"), Some(&1), "{counters:?}");
+    assert!(
+        counters.get("checkpoint/corrupt_skipped").copied().unwrap_or(0) >= 1,
+        "{counters:?}"
+    );
+    // Resumed from episode 3 (the surviving checkpoint), finished all 6.
+    assert_eq!(out.recorder.series("reward").unwrap().len(), 6);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn dqn_checkpoint_restores_identical_greedy_policy() {
     let mut rng = StdRng::seed_from_u64(31);

@@ -34,7 +34,6 @@ proptest! {
 
     /// Arbitrary command sequences keep every observation normalized and
     /// finite, and episodes always terminate within max_steps.
-    #[test]
     fn observations_stay_normalized(cmds in prop::collection::vec(
         (0.0f32..0.3, -0.4f32..0.4), 1..24
     )) {
@@ -64,7 +63,6 @@ proptest! {
 
     /// Every option's termination condition fires within a bounded number
     /// of ticks regardless of the vehicle state it observes.
-    #[test]
     fn option_termination_always_reachable(
         d in 0.0f32..0.8,
         heading in -0.6f32..0.6,
@@ -89,7 +87,6 @@ proptest! {
 
     /// Denormalized per-option actions always land inside the paper's
     /// printed bounds, for any squashed input (even out of range).
-    #[test]
     fn action_bounds_respected(lin in -3.0f32..3.0, ang in -3.0f32..3.0, idx in 1usize..4) {
         let option = DrivingOption::from_index(idx);
         let bounds = option.action_bounds().unwrap();
@@ -100,7 +97,6 @@ proptest! {
 
     /// Track wrap-around arithmetic: signed deltas are always the shortest
     /// way around and wrapping is idempotent.
-    #[test]
     fn track_wrapping(from in -30.0f32..30.0, to in -30.0f32..30.0) {
         let t = Track::double_lane();
         let delta = t.signed_delta(from, to);

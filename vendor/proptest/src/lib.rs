@@ -341,12 +341,15 @@ pub mod prelude {
 /// ```ignore
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(64))]
-///     #[test]
 ///     fn my_prop(x in 0usize..10, v in prop::collection::vec(0.0f32..1.0, 1..8)) {
 ///         prop_assert!(x < 10);
 ///     }
 /// }
 /// ```
+///
+/// `#[test]` is inserted automatically (as in real proptest), so bodies must
+/// not repeat it — a duplicate would be a compile error. Extra attributes
+/// such as `#[ignore]` or `#[should_panic]` still pass through.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -367,6 +370,7 @@ macro_rules! __proptest_items {
         $(#[$meta:meta])*
         fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
     )*) => {$(
+        #[test]
         $(#[$meta])*
         fn $name() {
             let __pt_cfg = $cfg;
@@ -454,28 +458,23 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
-        #[test]
         fn ranges_in_bounds(x in 3usize..9, f in -1.0f32..1.0) {
             prop_assert!((3..9).contains(&x));
             prop_assert!((-1.0..1.0).contains(&f));
         }
 
-        #[test]
         fn vec_lengths_respected(v in prop::collection::vec(0.0f32..1.0, 2..7)) {
             prop_assert!((2..7).contains(&v.len()));
         }
 
-        #[test]
         fn exact_vec_length(v in prop::collection::vec(0usize..5, 4)) {
             prop_assert_eq!(v.len(), 4);
         }
 
-        #[test]
         fn map_and_oneof(v in prop_oneof![(-2.0f32..-1.0), (1.0f32..2.0)].prop_map(|x| x * 2.0)) {
             prop_assert!(v.abs() >= 2.0 && v.abs() < 4.0);
         }
 
-        #[test]
         fn assume_rejects_without_failing(x in 0usize..10) {
             prop_assume!(x % 2 == 0);
             prop_assert_eq!(x % 2, 0);
