@@ -131,7 +131,7 @@ pub fn grad_health(p: &Parameter) -> GradHealth {
         }
     }
     GradHealth {
-        name: p.name(),
+        name: p.name().to_string(),
         shape: p.shape(),
         grad_l2: sq.sqrt(),
         grad_linf: linf,

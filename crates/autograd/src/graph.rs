@@ -29,7 +29,10 @@ use std::sync::Arc;
 
 use parking_lot::{MappedRwLockReadGuard, RwLock, RwLockReadGuard};
 
-use crate::tensor::{matmul as tensor_matmul, Tensor};
+use crate::tensor::{
+    matmul_into as tensor_matmul_into, matmul_nt_into as tensor_matmul_nt_into,
+    matmul_tn_into as tensor_matmul_tn_into, Tensor, TensorPool,
+};
 
 /// Identifier of a node on a [`Graph`] tape.
 ///
@@ -38,7 +41,6 @@ use crate::tensor::{matmul as tensor_matmul, Tensor};
 pub type NodeId = usize;
 
 struct ParamInner {
-    name: String,
     value: Tensor,
     grad: Tensor,
 }
@@ -52,32 +54,42 @@ struct ParamInner {
 /// threads (the paper trains the low-level skills in parallel
 /// environments).
 #[derive(Clone)]
-pub struct Parameter(Arc<RwLock<ParamInner>>);
+pub struct Parameter {
+    // The name is immutable after construction and read on every per-step
+    // diagnostics call, so it lives outside the value/grad lock.
+    name: Arc<str>,
+    inner: Arc<RwLock<ParamInner>>,
+}
 
 impl Parameter {
     /// Creates a parameter with an initial value and a zeroed gradient.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().to_vec());
-        Self(Arc::new(RwLock::new(ParamInner {
-            name: name.into(),
-            value,
-            grad,
-        })))
+        Self {
+            name: Arc::from(name.into()),
+            inner: Arc::new(RwLock::new(ParamInner { value, grad })),
+        }
     }
 
-    /// The human-readable name given at construction.
-    pub fn name(&self) -> String {
-        self.0.read().name.clone()
+    /// The human-readable name given at construction. Lock-free and
+    /// allocation-free; use [`Parameter::name_arc`] to hold on to it.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A cheaply clonable handle to the name.
+    pub fn name_arc(&self) -> Arc<str> {
+        Arc::clone(&self.name)
     }
 
     /// The parameter's shape.
     pub fn shape(&self) -> Vec<usize> {
-        self.0.read().value.shape().to_vec()
+        self.inner.read().value.shape().to_vec()
     }
 
     /// Number of scalar elements.
     pub fn len(&self) -> usize {
-        self.0.read().value.len()
+        self.inner.read().value.len()
     }
 
     /// Whether the parameter holds no elements.
@@ -87,17 +99,17 @@ impl Parameter {
 
     /// Read-locks the current value.
     pub fn value(&self) -> MappedRwLockReadGuard<'_, Tensor> {
-        RwLockReadGuard::map(self.0.read(), |p| &p.value)
+        RwLockReadGuard::map(self.inner.read(), |p| &p.value)
     }
 
     /// Read-locks the accumulated gradient.
     pub fn grad(&self) -> MappedRwLockReadGuard<'_, Tensor> {
-        RwLockReadGuard::map(self.0.read(), |p| &p.grad)
+        RwLockReadGuard::map(self.inner.read(), |p| &p.grad)
     }
 
     /// Replaces the value, keeping the gradient buffer (re-shaped to match).
     pub fn set_value(&self, value: Tensor) {
-        let mut inner = self.0.write();
+        let mut inner = self.inner.write();
         inner.grad = Tensor::zeros(value.shape().to_vec());
         inner.value = value;
     }
@@ -105,23 +117,23 @@ impl Parameter {
     /// Runs `f` with mutable access to the value and shared access to the
     /// gradient — the hook used by optimizers.
     pub fn apply_update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
-        let inner = &mut *self.0.write();
+        let inner = &mut *self.inner.write();
         f(&mut inner.value, &inner.grad);
     }
 
     /// Scales the accumulated gradient in place (used for gradient clipping).
     pub fn scale_grad(&self, factor: f32) {
-        self.0.write().grad.scale_assign(factor);
+        self.inner.write().grad.scale_assign(factor);
     }
 
     /// Resets the accumulated gradient to zero.
     pub fn zero_grad(&self) {
-        self.0.write().grad.zero_();
+        self.inner.write().grad.zero_();
     }
 
     /// Whether two handles refer to the same underlying parameter storage.
     pub fn same_storage(&self, other: &Parameter) -> bool {
-        Arc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Adds `g` element-wise into the accumulated gradient (what
@@ -129,18 +141,17 @@ impl Parameter {
     /// can accumulate manual gradients — e.g. the fault-injection harness
     /// poisons a gradient with NaN to exercise the optimizer watchdog.
     pub fn accumulate_grad(&self, g: &Tensor) {
-        self.0.write().grad.add_assign(g);
+        self.inner.write().grad.add_assign(g);
     }
 }
 
 impl fmt::Debug for Parameter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.0.read();
         write!(
             f,
             "Parameter(name={:?}, shape={:?})",
-            inner.name,
-            inner.value.shape()
+            self.name,
+            self.inner.read().value.shape()
         )
     }
 }
@@ -191,6 +202,8 @@ enum Op {
     Scale(NodeId, f32),
     AddScalar(NodeId),
     MatMul(NodeId, NodeId),
+    MatMulNT(NodeId, NodeId),
+    MatMulTN(NodeId, NodeId),
     Transpose(NodeId),
     Relu(NodeId),
     Tanh(NodeId),
@@ -217,10 +230,19 @@ struct Node {
     op: Op,
 }
 
-/// A single-use autodiff tape. See the [module docs](self) for an example.
+/// A reusable autodiff tape.
+///
+/// A `Graph` records one forward pass at a time. Calling [`Graph::reset`]
+/// between minibatches returns every node's storage to an internal
+/// [`TensorPool`], so a long-lived graph stops allocating once the largest
+/// minibatch shape has been seen — the arena lifecycle described in
+/// DESIGN.md. See the [module docs](self) for a usage example.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    pool: TensorPool,
+    grad_slots: Vec<Option<Tensor>>,
+    requires: Vec<bool>,
 }
 
 const LN_EPS: f32 = 1e-12;
@@ -228,7 +250,7 @@ const LN_EPS: f32 = 1e-12;
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
     }
 
     /// Number of nodes recorded so far.
@@ -239,6 +261,29 @@ impl Graph {
     /// Whether the tape is empty.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Clears the tape for reuse, recycling every node's buffer into the
+    /// graph's [`TensorPool`]. Node ids from before the reset are invalid
+    /// afterwards.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.pool.put(node.value.into_data());
+        }
+    }
+
+    /// `(hits, misses)` of the graph's buffer pool: after the shapes of a
+    /// training step have been seen once, steady-state iterations should
+    /// only add hits.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.pool.stats()
+    }
+
+    /// Buffers currently parked in the graph's pool. Capped per capacity
+    /// class (see [`TensorPool::MAX_PER_BUCKET`]) so repeated minibatches
+    /// cannot grow the heap without bound.
+    pub fn pool_held(&self) -> usize {
+        self.pool.held()
     }
 
     /// The computed value of a node.
@@ -263,7 +308,12 @@ impl Graph {
     /// Records a trainable leaf; [`Graph::backward`] accumulates its
     /// gradient into the [`Parameter`].
     pub fn param(&mut self, p: &Parameter) -> NodeId {
-        let value = p.value().clone();
+        let mut data = self.pool.take(p.len());
+        let value = {
+            let v = p.value();
+            data.extend_from_slice(v.data());
+            Tensor::from_vec(v.shape().to_vec(), data)
+        };
         self.push(value, Op::Param(p.clone()))
     }
 
@@ -273,14 +323,10 @@ impl Graph {
     ///
     /// Panics on shape mismatch.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
         assert_eq!(va.shape(), vb.shape(), "add shape mismatch");
-        let data = va
-            .data()
-            .iter()
-            .zip(vb.data())
-            .map(|(x, y)| x + y)
-            .collect();
+        data.extend(va.data().iter().zip(vb.data()).map(|(x, y)| x + y));
         let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Add(a, b))
     }
@@ -291,12 +337,12 @@ impl Graph {
     ///
     /// Panics unless `a` is rank-2, `bias` is rank-1, and widths match.
     pub fn add_bias(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let (va, vb) = (&self.nodes[a].value, &self.nodes[bias].value);
         assert_eq!(va.rank(), 2, "add_bias lhs must be rank-2");
         assert_eq!(vb.rank(), 1, "add_bias bias must be rank-1");
         let (m, n) = (va.shape()[0], va.shape()[1]);
         assert_eq!(vb.len(), n, "add_bias width mismatch");
-        let mut data = Vec::with_capacity(m * n);
         for i in 0..m {
             for j in 0..n {
                 data.push(va.data()[i * n + j] + vb.data()[j]);
@@ -312,14 +358,10 @@ impl Graph {
     ///
     /// Panics on shape mismatch.
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
         assert_eq!(va.shape(), vb.shape(), "sub shape mismatch");
-        let data = va
-            .data()
-            .iter()
-            .zip(vb.data())
-            .map(|(x, y)| x - y)
-            .collect();
+        data.extend(va.data().iter().zip(vb.data()).map(|(x, y)| x - y));
         let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Sub(a, b))
     }
@@ -330,42 +372,38 @@ impl Graph {
     ///
     /// Panics on shape mismatch.
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
         assert_eq!(va.shape(), vb.shape(), "mul shape mismatch");
-        let data = va
-            .data()
-            .iter()
-            .zip(vb.data())
-            .map(|(x, y)| x * y)
-            .collect();
+        data.extend(va.data().iter().zip(vb.data()).map(|(x, y)| x * y));
         let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Mul(a, b))
     }
 
     /// Element-wise negation.
     pub fn neg(&mut self, a: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let va = &self.nodes[a].value;
-        let value = Tensor::from_vec(va.shape().to_vec(), va.data().iter().map(|x| -x).collect());
+        data.extend(va.data().iter().map(|x| -x));
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Neg(a))
     }
 
     /// Multiplication by a compile-time constant scalar.
     pub fn scale(&mut self, a: NodeId, factor: f32) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let va = &self.nodes[a].value;
-        let value = Tensor::from_vec(
-            va.shape().to_vec(),
-            va.data().iter().map(|x| x * factor).collect(),
-        );
+        data.extend(va.data().iter().map(|x| x * factor));
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Scale(a, factor))
     }
 
     /// Addition of a constant scalar to every element.
     pub fn add_scalar(&mut self, a: NodeId, constant: f32) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let va = &self.nodes[a].value;
-        let value = Tensor::from_vec(
-            va.shape().to_vec(),
-            va.data().iter().map(|x| x + constant).collect(),
-        );
+        data.extend(va.data().iter().map(|x| x + constant));
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::AddScalar(a))
     }
 
@@ -375,8 +413,45 @@ impl Graph {
     ///
     /// Panics unless both operands are rank-2 with matching inner dims.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let value = tensor_matmul(&self.nodes[a].value, &self.nodes[b].value);
+        let mut data = self
+            .pool
+            .take(self.nodes[a].value.shape()[0] * self.nodes[b].value.shape()[1]);
+        let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+        tensor_matmul_into(va, vb, &mut data);
+        let value = Tensor::from_vec(vec![va.shape()[0], vb.shape()[1]], data);
         self.push(value, Op::MatMul(a, b))
+    }
+
+    /// Fused product `A · Bᵀ` of a `[m, k]` node and an `[n, k]` node,
+    /// producing `[m, n]` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching `k` dims.
+    pub fn matmul_nt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut data = self
+            .pool
+            .take(self.nodes[a].value.shape()[0] * self.nodes[b].value.shape()[0]);
+        let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+        tensor_matmul_nt_into(va, vb, &mut data);
+        let value = Tensor::from_vec(vec![va.shape()[0], vb.shape()[0]], data);
+        self.push(value, Op::MatMulNT(a, b))
+    }
+
+    /// Fused product `Aᵀ · B` of a `[k, m]` node and a `[k, n]` node,
+    /// producing `[m, n]` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-2 with matching `k` dims.
+    pub fn matmul_tn(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut data = self
+            .pool
+            .take(self.nodes[a].value.shape()[1] * self.nodes[b].value.shape()[1]);
+        let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+        tensor_matmul_tn_into(va, vb, &mut data);
+        let value = Tensor::from_vec(vec![va.shape()[1], vb.shape()[1]], data);
+        self.push(value, Op::MatMulTN(a, b))
     }
 
     /// Matrix transpose of a rank-2 node.
@@ -391,62 +466,56 @@ impl Graph {
 
     /// Rectified linear unit, `max(x, 0)`.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let va = &self.nodes[a].value;
-        let value = Tensor::from_vec(
-            va.shape().to_vec(),
-            va.data().iter().map(|x| x.max(0.0)).collect(),
-        );
+        data.extend(va.data().iter().map(|x| x.max(0.0)));
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Relu(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let va = &self.nodes[a].value;
-        let value = Tensor::from_vec(
-            va.shape().to_vec(),
-            va.data().iter().map(|x| x.tanh()).collect(),
-        );
+        data.extend(va.data().iter().map(|x| x.tanh()));
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Tanh(a))
     }
 
     /// Logistic sigmoid `1 / (1 + e^{-x})`.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let va = &self.nodes[a].value;
-        let value = Tensor::from_vec(
-            va.shape().to_vec(),
-            va.data().iter().map(|x| sigmoid(*x)).collect(),
-        );
+        data.extend(va.data().iter().map(|x| sigmoid(*x)));
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Sigmoid(a))
     }
 
     /// Element-wise exponential.
     pub fn exp(&mut self, a: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let va = &self.nodes[a].value;
-        let value = Tensor::from_vec(
-            va.shape().to_vec(),
-            va.data().iter().map(|x| x.exp()).collect(),
-        );
+        data.extend(va.data().iter().map(|x| x.exp()));
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Exp(a))
     }
 
     /// Element-wise natural logarithm, clamped below at `1e-12` for
     /// numerical safety.
     pub fn ln(&mut self, a: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let va = &self.nodes[a].value;
-        let value = Tensor::from_vec(
-            va.shape().to_vec(),
-            va.data().iter().map(|x| x.max(LN_EPS).ln()).collect(),
-        );
+        data.extend(va.data().iter().map(|x| x.max(LN_EPS).ln()));
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Ln(a))
     }
 
     /// Numerically stable softplus `ln(1 + e^x)`.
     pub fn softplus(&mut self, a: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let va = &self.nodes[a].value;
-        let value = Tensor::from_vec(
-            va.shape().to_vec(),
-            va.data().iter().map(|x| softplus(*x)).collect(),
-        );
+        data.extend(va.data().iter().map(|x| softplus(*x)));
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Softplus(a))
     }
 
@@ -458,11 +527,10 @@ impl Graph {
     /// Panics when `lo > hi`.
     pub fn clamp(&mut self, a: NodeId, lo: f32, hi: f32) -> NodeId {
         assert!(lo <= hi, "clamp requires lo <= hi");
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let va = &self.nodes[a].value;
-        let value = Tensor::from_vec(
-            va.shape().to_vec(),
-            va.data().iter().map(|x| x.clamp(lo, hi)).collect(),
-        );
+        data.extend(va.data().iter().map(|x| x.clamp(lo, hi)));
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Clamp(a, lo, hi))
     }
 
@@ -472,9 +540,12 @@ impl Graph {
     ///
     /// Panics unless the operand is rank-2.
     pub fn softmax(&mut self, a: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let va = &self.nodes[a].value;
         assert_eq!(va.rank(), 2, "softmax expects rank-2 input");
-        let value = rowwise(va, softmax_row);
+        data.resize(va.len(), 0.0);
+        rowwise_into(va, &mut data, softmax_row);
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Softmax(a))
     }
 
@@ -484,9 +555,12 @@ impl Graph {
     ///
     /// Panics unless the operand is rank-2.
     pub fn log_softmax(&mut self, a: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let va = &self.nodes[a].value;
         assert_eq!(va.rank(), 2, "log_softmax expects rank-2 input");
-        let value = rowwise(va, log_softmax_row);
+        data.resize(va.len(), 0.0);
+        rowwise_into(va, &mut data, log_softmax_row);
+        let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::LogSoftmax(a))
     }
 
@@ -514,10 +588,10 @@ impl Graph {
     ///
     /// Panics unless the operand is rank-2.
     pub fn sum_rows(&mut self, a: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.shape()[0]);
         let va = &self.nodes[a].value;
         assert_eq!(va.rank(), 2, "sum_rows expects rank-2 input");
         let (m, n) = (va.shape()[0], va.shape()[1]);
-        let mut data = Vec::with_capacity(m);
         for i in 0..m {
             data.push(va.data()[i * n..(i + 1) * n].iter().sum());
         }
@@ -531,12 +605,14 @@ impl Graph {
     ///
     /// Panics unless both operands are rank-2 with equal row counts.
     pub fn concat_cols(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut data = self
+            .pool
+            .take(self.nodes[a].value.len() + self.nodes[b].value.len());
         let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
         assert_eq!(va.rank(), 2, "concat_cols lhs must be rank-2");
         assert_eq!(vb.rank(), 2, "concat_cols rhs must be rank-2");
         assert_eq!(va.shape()[0], vb.shape()[0], "concat_cols row mismatch");
         let (m, na, nb) = (va.shape()[0], va.shape()[1], vb.shape()[1]);
-        let mut data = Vec::with_capacity(m * (na + nb));
         for i in 0..m {
             data.extend_from_slice(&va.data()[i * na..(i + 1) * na]);
             data.extend_from_slice(&vb.data()[i * nb..(i + 1) * nb]);
@@ -565,12 +641,14 @@ impl Graph {
     ///
     /// Panics unless the operand is rank-2 and the range is in bounds.
     pub fn slice_cols(&mut self, a: NodeId, range: Range<usize>) -> NodeId {
+        let mut data = self
+            .pool
+            .take(self.nodes[a].value.shape()[0] * (range.end - range.start));
         let va = &self.nodes[a].value;
         assert_eq!(va.rank(), 2, "slice_cols expects rank-2 input");
         let (m, n) = (va.shape()[0], va.shape()[1]);
         assert!(range.end <= n, "slice_cols range out of bounds");
         let width = range.end - range.start;
-        let mut data = Vec::with_capacity(m * width);
         for i in 0..m {
             data.extend_from_slice(&va.data()[i * n + range.start..i * n + range.end]);
         }
@@ -585,11 +663,11 @@ impl Graph {
     ///
     /// Panics unless `a` is `[m, n]` and `w` is `[m, 1]`.
     pub fn row_scale(&mut self, a: NodeId, w: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let (va, vw) = (&self.nodes[a].value, &self.nodes[w].value);
         assert_eq!(va.rank(), 2, "row_scale lhs must be rank-2");
         assert_eq!(vw.shape(), &[va.shape()[0], 1], "row_scale weights must be [m, 1]");
         let (m, n) = (va.shape()[0], va.shape()[1]);
-        let mut data = Vec::with_capacity(m * n);
         for i in 0..m {
             let wi = vw.data()[i];
             for j in 0..n {
@@ -607,14 +685,10 @@ impl Graph {
     ///
     /// Panics on shape mismatch.
     pub fn minimum(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.nodes[a].value.len());
         let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
         assert_eq!(va.shape(), vb.shape(), "minimum shape mismatch");
-        let data = va
-            .data()
-            .iter()
-            .zip(vb.data())
-            .map(|(x, y)| x.min(*y))
-            .collect();
+        data.extend(va.data().iter().zip(vb.data()).map(|(x, y)| x.min(*y)));
         let value = Tensor::from_vec(va.shape().to_vec(), data);
         self.push(value, Op::Minimum(a, b))
     }
@@ -696,168 +770,356 @@ impl Graph {
             1,
             "backward requires a scalar loss node"
         );
-        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
-        grads[loss] = Some(Tensor::full(self.nodes[loss].value.shape().to_vec(), 1.0));
+        // Both the slot vector and every gradient buffer are checked out of
+        // the graph's pool and returned before this call finishes, so
+        // steady-state backward passes allocate nothing. Gradients are
+        // moved into slots (not cloned) whenever they have a single
+        // pending consumer.
+        let mut pool = std::mem::take(&mut self.pool);
+        let mut grads = std::mem::take(&mut self.grad_slots);
+        grads.clear();
+        grads.resize_with(self.nodes.len(), || None);
+        // Requires-grad sweep: a node needs a gradient only if a Parameter
+        // is somewhere beneath it. Gradients headed for pure-input subtrees
+        // (e.g. dLoss/dX of the first layer's minibatch) are never computed
+        // or stored. The buffer lives on the graph so steady state stays
+        // allocation-free.
+        let mut requires = std::mem::take(&mut self.requires);
+        requires.clear();
+        for node in &self.nodes {
+            let req = match &node.op {
+                Op::Input => false,
+                Op::Param(_) => true,
+                Op::Add(a, b)
+                | Op::AddBias(a, b)
+                | Op::Sub(a, b)
+                | Op::Mul(a, b)
+                | Op::MatMul(a, b)
+                | Op::MatMulNT(a, b)
+                | Op::MatMulTN(a, b)
+                | Op::ConcatCols(a, b)
+                | Op::RowScale(a, b)
+                | Op::Minimum(a, b) => requires[*a] || requires[*b],
+                Op::Neg(a)
+                | Op::Scale(a, _)
+                | Op::AddScalar(a)
+                | Op::Transpose(a)
+                | Op::Relu(a)
+                | Op::Tanh(a)
+                | Op::Sigmoid(a)
+                | Op::Exp(a)
+                | Op::Ln(a)
+                | Op::Softplus(a)
+                | Op::Clamp(a, _, _)
+                | Op::Softmax(a)
+                | Op::LogSoftmax(a)
+                | Op::Sum(a)
+                | Op::Mean(a)
+                | Op::SumRows(a)
+                | Op::SliceCols(a, _)
+                | Op::Reshape(a) => requires[*a],
+                Op::Conv2d(i, w, b, _) => requires[*i] || requires[*w] || requires[*b],
+            };
+            requires.push(req);
+        }
+        {
+            let mut seed = pool.take(1);
+            seed.push(1.0);
+            grads[loss] = Some(Tensor::from_vec(
+                self.nodes[loss].value.shape().to_vec(),
+                seed,
+            ));
+        }
 
         for id in (0..self.nodes.len()).rev() {
-            let Some(g) = grads[id].take() else { continue };
+            let Some(mut g) = grads[id].take() else { continue };
             match &self.nodes[id].op {
-                Op::Input => {}
-                Op::Param(p) => p.accumulate_grad(&g),
+                Op::Input => pool.put(g.into_data()),
+                Op::Param(p) => {
+                    p.accumulate_grad(&g);
+                    pool.put(g.into_data());
+                }
                 Op::Add(a, b) => {
                     let (a, b) = (*a, *b);
-                    accumulate(&mut grads, a, g.clone());
-                    accumulate(&mut grads, b, g);
+                    if a == b {
+                        // Bit-identical to adding g twice: x * 2.0 == x + x.
+                        g.scale_assign(2.0);
+                        accumulate(&mut grads, &mut pool, &requires, a, g);
+                    } else if grads[a].is_none() && grads[b].is_some() {
+                        if let Some(gb) = grads[b].as_mut() {
+                            gb.add_assign(&g);
+                        }
+                        grads[a] = Some(g);
+                    } else {
+                        if let Some(ga) = grads[a].as_mut() {
+                            ga.add_assign(&g);
+                        } else {
+                            let mut data = pool.take(g.len());
+                            data.extend_from_slice(g.data());
+                            grads[a] = Some(Tensor::from_vec(g.shape().to_vec(), data));
+                        }
+                        accumulate(&mut grads, &mut pool, &requires, b, g);
+                    }
                 }
                 Op::AddBias(a, bias) => {
                     let (a, bias) = (*a, *bias);
                     let n = self.nodes[id].value.shape()[1];
                     let m = self.nodes[id].value.shape()[0];
-                    let mut gb = vec![0.0f32; n];
+                    let mut gb = pool.take(n);
+                    gb.resize(n, 0.0);
                     for i in 0..m {
-                        for j in 0..n {
-                            gb[j] += g.data()[i * n + j];
+                        for (gbj, &gv) in gb.iter_mut().zip(&g.data()[i * n..(i + 1) * n]) {
+                            *gbj += gv;
                         }
                     }
-                    accumulate(&mut grads, a, g);
-                    accumulate(&mut grads, bias, Tensor::from_vec(vec![n], gb));
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
+                    accumulate(&mut grads, &mut pool, &requires, bias, Tensor::from_vec(vec![n], gb));
                 }
                 Op::Sub(a, b) => {
                     let (a, b) = (*a, *b);
-                    let gneg = Tensor::from_vec(
-                        g.shape().to_vec(),
-                        g.data().iter().map(|x| -x).collect(),
-                    );
-                    accumulate(&mut grads, a, g);
-                    accumulate(&mut grads, b, gneg);
+                    let mut gneg = pool.take(g.len());
+                    gneg.extend(g.data().iter().map(|x| -x));
+                    let gneg = Tensor::from_vec(g.shape().to_vec(), gneg);
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
+                    accumulate(&mut grads, &mut pool, &requires, b, gneg);
                 }
                 Op::Mul(a, b) => {
                     let (a, b) = (*a, *b);
-                    let ga = elementwise(&g, &self.nodes[b].value, |g, y| g * y);
-                    let gb = elementwise(&g, &self.nodes[a].value, |g, x| g * x);
-                    accumulate(&mut grads, a, ga);
-                    accumulate(&mut grads, b, gb);
+                    let gb = elementwise_pooled(&mut pool, &g, &self.nodes[a].value, |g, x| g * x);
+                    {
+                        let vb = &self.nodes[b].value;
+                        for (gv, &y) in g.data_mut().iter_mut().zip(vb.data()) {
+                            *gv *= y;
+                        }
+                    }
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
+                    accumulate(&mut grads, &mut pool, &requires, b, gb);
                 }
                 Op::Neg(a) => {
                     let a = *a;
-                    let ga = Tensor::from_vec(
-                        g.shape().to_vec(),
-                        g.data().iter().map(|x| -x).collect(),
-                    );
-                    accumulate(&mut grads, a, ga);
+                    for gv in g.data_mut() {
+                        *gv = -*gv;
+                    }
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
                 }
                 Op::Scale(a, f) => {
                     let (a, f) = (*a, *f);
-                    let ga = Tensor::from_vec(
-                        g.shape().to_vec(),
-                        g.data().iter().map(|x| x * f).collect(),
-                    );
-                    accumulate(&mut grads, a, ga);
+                    for gv in g.data_mut() {
+                        *gv *= f;
+                    }
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
                 }
                 Op::AddScalar(a) => {
                     let a = *a;
-                    accumulate(&mut grads, a, g);
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
                 }
                 Op::MatMul(a, b) => {
+                    // dA = g · Bᵀ and dB = Aᵀ · g via the fused kernels —
+                    // no transposes are materialized, and a side with no
+                    // Parameter beneath it skips its kernel entirely.
                     let (a, b) = (*a, *b);
-                    let bt = self.nodes[b].value.transposed();
-                    let at = self.nodes[a].value.transposed();
-                    let ga = tensor_matmul(&g, &bt);
-                    let gb = tensor_matmul(&at, &g);
-                    accumulate(&mut grads, a, ga);
-                    accumulate(&mut grads, b, gb);
+                    if requires[a] {
+                        let ga = {
+                            let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+                            let mut ga_data = pool.take(va.len());
+                            tensor_matmul_nt_into(&g, vb, &mut ga_data);
+                            Tensor::from_vec(va.shape().to_vec(), ga_data)
+                        };
+                        accumulate(&mut grads, &mut pool, &requires, a, ga);
+                    }
+                    if requires[b] {
+                        let gb = {
+                            let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+                            let mut gb_data = pool.take(vb.len());
+                            tensor_matmul_tn_into(va, &g, &mut gb_data);
+                            Tensor::from_vec(vb.shape().to_vec(), gb_data)
+                        };
+                        accumulate(&mut grads, &mut pool, &requires, b, gb);
+                    }
+                    pool.put(g.into_data());
+                }
+                Op::MatMulNT(a, b) => {
+                    // C = A · Bᵀ: dA = g · B, dB = gᵀ · A.
+                    let (a, b) = (*a, *b);
+                    if requires[a] {
+                        let ga = {
+                            let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+                            let mut ga_data = pool.take(va.len());
+                            tensor_matmul_into(&g, vb, &mut ga_data);
+                            Tensor::from_vec(va.shape().to_vec(), ga_data)
+                        };
+                        accumulate(&mut grads, &mut pool, &requires, a, ga);
+                    }
+                    if requires[b] {
+                        let gb = {
+                            let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+                            let mut gb_data = pool.take(vb.len());
+                            tensor_matmul_tn_into(&g, va, &mut gb_data);
+                            Tensor::from_vec(vb.shape().to_vec(), gb_data)
+                        };
+                        accumulate(&mut grads, &mut pool, &requires, b, gb);
+                    }
+                    pool.put(g.into_data());
+                }
+                Op::MatMulTN(a, b) => {
+                    // C = Aᵀ · B: dA = B · gᵀ, dB = A · g.
+                    let (a, b) = (*a, *b);
+                    if requires[a] {
+                        let ga = {
+                            let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+                            let mut ga_data = pool.take(va.len());
+                            tensor_matmul_nt_into(vb, &g, &mut ga_data);
+                            Tensor::from_vec(va.shape().to_vec(), ga_data)
+                        };
+                        accumulate(&mut grads, &mut pool, &requires, a, ga);
+                    }
+                    if requires[b] {
+                        let gb = {
+                            let (va, vb) = (&self.nodes[a].value, &self.nodes[b].value);
+                            let mut gb_data = pool.take(vb.len());
+                            tensor_matmul_into(va, &g, &mut gb_data);
+                            Tensor::from_vec(vb.shape().to_vec(), gb_data)
+                        };
+                        accumulate(&mut grads, &mut pool, &requires, b, gb);
+                    }
+                    pool.put(g.into_data());
                 }
                 Op::Transpose(a) => {
                     let a = *a;
-                    accumulate(&mut grads, a, g.transposed());
+                    let (p, q) = (g.shape()[0], g.shape()[1]);
+                    let mut ga = pool.take(g.len());
+                    ga.resize(g.len(), 0.0);
+                    for i in 0..p {
+                        for j in 0..q {
+                            ga[j * p + i] = g.data()[i * q + j];
+                        }
+                    }
+                    accumulate(&mut grads, &mut pool, &requires, a, Tensor::from_vec(vec![q, p], ga));
+                    pool.put(g.into_data());
                 }
                 Op::Relu(a) => {
                     let a = *a;
-                    let ga = elementwise(&g, &self.nodes[a].value, |g, x| {
-                        if x > 0.0 {
-                            g
-                        } else {
-                            0.0
+                    {
+                        let va = &self.nodes[a].value;
+                        for (gv, &x) in g.data_mut().iter_mut().zip(va.data()) {
+                            if x <= 0.0 {
+                                *gv = 0.0;
+                            }
                         }
-                    });
-                    accumulate(&mut grads, a, ga);
+                    }
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
                 }
                 Op::Tanh(a) => {
                     let a = *a;
-                    let ga = elementwise(&g, &self.nodes[id].value, |g, y| g * (1.0 - y * y));
-                    accumulate(&mut grads, a, ga);
+                    {
+                        let y = &self.nodes[id].value;
+                        for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+                            *gv *= 1.0 - yv * yv;
+                        }
+                    }
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
                 }
                 Op::Sigmoid(a) => {
                     let a = *a;
-                    let ga = elementwise(&g, &self.nodes[id].value, |g, y| g * y * (1.0 - y));
-                    accumulate(&mut grads, a, ga);
+                    {
+                        let y = &self.nodes[id].value;
+                        for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+                            *gv = *gv * yv * (1.0 - yv);
+                        }
+                    }
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
                 }
                 Op::Exp(a) => {
                     let a = *a;
-                    let ga = elementwise(&g, &self.nodes[id].value, |g, y| g * y);
-                    accumulate(&mut grads, a, ga);
+                    {
+                        let y = &self.nodes[id].value;
+                        for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+                            *gv *= yv;
+                        }
+                    }
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
                 }
                 Op::Ln(a) => {
                     let a = *a;
-                    let ga = elementwise(&g, &self.nodes[a].value, |g, x| g / x.max(LN_EPS));
-                    accumulate(&mut grads, a, ga);
+                    {
+                        let va = &self.nodes[a].value;
+                        for (gv, &x) in g.data_mut().iter_mut().zip(va.data()) {
+                            *gv /= x.max(LN_EPS);
+                        }
+                    }
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
                 }
                 Op::Softplus(a) => {
                     let a = *a;
-                    let ga = elementwise(&g, &self.nodes[a].value, |g, x| g * sigmoid(x));
-                    accumulate(&mut grads, a, ga);
+                    {
+                        let va = &self.nodes[a].value;
+                        for (gv, &x) in g.data_mut().iter_mut().zip(va.data()) {
+                            *gv *= sigmoid(x);
+                        }
+                    }
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
                 }
                 Op::Clamp(a, lo, hi) => {
                     let (a, lo, hi) = (*a, *lo, *hi);
-                    let ga = elementwise(&g, &self.nodes[a].value, |g, x| {
-                        if x > lo && x < hi {
-                            g
-                        } else {
-                            0.0
+                    {
+                        let va = &self.nodes[a].value;
+                        for (gv, &x) in g.data_mut().iter_mut().zip(va.data()) {
+                            if !(x > lo && x < hi) {
+                                *gv = 0.0;
+                            }
                         }
-                    });
-                    accumulate(&mut grads, a, ga);
+                    }
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
                 }
                 Op::Softmax(a) => {
                     let a = *a;
-                    let y = &self.nodes[id].value;
-                    let (m, n) = (y.shape()[0], y.shape()[1]);
-                    let mut ga = vec![0.0f32; m * n];
-                    for i in 0..m {
-                        let yr = &y.data()[i * n..(i + 1) * n];
-                        let gr = &g.data()[i * n..(i + 1) * n];
-                        let dot: f32 = yr.iter().zip(gr).map(|(y, g)| y * g).sum();
-                        for j in 0..n {
-                            ga[i * n + j] = yr[j] * (gr[j] - dot);
+                    {
+                        let y = &self.nodes[id].value;
+                        let (m, n) = (y.shape()[0], y.shape()[1]);
+                        for i in 0..m {
+                            let yr = &y.data()[i * n..(i + 1) * n];
+                            let gr = &mut g.data_mut()[i * n..(i + 1) * n];
+                            let dot: f32 = yr.iter().zip(gr.iter()).map(|(y, g)| y * g).sum();
+                            for (gv, &yv) in gr.iter_mut().zip(yr) {
+                                *gv = yv * (*gv - dot);
+                            }
                         }
                     }
-                    accumulate(&mut grads, a, Tensor::from_vec(vec![m, n], ga));
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
                 }
                 Op::LogSoftmax(a) => {
                     let a = *a;
-                    let y = &self.nodes[id].value;
-                    let (m, n) = (y.shape()[0], y.shape()[1]);
-                    let mut ga = vec![0.0f32; m * n];
-                    for i in 0..m {
-                        let yr = &y.data()[i * n..(i + 1) * n];
-                        let gr = &g.data()[i * n..(i + 1) * n];
-                        let gsum: f32 = gr.iter().sum();
-                        for j in 0..n {
-                            ga[i * n + j] = gr[j] - yr[j].exp() * gsum;
+                    {
+                        let y = &self.nodes[id].value;
+                        let (m, n) = (y.shape()[0], y.shape()[1]);
+                        for i in 0..m {
+                            let yr = &y.data()[i * n..(i + 1) * n];
+                            let gr = &mut g.data_mut()[i * n..(i + 1) * n];
+                            let gsum: f32 = gr.iter().sum();
+                            for (gv, &yv) in gr.iter_mut().zip(yr) {
+                                *gv -= yv.exp() * gsum;
+                            }
                         }
                     }
-                    accumulate(&mut grads, a, Tensor::from_vec(vec![m, n], ga));
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
                 }
                 Op::Sum(a) => {
                     let a = *a;
                     let shape = self.nodes[a].value.shape().to_vec();
-                    accumulate(&mut grads, a, Tensor::full(shape, g.item()));
+                    let len = self.nodes[a].value.len();
+                    let mut ga = pool.take(len);
+                    ga.resize(len, g.item());
+                    accumulate(&mut grads, &mut pool, &requires, a, Tensor::from_vec(shape, ga));
+                    pool.put(g.into_data());
                 }
                 Op::Mean(a) => {
                     let a = *a;
                     let shape = self.nodes[a].value.shape().to_vec();
-                    let len = self.nodes[a].value.len() as f32;
-                    accumulate(&mut grads, a, Tensor::full(shape, g.item() / len));
+                    let len = self.nodes[a].value.len();
+                    let mut ga = pool.take(len);
+                    ga.resize(len, g.item() / len as f32);
+                    accumulate(&mut grads, &mut pool, &requires, a, Tensor::from_vec(shape, ga));
+                    pool.put(g.into_data());
                 }
                 Op::SumRows(a) => {
                     let a = *a;
@@ -865,29 +1127,29 @@ impl Graph {
                         let s = self.nodes[a].value.shape();
                         (s[0], s[1])
                     };
-                    let mut ga = vec![0.0f32; m * n];
+                    let mut ga = pool.take(m * n);
                     for i in 0..m {
                         let gi = g.data()[i];
-                        for j in 0..n {
-                            ga[i * n + j] = gi;
-                        }
+                        ga.extend(std::iter::repeat(gi).take(n));
                     }
-                    accumulate(&mut grads, a, Tensor::from_vec(vec![m, n], ga));
+                    accumulate(&mut grads, &mut pool, &requires, a, Tensor::from_vec(vec![m, n], ga));
+                    pool.put(g.into_data());
                 }
                 Op::ConcatCols(a, b) => {
                     let (a, b) = (*a, *b);
                     let na = self.nodes[a].value.shape()[1];
                     let nb = self.nodes[b].value.shape()[1];
                     let m = self.nodes[a].value.shape()[0];
-                    let mut ga = Vec::with_capacity(m * na);
-                    let mut gb = Vec::with_capacity(m * nb);
+                    let mut ga = pool.take(m * na);
+                    let mut gb = pool.take(m * nb);
                     let n = na + nb;
                     for i in 0..m {
                         ga.extend_from_slice(&g.data()[i * n..i * n + na]);
                         gb.extend_from_slice(&g.data()[i * n + na..(i + 1) * n]);
                     }
-                    accumulate(&mut grads, a, Tensor::from_vec(vec![m, na], ga));
-                    accumulate(&mut grads, b, Tensor::from_vec(vec![m, nb], gb));
+                    accumulate(&mut grads, &mut pool, &requires, a, Tensor::from_vec(vec![m, na], ga));
+                    accumulate(&mut grads, &mut pool, &requires, b, Tensor::from_vec(vec![m, nb], gb));
+                    pool.put(g.into_data());
                 }
                 Op::SliceCols(a, range) => {
                     let (a, range) = (*a, range.clone());
@@ -896,13 +1158,15 @@ impl Graph {
                         (s[0], s[1])
                     };
                     let width = range.end - range.start;
-                    let mut ga = vec![0.0f32; m * n];
+                    let mut ga = pool.take(m * n);
+                    ga.resize(m * n, 0.0);
                     for i in 0..m {
                         for j in 0..width {
                             ga[i * n + range.start + j] = g.data()[i * width + j];
                         }
                     }
-                    accumulate(&mut grads, a, Tensor::from_vec(vec![m, n], ga));
+                    accumulate(&mut grads, &mut pool, &requires, a, Tensor::from_vec(vec![m, n], ga));
+                    pool.put(g.into_data());
                 }
                 Op::RowScale(a, w) => {
                     let (a, w) = (*a, *w);
@@ -910,43 +1174,49 @@ impl Graph {
                         let s = self.nodes[a].value.shape();
                         (s[0], s[1])
                     };
-                    let va = &self.nodes[a].value;
-                    let vw = &self.nodes[w].value;
-                    let mut ga = vec![0.0f32; m * n];
-                    let mut gw = vec![0.0f32; m];
-                    for i in 0..m {
-                        let wi = vw.data()[i];
-                        for j in 0..n {
-                            let gij = g.data()[i * n + j];
-                            ga[i * n + j] = gij * wi;
-                            gw[i] += gij * va.data()[i * n + j];
+                    let mut gw = pool.take(m);
+                    gw.resize(m, 0.0);
+                    {
+                        let va = &self.nodes[a].value;
+                        let vw = &self.nodes[w].value;
+                        for i in 0..m {
+                            let wi = vw.data()[i];
+                            let grow = &mut g.data_mut()[i * n..(i + 1) * n];
+                            let varow = &va.data()[i * n..(i + 1) * n];
+                            for (gv, &xv) in grow.iter_mut().zip(varow) {
+                                let gij = *gv;
+                                *gv = gij * wi;
+                                gw[i] += gij * xv;
+                            }
                         }
                     }
-                    accumulate(&mut grads, a, Tensor::from_vec(vec![m, n], ga));
-                    accumulate(&mut grads, w, Tensor::from_vec(vec![m, 1], gw));
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
+                    accumulate(&mut grads, &mut pool, &requires, w, Tensor::from_vec(vec![m, 1], gw));
                 }
                 Op::Minimum(a, b) => {
                     let (a, b) = (*a, *b);
-                    let va = &self.nodes[a].value;
-                    let vb = &self.nodes[b].value;
-                    let mut ga = vec![0.0f32; g.len()];
-                    let mut gb = vec![0.0f32; g.len()];
-                    for i in 0..g.len() {
-                        if va.data()[i] <= vb.data()[i] {
-                            ga[i] = g.data()[i];
-                        } else {
-                            gb[i] = g.data()[i];
+                    let mut gb = pool.take(g.len());
+                    gb.resize(g.len(), 0.0);
+                    {
+                        let va = &self.nodes[a].value;
+                        let vb = &self.nodes[b].value;
+                        let gd = g.data_mut();
+                        for i in 0..gd.len() {
+                            if va.data()[i] > vb.data()[i] {
+                                gb[i] = gd[i];
+                                gd[i] = 0.0;
+                            }
                         }
                     }
-                    let shape = va.shape().to_vec();
-                    accumulate(&mut grads, a, Tensor::from_vec(shape.clone(), ga));
-                    accumulate(&mut grads, b, Tensor::from_vec(shape, gb));
+                    let shape = g.shape().to_vec();
+                    accumulate(&mut grads, &mut pool, &requires, a, g);
+                    accumulate(&mut grads, &mut pool, &requires, b, Tensor::from_vec(shape, gb));
                 }
                 Op::Reshape(a) => {
                     let a = *a;
                     let shape = self.nodes[a].value.shape().to_vec();
-                    let ga = Tensor::from_vec(shape, g.data().to_vec());
-                    accumulate(&mut grads, a, ga);
+                    let ga = Tensor::from_vec(shape, g.into_data());
+                    accumulate(&mut grads, &mut pool, &requires, a, ga);
                 }
                 Op::Conv2d(input, weight, bias, spec) => {
                     let (input, weight, bias, spec) = (*input, *weight, *bias, *spec);
@@ -956,12 +1226,17 @@ impl Graph {
                         &self.nodes[weight].value,
                         spec,
                     );
-                    accumulate(&mut grads, input, gi);
-                    accumulate(&mut grads, weight, gw);
-                    accumulate(&mut grads, bias, gb);
+                    accumulate(&mut grads, &mut pool, &requires, input, gi);
+                    accumulate(&mut grads, &mut pool, &requires, weight, gw);
+                    accumulate(&mut grads, &mut pool, &requires, bias, gb);
+                    pool.put(g.into_data());
                 }
             }
         }
+
+        self.grad_slots = grads;
+        self.pool = pool;
+        self.requires = requires;
     }
 }
 
@@ -971,31 +1246,50 @@ impl fmt::Debug for Graph {
     }
 }
 
-fn accumulate(grads: &mut [Option<Tensor>], id: NodeId, g: Tensor) {
+/// Accumulate `g` into `grads[id]`. Takes ownership: the tensor is moved
+/// into an empty slot, and its buffer returns to the pool when the slot is
+/// already occupied (the common two-consumer case adds in place).
+///
+/// Gradients headed for nodes with no Parameter beneath them (`requires[id]`
+/// false — Inputs and pure-input subtrees) are recycled instead of stored:
+/// nothing downstream will ever read them.
+fn accumulate(
+    grads: &mut [Option<Tensor>],
+    pool: &mut TensorPool,
+    requires: &[bool],
+    id: NodeId,
+    g: Tensor,
+) {
+    if !requires[id] {
+        pool.put(g.into_data());
+        return;
+    }
     match &mut grads[id] {
-        Some(existing) => existing.add_assign(&g),
+        Some(existing) => {
+            existing.add_assign(&g);
+            pool.put(g.into_data());
+        }
         slot => *slot = Some(g),
     }
 }
 
-fn elementwise(g: &Tensor, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+fn elementwise_pooled(
+    pool: &mut TensorPool,
+    g: &Tensor,
+    other: &Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) -> Tensor {
     debug_assert_eq!(g.shape(), other.shape());
-    let data = g
-        .data()
-        .iter()
-        .zip(other.data())
-        .map(|(&a, &b)| f(a, b))
-        .collect();
+    let mut data = pool.take(g.len());
+    data.extend(g.data().iter().zip(other.data()).map(|(&a, &b)| f(a, b)));
     Tensor::from_vec(g.shape().to_vec(), data)
 }
 
-fn rowwise(t: &Tensor, f: impl Fn(&[f32], &mut [f32])) -> Tensor {
+fn rowwise_into(t: &Tensor, out: &mut [f32], f: impl Fn(&[f32], &mut [f32])) {
     let (m, n) = (t.shape()[0], t.shape()[1]);
-    let mut out = vec![0.0f32; m * n];
     for i in 0..m {
         f(&t.data()[i * n..(i + 1) * n], &mut out[i * n..(i + 1) * n]);
     }
-    Tensor::from_vec(vec![m, n], out)
 }
 
 fn softmax_row(row: &[f32], out: &mut [f32]) {

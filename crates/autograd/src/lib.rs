@@ -52,4 +52,7 @@ pub mod serialize;
 pub use error::{CheckpointError, TensorError};
 pub use graph::{copy_params, zero_grads, Graph, NodeId, Parameter};
 pub use optim::OptimizerState;
-pub use tensor::{matmul, Tensor};
+pub use tensor::{
+    matmul, matmul_into, matmul_nt, matmul_nt_into, matmul_sparse_lhs, matmul_tn, matmul_tn_into,
+    Tensor, TensorPool,
+};

@@ -359,6 +359,76 @@ impl Default for Tensor {
     }
 }
 
+/// A bucketed free-list of `f32` buffers keyed by capacity.
+///
+/// The autodiff [`Graph`](crate::graph::Graph) checks buffers out for node
+/// values and gradients and returns them on `reset`, so steady-state
+/// training iterations reuse the same allocations minibatch after
+/// minibatch. The pool never allocates itself — a `take` that finds no
+/// buffer of sufficient capacity falls back to a fresh `Vec` and counts a
+/// miss, so `stats()` going quiet is the signal that the arena has warmed
+/// up. Total held memory is bounded by the peak working set of the graphs
+/// that feed it.
+#[derive(Debug, Default)]
+pub struct TensorPool {
+    buckets: std::collections::BTreeMap<usize, Vec<Vec<f32>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TensorPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a cleared buffer with capacity for at least `len`
+    /// elements, preferring the smallest adequate bucket.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        for (_, bucket) in self.buckets.range_mut(len..) {
+            if let Some(mut v) = bucket.pop() {
+                self.hits += 1;
+                v.clear();
+                return v;
+            }
+        }
+        self.misses += 1;
+        Vec::with_capacity(len)
+    }
+
+    /// Returns a buffer to the pool for reuse. Each capacity class keeps at
+    /// most [`TensorPool::MAX_PER_BUCKET`] buffers; surplus buffers are
+    /// dropped. Without the cap, a graph whose inputs are cloned in fresh
+    /// every minibatch returns more buffers per reset than the next
+    /// forward pass checks out, and the pool grows without bound.
+    pub fn put(&mut self, mut v: Vec<f32>) {
+        let cap = v.capacity();
+        if cap == 0 {
+            return;
+        }
+        let bucket = self.buckets.entry(cap).or_default();
+        if bucket.len() < Self::MAX_PER_BUCKET {
+            v.clear();
+            bucket.push(v);
+        }
+    }
+
+    /// Upper bound on buffers retained per capacity class.
+    pub const MAX_PER_BUCKET: usize = 8;
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Total buffers currently held across all capacity classes — the
+    /// quantity that must plateau across minibatches for the arena to be
+    /// leak-free.
+    pub fn held(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+}
+
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         const MAX_SHOWN: usize = 8;
@@ -376,13 +446,319 @@ impl fmt::Debug for Tensor {
     }
 }
 
-/// Naive (but cache-friendly, `ikj`-ordered) matrix multiplication used by
-/// the graph ops. `a` is `[m, k]`, `b` is `[k, n]`; the result is `[m, n]`.
+/// Rows of A processed per register tile of the dense kernel.
+const MR: usize = 4;
+/// Output columns per register tile: two 512-bit (or eight 128-bit)
+/// vectors wide, so an `MR`×`NR` tile's accumulators live entirely in
+/// vector registers across the whole `p` loop.
+const NR: usize = 32;
+
+std::thread_local! {
+    /// Scratch buffer for packed panels of B, reused across calls so the
+    /// kernel allocates nothing after warm-up.
+    static PACK: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Whether the AVX-512F instantiations of the register-tiled kernels are
+/// usable on this CPU. Checked once; the kernels themselves are plain Rust
+/// compiled under `#[target_feature]`, so lane width is the only difference
+/// between the two instantiations — results are bitwise identical (strict
+/// FP: no FMA contraction, and each output element keeps its ascending-`p`
+/// accumulation chain in every lane).
+#[cfg(target_arch = "x86_64")]
+fn avx512_available() -> bool {
+    static AVX512: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVX512.get_or_init(|| std::arch::is_x86_feature_detected!("avx512f"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx512_available() -> bool {
+    false
+}
+
+/// Defines one instantiation of the register-tiled `C = A·B` driver.
+///
+/// The body is plain safe Rust over fixed-size `MR`×`NR` tiles; the
+/// `#[target_feature]` variant only widens the vectors the autovectorizer
+/// may use. Accumulators live in registers for the entire `p` loop (the
+/// old implementation round-tripped partial sums through memory every
+/// iteration, which capped it at store throughput). Edge rows/columns fall
+/// back to the same ascending-`p` scalar loops, so every element is
+/// accumulated in the same order no matter which path computed it.
+macro_rules! define_matmul_nn {
+    ($fname:ident $(, #[$attr:meta])?) => {
+        $(#[$attr])?
+        unsafe fn $fname(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+            let mt = m - m % MR;
+            let nt = n - n % NR;
+            for i in (0..mt).step_by(MR) {
+                for j0 in (0..nt).step_by(NR) {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for p in 0..k {
+                        let b_row: &[f32; NR] =
+                            (&b[p * n + j0..p * n + j0 + NR]).try_into().unwrap();
+                        for r in 0..MR {
+                            let a_rp = a[(i + r) * k + p];
+                            for j in 0..NR {
+                                acc[r][j] += a_rp * b_row[j];
+                            }
+                        }
+                    }
+                    for (r, row) in acc.iter().enumerate() {
+                        out[(i + r) * n + j0..(i + r) * n + j0 + NR].copy_from_slice(row);
+                    }
+                }
+                // Column tail: same ascending-p axpy, scalar width.
+                if nt < n {
+                    for p in 0..k {
+                        let b_row = &b[p * n + nt..(p + 1) * n];
+                        for r in 0..MR {
+                            let a_rp = a[(i + r) * k + p];
+                            let o_row = &mut out[(i + r) * n + nt..(i + r + 1) * n];
+                            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                                *o += a_rp * bv;
+                            }
+                        }
+                    }
+                }
+            }
+            // Row tail: naive ikj rows.
+            for i in mt..m {
+                for p in 0..k {
+                    let a_ip = a[i * k + p];
+                    let b_row = &b[p * n..(p + 1) * n];
+                    let o_row = &mut out[i * n..(i + 1) * n];
+                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                        *o += a_ip * bv;
+                    }
+                }
+            }
+        }
+    };
+}
+
+define_matmul_nn!(matmul_nn_portable);
+#[cfg(target_arch = "x86_64")]
+define_matmul_nn!(matmul_nn_avx512, #[target_feature(enable = "avx512f")]);
+
+/// Defines one instantiation of the register-tiled `C = Aᵀ·B` driver
+/// (`a` is `[k, m]`). Identical tile structure to the NN driver; only the
+/// A-element addressing differs (column-major walk, which is contiguous
+/// per `p` — no transpose materialization needed).
+macro_rules! define_matmul_tn {
+    ($fname:ident $(, #[$attr:meta])?) => {
+        $(#[$attr])?
+        unsafe fn $fname(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+            let mt = m - m % MR;
+            let nt = n - n % NR;
+            for i in (0..mt).step_by(MR) {
+                for j0 in (0..nt).step_by(NR) {
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for p in 0..k {
+                        let b_row: &[f32; NR] =
+                            (&b[p * n + j0..p * n + j0 + NR]).try_into().unwrap();
+                        let a_col: &[f32; MR] =
+                            (&a[p * m + i..p * m + i + MR]).try_into().unwrap();
+                        for r in 0..MR {
+                            let a_rp = a_col[r];
+                            for j in 0..NR {
+                                acc[r][j] += a_rp * b_row[j];
+                            }
+                        }
+                    }
+                    for (r, row) in acc.iter().enumerate() {
+                        out[(i + r) * n + j0..(i + r) * n + j0 + NR].copy_from_slice(row);
+                    }
+                }
+                if nt < n {
+                    for p in 0..k {
+                        let b_row = &b[p * n + nt..(p + 1) * n];
+                        for r in 0..MR {
+                            let a_rp = a[p * m + i + r];
+                            let o_row = &mut out[(i + r) * n + nt..(i + r + 1) * n];
+                            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                                *o += a_rp * bv;
+                            }
+                        }
+                    }
+                }
+            }
+            for p in 0..k {
+                let b_row = &b[p * n..(p + 1) * n];
+                for i in mt..m {
+                    let a_ip = a[p * m + i];
+                    let o_row = &mut out[i * n..(i + 1) * n];
+                    for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                        *o += a_ip * bv;
+                    }
+                }
+            }
+        }
+    };
+}
+
+define_matmul_tn!(matmul_tn_portable);
+#[cfg(target_arch = "x86_64")]
+define_matmul_tn!(matmul_tn_avx512, #[target_feature(enable = "avx512f")]);
+
+/// Register-tiled matrix multiplication used by the graph ops. `a` is
+/// `[m, k]`, `b` is `[k, n]`; the result is `[m, n]`.
+///
+/// `MR`×`NR` output tiles are accumulated entirely in vector registers
+/// across the whole inner dimension, so B is loaded once per `MR` rows of A
+/// and the outputs are stored exactly once (the naive `ikj` loop stores
+/// every partial sum). On x86-64 with AVX-512F an identically-shaped
+/// instantiation with 512-bit lanes is dispatched at runtime. Every output
+/// element is accumulated over `p` in strictly ascending order in every
+/// path, so results are bit-identical to the naive kernel on dense inputs.
 ///
 /// # Panics
 ///
 /// Panics when either operand is not rank-2 or the inner dimensions differ.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Vec::new();
+    matmul_into(a, b, &mut out);
+    Tensor {
+        shape: vec![a.shape[0], b.shape[1]],
+        data: out,
+    }
+}
+
+/// [`matmul`] writing into a caller-supplied buffer (cleared and resized),
+/// so pooled graphs can reuse allocations across minibatches.
+///
+/// # Panics
+///
+/// Panics when either operand is not rank-2 or the inner dimensions differ.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank-2");
+    let (m, k) = (a.shape[0], a.shape[1]);
+    let (k2, n) = (b.shape[0], b.shape[1]);
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+    out.clear();
+    out.resize(m * n, 0.0);
+    #[cfg(target_arch = "x86_64")]
+    if avx512_available() {
+        // SAFETY: avx512f support was verified at runtime.
+        unsafe { matmul_nn_avx512(&a.data, &b.data, out, m, k, n) };
+        return;
+    }
+    // SAFETY: the portable instantiation carries no target-feature
+    // requirement; `unsafe` only mirrors the macro-shared signature.
+    unsafe { matmul_nn_portable(&a.data, &b.data, out, m, k, n) };
+}
+
+/// `A·Bᵀ` without materializing the transpose: `a` is `[m, k]`, `b` is
+/// `[n, k]`; the result is `[m, n]`. Each output element is a dot product
+/// of two contiguous rows, accumulated over `p` in ascending order —
+/// bit-identical to `matmul(a, &b.transposed())` on dense inputs.
+///
+/// # Panics
+///
+/// Panics when either operand is not rank-2 or the `k` dimensions differ.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Vec::new();
+    matmul_nt_into(a, b, &mut out);
+    Tensor {
+        shape: vec![a.shape[0], b.shape[0]],
+        data: out,
+    }
+}
+
+/// [`matmul_nt`] writing into a caller-supplied buffer (cleared and resized).
+///
+/// # Panics
+///
+/// Panics when either operand is not rank-2 or the `k` dimensions differ.
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) {
+    assert_eq!(a.rank(), 2, "matmul_nt lhs must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul_nt rhs must be rank-2");
+    let (m, k) = (a.shape[0], a.shape[1]);
+    let (n, k2) = (b.shape[0], b.shape[1]);
+    assert_eq!(k, k2, "matmul_nt inner dimension mismatch: {k} vs {k2}");
+    out.clear();
+    out.resize(m * n, 0.0);
+    if k == 0 {
+        return;
+    }
+    // Dot-product form (`out[i][j] = a_row_i · b_row_j`) defeats strict-FP
+    // vectorization (a horizontal reduction would reorder the sum), so
+    // transpose B into the thread-local scratch panel once and run the
+    // axpy-structured NN kernel instead. B here is the small operand in
+    // every graph use (a weight matrix or a loss gradient), so the pack is
+    // cheap relative to the multiply. Accumulation order per output element
+    // stays ascending in `p` — bit-identical to the dot-product form.
+    PACK.with(|pack| {
+        let mut bt = pack.borrow_mut();
+        bt.clear();
+        bt.resize(k * n, 0.0);
+        for (j, row) in b.data.chunks_exact(k).enumerate() {
+            for (p, &v) in row.iter().enumerate() {
+                bt[p * n + j] = v;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        if avx512_available() {
+            // SAFETY: avx512f support was verified at runtime.
+            unsafe { matmul_nn_avx512(&a.data, &bt, out, m, k, n) };
+            return;
+        }
+        // SAFETY: no target-feature requirement on the portable instance.
+        unsafe { matmul_nn_portable(&a.data, &bt, out, m, k, n) };
+    });
+}
+
+/// `Aᵀ·B` without materializing the transpose: `a` is `[k, m]`, `b` is
+/// `[k, n]`; the result is `[m, n]`. Accumulation over `p` is ascending per
+/// output element — bit-identical to `matmul(&a.transposed(), b)` on dense
+/// inputs.
+///
+/// # Panics
+///
+/// Panics when either operand is not rank-2 or the `k` dimensions differ.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Vec::new();
+    matmul_tn_into(a, b, &mut out);
+    Tensor {
+        shape: vec![a.shape[1], b.shape[1]],
+        data: out,
+    }
+}
+
+/// [`matmul_tn`] writing into a caller-supplied buffer (cleared and resized).
+///
+/// # Panics
+///
+/// Panics when either operand is not rank-2 or the `k` dimensions differ.
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) {
+    assert_eq!(a.rank(), 2, "matmul_tn lhs must be rank-2");
+    assert_eq!(b.rank(), 2, "matmul_tn rhs must be rank-2");
+    let (k, m) = (a.shape[0], a.shape[1]);
+    let (k2, n) = (b.shape[0], b.shape[1]);
+    assert_eq!(k, k2, "matmul_tn inner dimension mismatch: {k} vs {k2}");
+    out.clear();
+    out.resize(m * n, 0.0);
+    #[cfg(target_arch = "x86_64")]
+    if avx512_available() {
+        // SAFETY: avx512f support was verified at runtime.
+        unsafe { matmul_tn_avx512(&a.data, &b.data, out, k, m, n) };
+        return;
+    }
+    // SAFETY: no target-feature requirement on the portable instance.
+    unsafe { matmul_tn_portable(&a.data, &b.data, out, k, m, n) };
+}
+
+/// The pre-tiling naive `ikj` kernel with the per-element zero-skip on the
+/// left operand. Only worthwhile when `a` is genuinely sparse (e.g. one-hot
+/// selector matrices); on dense activations the branch costs more than it
+/// saves, which is why the graph ops use [`matmul`] instead. Also serves as
+/// the reference baseline for kernel benchmarks.
+///
+/// # Panics
+///
+/// Panics when either operand is not rank-2 or the inner dimensions differ.
+pub fn matmul_sparse_lhs(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 2, "matmul lhs must be rank-2");
     assert_eq!(b.rank(), 2, "matmul rhs must be rank-2");
     let (m, k) = (a.shape[0], a.shape[1]);
@@ -456,6 +832,38 @@ mod tests {
         let c = matmul(&a, &b);
         assert_eq!(c.shape(), &[2, 2]);
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_variants_agree_with_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 64, 4), (17, 33, 65), (130, 70, 9)] {
+            let a = Tensor::randn(vec![m, k], 1.0, &mut rng);
+            let b = Tensor::randn(vec![k, n], 1.0, &mut rng);
+            let reference = matmul_sparse_lhs(&a, &b);
+            assert_eq!(matmul(&a, &b), reference, "tiled mismatch at {m}x{k}x{n}");
+            assert_eq!(
+                matmul_nt(&a, &b.transposed()),
+                reference,
+                "nt mismatch at {m}x{k}x{n}"
+            );
+            assert_eq!(
+                matmul_tn(&a.transposed(), &b),
+                reference,
+                "tn mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut buf = Vec::with_capacity(16);
+        let ptr = buf.as_ptr();
+        matmul_into(&a, &b, &mut buf);
+        assert_eq!(buf, vec![58.0, 64.0, 139.0, 154.0]);
+        assert_eq!(buf.as_ptr(), ptr, "matmul_into must not reallocate a large-enough buffer");
     }
 
     #[test]

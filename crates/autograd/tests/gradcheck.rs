@@ -213,6 +213,38 @@ proptest! {
         });
     }
 
+    // The next three cases share one node between several consumers, so the
+    // backward pass must merge gradients through every `accumulate` path:
+    // a == b (in-place doubling), move-into-empty-slot, and add_assign into
+    // an occupied slot.
+    fn grad_shared_add_self(vals in smooth_values(4)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
+        check_gradient(&p, |g, x| {
+            let y = g.add(x, x);
+            let sq = g.mul(y, y);
+            g.sum(sq)
+        });
+    }
+
+    fn grad_shared_mul_self(vals in smooth_values(4)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
+        check_gradient(&p, |g, x| {
+            let y = g.mul(x, x);
+            g.sum(y)
+        });
+    }
+
+    fn grad_shared_fanout_three(vals in smooth_values(4)) {
+        let p = Parameter::new("p", Tensor::from_vec(vec![2, 2], vals));
+        check_gradient(&p, |g, x| {
+            let a = g.tanh(x);
+            let b = g.sigmoid(x);
+            let m = g.mul(a, b);
+            let s = g.add(m, x);
+            g.sum(s)
+        });
+    }
+
     fn grad_conv2d(vals in smooth_values(9)) {
         let p = Parameter::new("img", Tensor::from_vec(vec![1, 1, 3, 3], vals));
         check_gradient(&p, |g, x| {

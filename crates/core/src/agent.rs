@@ -16,6 +16,21 @@ use crate::highlevel::HighLevelLearner;
 use crate::opponent::OpponentModel;
 use crate::options::ActiveOption;
 
+/// Pre-sampled minibatches for one agent's update pass; produced by
+/// [`HeroAgent::prepare_update`], consumed by [`HeroAgent::apply_update`].
+#[derive(Debug)]
+pub struct PreparedUpdate {
+    opponent: Option<crate::opponent::OpponentBatch>,
+    high: Option<crate::highlevel::HighLevelBatch>,
+}
+
+impl PreparedUpdate {
+    /// Whether either learner has a batch to train on.
+    pub fn has_work(&self) -> bool {
+        self.opponent.is_some() || self.high.is_some()
+    }
+}
+
 /// Accumulates one option segment between selection and termination.
 #[derive(Clone, Debug)]
 struct Segment {
@@ -237,16 +252,47 @@ impl HeroAgent {
     /// One learning step: updates the opponent models and the high-level
     /// actor–critic. Returns the high-level stats when an update ran.
     pub fn update(&mut self, rng: &mut StdRng) -> Option<UpdateStats> {
+        let prepared = self.prepare_update(rng);
+        self.apply_update(prepared)
+    }
+
+    /// The RNG-consuming half of [`HeroAgent::update`]: draws the opponent
+    /// and high-level minibatches (in that order — the order the
+    /// sequential update consumes randomness). A coordinator calls this
+    /// for every agent on one thread, then runs the compute halves
+    /// ([`HeroAgent::apply_update`]) in parallel without perturbing any
+    /// random stream.
+    pub fn prepare_update(&self, rng: &mut StdRng) -> PreparedUpdate {
+        let opponent = {
+            let _span = hero_rl::telemetry::span("opponent_model");
+            self.opponent.sample_batch(rng)
+        };
+        let high = {
+            let _span = hero_rl::telemetry::span("actor_critic");
+            self.high.sample_batch(rng)
+        };
+        PreparedUpdate { opponent, high }
+    }
+
+    /// The compute half of [`HeroAgent::update`]: trains on the
+    /// pre-sampled batches. Consumes no randomness, touches no replay
+    /// buffer, and only mutates this agent's own networks and optimizers —
+    /// safe to run for all agents concurrently.
+    pub fn apply_update(&mut self, prepared: PreparedUpdate) -> Option<UpdateStats> {
         {
             let _span = hero_rl::telemetry::span("opponent_model");
-            if let Some(losses) = self.opponent.update(rng) {
+            if let Some(batch) = &prepared.opponent {
+                let losses = self.opponent.update_batch(batch);
                 for (trace, l) in self.opponent_losses.iter_mut().zip(&losses) {
                     trace.push(*l);
                 }
             }
         }
         let _span = hero_rl::telemetry::span("actor_critic");
-        self.high.update(rng, &self.opponent)
+        prepared
+            .high
+            .as_ref()
+            .map(|batch| self.high.update_batch(batch, &self.opponent))
     }
 
     /// Number of stored option transitions.

@@ -55,6 +55,13 @@ pub struct HeroConfig {
     /// When `false`, the opponent model is disabled: predictions are
     /// uniform and never trained (ablation, Sec. III-C).
     pub use_opponent_model: bool,
+    /// Run the per-agent update phase on scoped threads (one per agent).
+    /// Each agent owns its networks, optimizers, and pre-sampled
+    /// minibatches, so updates are embarrassingly parallel; batches are
+    /// sampled and telemetry is committed on the driving thread in agent
+    /// order, keeping results bit-identical to the sequential path (see
+    /// DESIGN.md "Performance").
+    pub parallel_update: bool,
 }
 
 impl Default for HeroConfig {
@@ -80,6 +87,7 @@ impl Default for HeroConfig {
             },
             termination: TerminationMode::Asynchronous,
             use_opponent_model: true,
+            parallel_update: true,
         }
     }
 }

@@ -28,6 +28,14 @@ use hero_rl::transition::OptionTransition;
 use crate::config::HeroConfig;
 use crate::opponent::OpponentModel;
 
+/// A pre-sampled minibatch of option segments for
+/// [`HighLevelLearner::update_batch`], produced by
+/// [`HighLevelLearner::sample_batch`].
+#[derive(Clone, Debug)]
+pub struct HighLevelBatch {
+    batch: Vec<OptionTransition>,
+}
+
 /// The per-agent high-level learner.
 #[derive(Debug)]
 pub struct HighLevelLearner {
@@ -44,6 +52,8 @@ pub struct HighLevelLearner {
     entropy_weight: f32,
     n_options: usize,
     n_opponents: usize,
+    /// Reused tape arena for update passes (see `Graph::reset`).
+    graph: Graph,
 }
 
 impl HighLevelLearner {
@@ -86,6 +96,7 @@ impl HighLevelLearner {
             entropy_weight: cfg.actor_entropy_weight,
             n_options,
             n_opponents,
+            graph: Graph::new(),
         }
     }
 
@@ -167,6 +178,14 @@ impl HighLevelLearner {
     /// One actor–critic update using the opponent model for TD targets;
     /// `None` before warm-up.
     pub fn update(&mut self, rng: &mut StdRng, opponent: &OpponentModel) -> Option<UpdateStats> {
+        let batch = self.sample_batch(rng)?;
+        Some(self.update_batch(&batch, opponent))
+    }
+
+    /// Draws the next update's minibatch, or `None` before warm-up. The
+    /// only RNG-consuming half of an update (see
+    /// [`OpponentModel::sample_batch`] for the contract).
+    pub fn sample_batch(&self, rng: &mut StdRng) -> Option<HighLevelBatch> {
         let need = self.warmup.max(self.batch_size.min(self.buffer.capacity())).min(2048);
         if self.buffer.len() < need.max(8) {
             return None;
@@ -180,6 +199,18 @@ impl HighLevelLearner {
                 .collect()
         };
         hero_rl::telemetry::counter_add("transitions_sampled", batch.len() as u64);
+        Some(HighLevelBatch { batch })
+    }
+
+    /// The compute half of [`HighLevelLearner::update`]: critic regression
+    /// and counterfactual-baseline policy gradient on the pre-sampled
+    /// `batch`. Consumes no randomness.
+    pub fn update_batch(
+        &mut self,
+        batch: &HighLevelBatch,
+        opponent: &OpponentModel,
+    ) -> UpdateStats {
+        let batch = &batch.batch;
         let n = batch.len();
         let obs_dim = batch[0].obs.len();
 
@@ -228,7 +259,11 @@ impl HighLevelLearner {
             })
             .collect();
         let critic_loss = {
-            let mut g = Graph::new();
+            // One graph arena serves both passes of every update (see
+            // `Graph::reset`): node and gradient buffers are recycled, so
+            // steady-state updates stop allocating per minibatch.
+            let mut g = std::mem::take(&mut self.graph);
+            g.reset();
             let x = g.input(stack(&critic_rows));
             let q = self.critic.forward(&mut g, x);
             let y = g.input(Tensor::from_vec(vec![n, 1], targets));
@@ -247,6 +282,7 @@ impl HighLevelLearner {
             }
             g.backward(l);
             self.critic_opt.step();
+            self.graph = g;
             v
         };
 
@@ -283,7 +319,8 @@ impl HighLevelLearner {
             actor_rows.push(actor_in.row(row).to_vec());
         }
         let actor_loss = {
-            let mut g = Graph::new();
+            let mut g = std::mem::take(&mut self.graph);
+            g.reset();
             let x = g.input(stack(&actor_rows));
             let logits = self.actor.forward(&mut g, x);
             let logp = g.log_softmax(logits);
@@ -301,6 +338,7 @@ impl HighLevelLearner {
             g.backward(l);
             self.actor_opt.step();
             zero_grads(self.critic_opt.parameters());
+            self.graph = g;
             v
         };
 
@@ -309,10 +347,10 @@ impl HighLevelLearner {
             &self.critic_target.parameters(),
             self.tau,
         );
-        Some(UpdateStats {
+        UpdateStats {
             critic_loss,
             actor_loss,
-        })
+        }
     }
 
     /// Trainable parameters (actor then critic) for checkpointing.

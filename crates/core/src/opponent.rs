@@ -31,6 +31,13 @@ pub struct OpponentSample {
     pub options: Vec<usize>,
 }
 
+/// A pre-sampled minibatch for [`OpponentModel::update_batch`], produced
+/// by [`OpponentModel::sample_batch`].
+#[derive(Clone, Debug)]
+pub struct OpponentBatch {
+    samples: Vec<OpponentSample>,
+}
+
 /// Per-opponent option-prediction networks for one agent.
 #[derive(Debug)]
 pub struct OpponentModel {
@@ -41,6 +48,8 @@ pub struct OpponentModel {
     batch_size: usize,
     n_options: usize,
     informative: bool,
+    /// Reused tape arena for update passes (see `Graph::reset`).
+    graph: Graph,
 }
 
 impl OpponentModel {
@@ -83,6 +92,7 @@ impl OpponentModel {
             batch_size,
             n_options,
             informative: true,
+            graph: Graph::new(),
         }
     }
 
@@ -182,14 +192,36 @@ impl OpponentModel {
     /// One entropy-regularized NLL update per opponent model; returns the
     /// per-opponent losses, or `None` before enough data has arrived.
     pub fn update(&mut self, rng: &mut StdRng) -> Option<Vec<f32>> {
+        let batch = self.sample_batch(rng)?;
+        Some(self.update_batch(&batch))
+    }
+
+    /// Draws the next update's minibatch, or `None` before enough data has
+    /// arrived. This is the only RNG-consuming half of an update, so a
+    /// coordinator can sample every agent's batch in a fixed order and run
+    /// the compute ([`OpponentModel::update_batch`]) on worker threads
+    /// without perturbing the random stream.
+    pub fn sample_batch(&self, rng: &mut StdRng) -> Option<OpponentBatch> {
         if !self.informative || self.buffer.len() < self.batch_size.min(64) {
             return None;
         }
-        let batch = {
+        let samples: Vec<OpponentSample> = {
             let _span = hero_rl::telemetry::span("replay_sample");
-            self.buffer.sample(rng, self.batch_size)
+            self.buffer
+                .sample(rng, self.batch_size)
+                .into_iter()
+                .cloned()
+                .collect()
         };
-        hero_rl::telemetry::counter_add("transitions_sampled", batch.len() as u64);
+        hero_rl::telemetry::counter_add("transitions_sampled", samples.len() as u64);
+        Some(OpponentBatch { samples })
+    }
+
+    /// The compute half of [`OpponentModel::update`]: trains every
+    /// opponent network on the pre-sampled `batch` and returns the
+    /// per-opponent NLL losses. Consumes no randomness.
+    pub fn update_batch(&mut self, batch: &OpponentBatch) -> Vec<f32> {
+        let batch = &batch.samples;
         let obs_rows: Vec<&[f32]> = batch.iter().map(|s| s.obs.as_slice()).collect();
         let obs_t = {
             let d = obs_rows[0].len();
@@ -203,7 +235,10 @@ impl OpponentModel {
         let mut losses = Vec::with_capacity(self.nets.len());
         for (j, (net, opt)) in self.nets.iter().zip(&mut self.opts).enumerate() {
             let picked: Vec<usize> = batch.iter().map(|s| s.options[j]).collect();
-            let mut g = Graph::new();
+            // Reuse one graph arena across updates: reset() recycles every
+            // node buffer instead of reallocating per minibatch.
+            let mut g = std::mem::take(&mut self.graph);
+            g.reset();
             let x = g.input(obs_t.clone());
             let logits = net.forward(&mut g, x);
             let targets = g.input(Tensor::one_hot(&picked, self.n_options));
@@ -233,8 +268,9 @@ impl OpponentModel {
             }
             g.backward(l);
             opt.step();
+            self.graph = g;
         }
-        Some(losses)
+        losses
     }
 
     /// Trainable parameters of every opponent network (for checkpointing).

@@ -246,16 +246,62 @@ impl HeroTeam {
 
     /// One learning pass over every agent; returns mean losses when any
     /// agent updated.
+    ///
+    /// With [`HeroConfig::parallel_update`] set (the default) the compute
+    /// phase runs on one scoped thread per agent. The result is
+    /// bit-identical to the sequential path: minibatches are sampled on
+    /// this thread in agent order (the only RNG consumers), each worker
+    /// captures its telemetry instead of recording it, and the captures
+    /// are replayed here in agent order after a deterministic join — so
+    /// counter totals, value histograms, loss sums, and checkpoint bytes
+    /// cannot depend on thread interleaving.
     pub fn update(&mut self, rng: &mut StdRng) -> Option<(f32, f32)> {
+        let results: Vec<Option<hero_baselines::common::UpdateStats>> =
+            if self.cfg.parallel_update && self.agents.len() > 1 {
+                let prepared: Vec<_> = self
+                    .agents
+                    .iter()
+                    .map(|a| a.prepare_update(rng))
+                    .collect();
+                let capture = telemetry::is_enabled();
+                let outcomes: Vec<_> = crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = self
+                        .agents
+                        .iter_mut()
+                        .zip(prepared)
+                        .map(|(agent, batches)| {
+                            s.spawn(move || {
+                                if capture {
+                                    telemetry::begin_capture();
+                                }
+                                let stats = agent.apply_update(batches);
+                                (stats, telemetry::take_capture())
+                            })
+                        })
+                        .collect();
+                    // Join in agent-index order; panics propagate.
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("agent update thread panicked"))
+                        .collect()
+                });
+                outcomes
+                    .into_iter()
+                    .map(|(stats, events)| {
+                        telemetry::replay(events);
+                        stats
+                    })
+                    .collect()
+            } else {
+                self.agents.iter_mut().map(|a| a.update(rng)).collect()
+            };
         let mut critic = 0.0;
         let mut actor = 0.0;
         let mut count = 0;
-        for a in &mut self.agents {
-            if let Some(stats) = a.update(rng) {
-                critic += stats.critic_loss;
-                actor += stats.actor_loss;
-                count += 1;
-            }
+        for stats in results.into_iter().flatten() {
+            critic += stats.critic_loss;
+            actor += stats.actor_loss;
+            count += 1;
         }
         (count > 0).then(|| (critic / count as f32, actor / count as f32))
     }

@@ -1,0 +1,107 @@
+//! The parallel-update determinism contract (DESIGN.md "Performance"):
+//! running the per-agent update phase on scoped threads must be
+//! *bit-identical* to the sequential path — same metric series, same
+//! checkpoint bytes, same telemetry counter totals and value histograms.
+//! Only span durations (wall clock) may differ.
+
+use std::sync::Arc;
+
+use hero_baselines::sac::SacConfig;
+use hero_core::trainer::{train_team, HeroTeam, TrainOptions};
+use hero_core::{HeroConfig, SkillLibrary};
+use hero_rl::telemetry::{self, TelemetryConfig};
+use hero_sim::env::EnvConfig;
+use hero_sim::scenario;
+
+fn team(env_cfg: EnvConfig, parallel: bool) -> HeroTeam {
+    let skills = Arc::new(SkillLibrary::untrained(
+        env_cfg,
+        SacConfig {
+            hidden: 8,
+            ..SacConfig::default()
+        },
+        0,
+    ));
+    let cfg = HeroConfig {
+        hidden: 8,
+        batch_size: 8,
+        warmup: 8,
+        parallel_update: parallel,
+        ..HeroConfig::default()
+    };
+    HeroTeam::new(2, env_cfg.high_dim(), skills, cfg, 1)
+}
+
+/// One seeded fig7-style run per mode; returns the team's checkpoint
+/// sections, the recorded series, and the telemetry state.
+fn run(parallel: bool) -> (
+    Vec<(String, Vec<u8>)>,
+    Vec<(String, Vec<f32>)>,
+    telemetry::RegistryState,
+) {
+    let guard = telemetry::scoped(TelemetryConfig::default());
+    let env_cfg = EnvConfig {
+        max_steps: 8,
+        ..EnvConfig::default()
+    };
+    let mut env = scenario::two_vehicle_merge(env_cfg, 3);
+    let mut t = team(env_cfg, parallel);
+    let rec = train_team(
+        &mut t,
+        &mut env,
+        &TrainOptions {
+            episodes: 5,
+            update_every: 1,
+            seed: 7,
+        },
+    );
+    let series = rec
+        .names()
+        .into_iter()
+        .map(|n| (n.to_string(), rec.series(n).unwrap().to_vec()))
+        .collect();
+    let state = telemetry::export_state().expect("scoped sink active");
+    drop(guard);
+    (t.save_state(), series, state)
+}
+
+#[test]
+fn parallel_update_is_bit_identical_to_sequential() {
+    let (seq_ckpt, seq_series, seq_tel) = run(false);
+    let (par_ckpt, par_series, par_tel) = run(true);
+
+    // Metric series: exact f32 equality, not tolerance.
+    assert_eq!(
+        seq_series.len(),
+        par_series.len(),
+        "series sets differ: seq={:?} par={:?}",
+        seq_series.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        par_series.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+    for ((sn, sv), (pn, pv)) in seq_series.iter().zip(&par_series) {
+        assert_eq!(sn, pn);
+        let sb: Vec<u32> = sv.iter().map(|v| v.to_bits()).collect();
+        let pb: Vec<u32> = pv.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sb, pb, "series `{sn}` diverged: {sv:?} vs {pv:?}");
+    }
+
+    // Checkpoint bytes: every section byte-for-byte equal.
+    assert_eq!(seq_ckpt.len(), par_ckpt.len());
+    for ((sn, sb), (pn, pb)) in seq_ckpt.iter().zip(&par_ckpt) {
+        assert_eq!(sn, pn, "checkpoint section order diverged");
+        assert_eq!(sb, pb, "checkpoint section `{sn}` bytes diverged");
+    }
+
+    // Telemetry: counter totals and value histograms (counts, means,
+    // extrema, reservoir contents) bit-identical. Span histograms hold
+    // wall-clock durations and are exempt by design.
+    assert_eq!(seq_tel.counters, par_tel.counters, "counter totals diverged");
+    assert_eq!(
+        seq_tel.values, par_tel.values,
+        "value-histogram states diverged"
+    );
+    assert!(
+        seq_tel.counters["grad_updates"] > 0,
+        "run too short: no updates happened, the contract was not exercised"
+    );
+}

@@ -486,6 +486,25 @@ pub fn doctor(run: &Run) -> Vec<Finding> {
     findings
 }
 
+/// Training-throughput summary from a run's counters: environment steps
+/// and gradient updates per wall-clock second. Kept separate from
+/// [`doctor`] findings — throughput is information, not a pathology.
+#[must_use]
+pub fn throughput_report(run: &Run) -> String {
+    let mut out = String::new();
+    for (counter, label) in [("env_steps", "env_steps/s"), ("grad_updates", "grad_updates/s")] {
+        match run.counters.get(counter) {
+            Some(c) => {
+                let _ = writeln!(out, "throughput  {label:<15} {:>10.1}  (total {})", c.rate_per_s, c.total);
+            }
+            None => {
+                let _ = writeln!(out, "throughput  {label:<15}        n/a  (counter {counter:?} absent)");
+            }
+        }
+    }
+    out
+}
+
 /// Renders doctor findings (or a clean bill of health).
 #[must_use]
 pub fn render_findings(findings: &[Finding]) -> String {
@@ -529,6 +548,17 @@ mod tests {
     #[test]
     fn parse_rejects_unknown_type() {
         assert!(parse_run("{\"type\":\"bogus\",\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn throughput_report_uses_counter_rates() {
+        let run = parse_run(BASE).unwrap();
+        let text = throughput_report(&run);
+        assert!(text.contains("grad_updates/s"), "{text}");
+        assert!(text.contains("66.0"), "{text}");
+        // env_steps is absent from this fixture: reported, not invented.
+        assert!(text.contains("env_steps/s"), "{text}");
+        assert!(text.contains("n/a"), "{text}");
     }
 
     #[test]

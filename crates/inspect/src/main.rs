@@ -19,7 +19,10 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use hero_inspect::{diff_with, doctor, load_run, render_findings, summarize, Severity, Tolerances};
+use hero_inspect::{
+    diff_with, doctor, load_run, render_findings, summarize, throughput_report, Severity,
+    Tolerances,
+};
 
 const USAGE: &str = "usage: hero-inspect <summarize RUN | diff BASELINE CANDIDATE \
                      [--tol-value F] [--tol-count F] [--tol-counter F] [--abs-floor F] \
@@ -52,6 +55,7 @@ fn main() -> ExitCode {
             let [run] = rest else { return fail("doctor takes exactly one RUN") };
             match load_run(Path::new(run)) {
                 Ok(run) => {
+                    print!("{}", throughput_report(&run));
                     let findings = doctor(&run);
                     print!("{}", render_findings(&findings));
                     if findings.iter().any(|f| f.severity == Severity::Critical) {

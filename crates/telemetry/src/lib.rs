@@ -63,6 +63,103 @@ thread_local! {
     static SCOPED: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
     /// Stack of active span names on this thread.
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// When set, record calls on this thread are diverted into this buffer
+    /// instead of the registry; see [`begin_capture`].
+    static CAPTURE: RefCell<Option<CaptureState>> = const { RefCell::new(None) };
+}
+
+struct CaptureState {
+    /// Span-stack depth when capture began: captured span paths are
+    /// relative to this base, so replaying re-roots them correctly.
+    base_depth: usize,
+    events: Vec<CapturedEvent>,
+}
+
+/// One telemetry event diverted by capture mode (see [`begin_capture`]),
+/// replayable into a registry in a caller-chosen order via [`replay`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum CapturedEvent {
+    /// A [`counter_add`] call.
+    Counter(&'static str, u64),
+    /// An [`observe`]/[`observe_dyn`] call.
+    Value(String, f64),
+    /// A completed span: its `/`-joined path *relative to the capturing
+    /// thread's stack* and the measured duration.
+    Span(String, std::time::Duration),
+}
+
+/// Diverts all subsequent record calls **on this thread** into an ordered
+/// buffer instead of the registry, until [`take_capture`] is called.
+///
+/// This is the worker-thread half of deterministic parallelism: each
+/// worker captures its events locally, and the coordinating thread
+/// [`replay`]s the buffers in a fixed order so counter totals and value
+/// histograms are bit-identical to a sequential run regardless of thread
+/// interleaving. While capturing, [`is_enabled`] reports `true` so
+/// metric-producing code stays on the instrumented path.
+pub fn begin_capture() {
+    let base_depth = SPAN_STACK.with(|s| s.borrow().len());
+    CAPTURE.with(|c| {
+        *c.borrow_mut() = Some(CaptureState {
+            base_depth,
+            events: Vec::new(),
+        });
+    });
+}
+
+/// Ends capture mode on this thread and returns the buffered events in
+/// record order. Returns an empty buffer when capture was never begun.
+pub fn take_capture() -> Vec<CapturedEvent> {
+    CAPTURE
+        .with(|c| c.borrow_mut().take())
+        .map(|s| s.events)
+        .unwrap_or_default()
+}
+
+fn capturing() -> bool {
+    CAPTURE.with(|c| c.borrow().is_some())
+}
+
+fn capture_base_depth() -> usize {
+    CAPTURE.with(|c| c.borrow().as_ref().map_or(0, |s| s.base_depth))
+}
+
+fn capture_event(e: CapturedEvent) -> bool {
+    CAPTURE.with(|c| match c.borrow_mut().as_mut() {
+        Some(state) => {
+            state.events.push(e);
+            true
+        }
+        None => false,
+    })
+}
+
+/// Commits events captured on a worker thread (see [`begin_capture`]) into
+/// the registry visible to *this* thread. Span paths are re-rooted under
+/// this thread's currently active span stack, so a span captured as
+/// `actor_critic` inside an active `update` span lands as
+/// `update/actor_critic` — exactly the path a sequential run records.
+pub fn replay(events: Vec<CapturedEvent>) {
+    if disabled() || events.is_empty() {
+        return;
+    }
+    let prefix = SPAN_STACK.with(|s| s.borrow().join("/"));
+    let _ = with_registry(|r| {
+        for e in &events {
+            match e {
+                CapturedEvent::Counter(name, n) => r.counter_add(name, *n),
+                CapturedEvent::Value(name, v) => r.observe(name, *v),
+                CapturedEvent::Span(path, duration) => {
+                    let full = if prefix.is_empty() {
+                        path.clone()
+                    } else {
+                        format!("{prefix}/{path}")
+                    };
+                    r.record_span(full, *duration);
+                }
+            }
+        }
+    });
 }
 
 /// True when no telemetry sink is active anywhere — the fast path every
@@ -75,7 +172,7 @@ pub fn disabled() -> bool {
 /// True when a sink is active *for the calling thread* (a thread-scoped
 /// registry, or the process-global one).
 pub fn is_enabled() -> bool {
-    !disabled() && with_registry(|_| ()).is_some()
+    !disabled() && (capturing() || with_registry(|_| ()).is_some())
 }
 
 /// Runs `f` against the innermost registry visible to this thread:
@@ -199,9 +296,20 @@ fn flush_registry(registry: &Registry) -> std::io::Result<()> {
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
     if disabled() {
-        return SpanGuard { active: None };
+        return SpanGuard {
+            active: None,
+            captured: false,
+        };
     }
     SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    if capturing() {
+        // Diverted span: timed against this thread's own (relative) span
+        // stack and buffered on drop; no registry or trace access.
+        return SpanGuard {
+            active: Some(Instant::now()),
+            captured: true,
+        };
+    }
     let _ = with_registry(|r| {
         if r.trace_enabled() {
             let path = SPAN_STACK.with(|s| s.borrow().join("/"));
@@ -216,18 +324,31 @@ pub fn span(name: &'static str) -> SpanGuard {
     });
     SpanGuard {
         active: Some(Instant::now()),
+        captured: false,
     }
 }
 
 /// RAII guard for one active span; see [`span`].
 pub struct SpanGuard {
     active: Option<Instant>,
+    captured: bool,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.active else { return };
         let duration = start.elapsed();
+        if self.captured {
+            let base = capture_base_depth();
+            let path = SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                let path = stack[base.min(stack.len())..].join("/");
+                stack.pop();
+                path
+            });
+            capture_event(CapturedEvent::Span(path, duration));
+            return;
+        }
         let path = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
             let path = stack.join("/");
@@ -256,6 +377,9 @@ pub fn counter_add(name: &'static str, n: u64) {
     if disabled() {
         return;
     }
+    if capture_event(CapturedEvent::Counter(name, n)) {
+        return;
+    }
     let _ = with_registry(|r| r.counter_add(name, n));
 }
 
@@ -273,13 +397,17 @@ pub fn observe_dyn(name: &str, value: f64) {
     if disabled() {
         return;
     }
+    if capturing() {
+        capture_event(CapturedEvent::Value(name.to_string(), value));
+        return;
+    }
     let _ = with_registry(|r| r.observe(name, value));
 }
 
 /// Prints a rate-limited progress line to stderr with `context` appended
 /// (e.g. `"ep 12"`). Returns whether a line was printed.
 pub fn progress(context: &str) -> bool {
-    if disabled() {
+    if disabled() || capturing() {
         return false;
     }
     with_registry(|r| r.progress(context)).unwrap_or(false)
@@ -398,6 +526,40 @@ mod tests {
         }
         counter_add("n", 2);
         assert_eq!(outer.snapshot().counters["n"].total, 2);
+    }
+
+    #[test]
+    fn capture_diverts_and_replay_rebuilds_in_order() {
+        let guard = scoped(TelemetryConfig::default());
+        let _outer = span("update");
+        // Worker-side: capture everything, touching no registry.
+        begin_capture();
+        assert!(is_enabled(), "capture mode keeps the instrumented path on");
+        counter_add("grad_updates", 2);
+        observe("loss", 1.5);
+        {
+            let _s = span("actor_critic");
+        }
+        let events = take_capture();
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[2], CapturedEvent::Span(ref p, _) if p == "actor_critic"));
+        let before = guard.snapshot();
+        assert!(before.counters.is_empty(), "capture must not touch the registry");
+        // Coordinator-side: replay under the active `update` span.
+        replay(events);
+        let snap = guard.snapshot();
+        assert_eq!(snap.counters["grad_updates"].total, 2);
+        assert_eq!(snap.values["loss"].count, 1);
+        assert!(
+            snap.spans.contains_key("update/actor_critic"),
+            "replayed span paths re-root under the replaying thread's stack: {:?}",
+            snap.spans.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn take_capture_without_begin_is_empty() {
+        assert!(take_capture().is_empty());
     }
 
     #[test]

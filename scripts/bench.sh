@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Training-throughput benchmark. Runs the criterion microbenches (naive vs
+# register-tiled matmul kernels, naive vs arena-reusing train step) plus a
+# short end-to-end fig7-style training run, and writes the summary JSON to
+# BENCH_train_throughput.json at the repo root.
+#
+# Usage: scripts/bench.sh [--quick]
+#   --quick   shorter warm-up/measurement windows (what CI runs)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+
+# cargo runs the bench binary from the package directory, so the output
+# path must be absolute to land at the repo root.
+export HERO_BENCH_OUT="$ROOT/BENCH_train_throughput.json"
+
+cargo bench -p hero-bench --bench train_throughput -- "$@"
+
+echo "--- $HERO_BENCH_OUT"
+cat "$HERO_BENCH_OUT"

@@ -33,6 +33,29 @@ DIAG=$(mktemp -d /tmp/hero-diag.XXXXXX)
     tests/golden/diag_baseline.jsonl "$DIAG/tel" --fail-on-regression
 ./target/release/hero-inspect doctor "$DIAG/tel"
 
+echo "=== training-throughput bench (quick)"
+# Quick criterion pass over the kernel and train-step microbenches; the
+# emitted JSON must exist and carry every field bench.sh promises.
+rm -f BENCH_train_throughput.json
+scripts/bench.sh --quick >/dev/null
+python3 - <<'EOF'
+import json
+with open("BENCH_train_throughput.json") as f:
+    bench = json.load(f)
+required = [
+    "matmul_naive_ns", "matmul_tiled_ns", "matmul_gflops",
+    "train_step_naive_ns", "train_step_tiled_ns", "train_step_speedup",
+    "env_steps_per_s", "grad_updates_per_s",
+]
+missing = [k for k in required if k not in bench]
+assert not missing, f"BENCH_train_throughput.json missing {missing}"
+bad = [k for k in required if not (isinstance(bench[k], (int, float)) and bench[k] > 0)]
+assert not bad, f"non-positive bench fields: {bad}"
+print(f"  speedup {bench['train_step_speedup']}x, "
+      f"{bench['matmul_gflops']} GFLOP/s, "
+      f"{bench['env_steps_per_s']} env_steps/s")
+EOF
+
 echo "=== kill-and-resume smoke"
 # A seeded run crashed mid-training (injected kill, exit 137) and resumed
 # from its checkpoint must be indistinguishable from an uninterrupted run:

@@ -31,6 +31,7 @@ pub enum BatchSize {
 pub struct Criterion {
     warmup: Duration,
     measure: Duration,
+    results: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
@@ -38,6 +39,7 @@ impl Default for Criterion {
         Self {
             warmup: Duration::from_millis(100),
             measure: Duration::from_millis(400),
+            results: Vec::new(),
         }
     }
 }
@@ -73,7 +75,15 @@ impl Criterion {
             f64::NAN
         };
         println!("{name:<40} {:>14.1} ns/iter  ({} iters)", ns, b.iters);
+        self.results.push((name.to_string(), ns));
         self
+    }
+
+    /// Mean ns/iteration of every benchmark run so far, in run order.
+    /// Lets harness-less benches (`harness = false` + hand-rolled `main`)
+    /// collect numbers for machine-readable output.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
     }
 }
 
@@ -160,13 +170,15 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut c = Criterion {
-            warmup: Duration::from_millis(1),
-            measure: Duration::from_millis(5),
-        };
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
         c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
         c.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].0, "noop");
+        assert!(c.results()[0].1.is_finite());
     }
 }

@@ -187,3 +187,30 @@ pub mod channel {
         }
     }
 }
+
+/// Structured scoped threads: spawn borrows from the enclosing stack frame
+/// and every thread is joined before `scope` returns.
+///
+/// Implemented directly on `std::thread::scope` (stable since Rust 1.63),
+/// so the API follows std rather than crossbeam 0.8: `scope` returns the
+/// closure's value (not a `Result`) and `spawn` takes a plain `FnOnce()`
+/// closure. Used by `hero-core` for the parallel per-agent update phase.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let partial: Vec<u64> = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move || c.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(partial, vec![3, 7]);
+        }
+    }
+}
