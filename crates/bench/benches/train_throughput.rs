@@ -13,6 +13,11 @@
 //!   against the current graph path (tiled/fused kernels, arena reuse).
 //! - `env_steps_per_s` / `grad_updates_per_s` — end-to-end fig7-style
 //!   training throughput from telemetry counters over wall-clock time.
+//! - `env_steps_per_sec_scalar` / `env_steps_per_sec_batched` — the
+//!   rollout_throughput phase: raw environment stepping through a scalar
+//!   [`hero_sim::env::LaneChangeEnv`] loop versus a 32-world
+//!   [`hero_sim::batch::BatchWorld`] struct-of-arrays sweep (the
+//!   actor/learner engine's hot path). The batched engine must clear 3×.
 //!
 //! Run via `scripts/bench.sh` or directly:
 //! `cargo bench --bench train_throughput -- --quick`
@@ -28,8 +33,10 @@ use hero_core::config::HeroConfig;
 use hero_core::skills::SkillLibrary;
 use hero_core::trainer::{train_team, HeroTeam, TrainOptions};
 use hero_rl::telemetry::{self, TelemetryConfig};
+use hero_sim::batch::BatchWorld;
 use hero_sim::env::EnvConfig;
 use hero_sim::scenario;
+use hero_sim::vehicle::VehicleCommand;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -229,6 +236,60 @@ fn measure_training_throughput(episodes: usize) -> (f64, f64) {
     (env_steps / secs, grad_updates / secs)
 }
 
+/// Worlds in the batched rollout measurement (one actor's shard at the
+/// scale the actor/learner engine targets).
+const ROLLOUT_WORLDS: usize = 32;
+
+/// The rollout_throughput phase: raw environment stepping (no learning),
+/// scalar loop vs one [`BatchWorld`] sweep over [`ROLLOUT_WORLDS`] worlds.
+/// Both sides run the congestion scenario with coasting commands and
+/// reset finished episodes in place; a "step" is one world advanced one
+/// control period. Returns `(scalar_steps_per_s, batched_steps_per_s)`.
+fn measure_rollout_throughput(target_steps: usize) -> (f64, f64) {
+    let env_cfg = EnvConfig {
+        max_steps: 64,
+        ..EnvConfig::default()
+    };
+
+    let mut env = scenario::congestion(env_cfg, 5);
+    let n = env.num_vehicles();
+    let coast = |speeds: Vec<f32>| -> Vec<VehicleCommand> {
+        speeds.into_iter().map(VehicleCommand::coast).collect()
+    };
+    let mut steps = 0usize;
+    let start = Instant::now();
+    while steps < target_steps {
+        if env.is_done() {
+            env.reset();
+        }
+        let cmds = coast((0..n).map(|i| env.vehicle_state(i).speed).collect());
+        env.step(&cmds);
+        steps += 1;
+    }
+    let scalar = steps as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    let proto = scenario::congestion(env_cfg, 5);
+    let mut batch = BatchWorld::replicate(&proto, ROLLOUT_WORLDS);
+    let all: Vec<usize> = (0..ROLLOUT_WORLDS).collect();
+    let mut steps = 0usize;
+    let start = Instant::now();
+    while steps < target_steps {
+        for &w in &all {
+            if batch.is_done(w) {
+                batch.reset_world(w);
+            }
+        }
+        let commands: Vec<Vec<VehicleCommand>> = all
+            .iter()
+            .map(|&w| coast((0..n).map(|i| batch.vehicle_state(w, i).speed).collect()))
+            .collect();
+        batch.step_worlds(&all, &commands);
+        steps += ROLLOUT_WORLDS;
+    }
+    let batched = steps as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    (scalar, batched)
+}
+
 // ---------------------------------------------------------------------------
 // Driver + JSON emission
 // ---------------------------------------------------------------------------
@@ -266,6 +327,19 @@ fn main() {
     println!("env_steps/s      {env_steps_per_s:>14.1}");
     println!("grad_updates/s   {grad_updates_per_s:>14.1}");
 
+    let rollout_steps = if quick { 4_096 } else { 32_768 };
+    println!("rollout throughput ({rollout_steps} env steps, {ROLLOUT_WORLDS}-world batch)...");
+    // Take the best of three runs per side to shrug off scheduler noise.
+    let (env_steps_per_sec_scalar, env_steps_per_sec_batched) = (0..3)
+        .map(|_| measure_rollout_throughput(rollout_steps))
+        .fold((f64::NAN, f64::NAN), |(s, b), (ns, nb)| {
+            (s.max(ns), b.max(nb))
+        });
+    let rollout_batch_speedup = env_steps_per_sec_batched / env_steps_per_sec_scalar;
+    println!("scalar env_steps/s  {env_steps_per_sec_scalar:>14.1}");
+    println!("batched env_steps/s {env_steps_per_sec_batched:>14.1}");
+    println!("batched speedup     {rollout_batch_speedup:>13.2}x");
+
     let matmul_naive_ns = result_ns(&c, "matmul_naive_128");
     let matmul_tiled_ns = result_ns(&c, "matmul_tiled_128");
     let train_step_naive_ns = result_ns(&c, "train_step_naive_32x32");
@@ -286,7 +360,11 @@ fn main() {
          \"train_step_tiled_ns\": {train_step_tiled_ns:.1},\n  \
          \"train_step_speedup\": {train_step_speedup:.3},\n  \
          \"env_steps_per_s\": {env_steps_per_s:.3},\n  \
-         \"grad_updates_per_s\": {grad_updates_per_s:.3}\n}}\n"
+         \"grad_updates_per_s\": {grad_updates_per_s:.3},\n  \
+         \"rollout_worlds\": {ROLLOUT_WORLDS},\n  \
+         \"env_steps_per_sec_scalar\": {env_steps_per_sec_scalar:.3},\n  \
+         \"env_steps_per_sec_batched\": {env_steps_per_sec_batched:.3},\n  \
+         \"rollout_batch_speedup\": {rollout_batch_speedup:.3}\n}}\n"
     );
     std::fs::write(&out, json).expect("write bench JSON");
     println!("wrote {out}");

@@ -3,10 +3,11 @@
 //! --update-every K --batch-size N --skill-episodes N
 //! --telemetry-out DIR --trace-out FILE --paper-scale
 //! --checkpoint-every N --checkpoint-dir DIR --checkpoint-retain K
-//! --resume --fault-plan SPEC`.
+//! --resume --fault-plan SPEC --actors N --batch-worlds N`.
 
 use std::path::PathBuf;
 
+use hero_core::rollout::RolloutOptions;
 use hero_core::CheckpointConfig;
 use hero_faultplan::{FaultPlan, KillMode};
 
@@ -47,6 +48,12 @@ pub struct ExperimentArgs {
     /// Unparsed fault-injection spec (see [`hero_faultplan::FaultPlan`]),
     /// e.g. `kill@ep:3,truncate@save:1`.
     pub fault_plan: Option<String>,
+    /// Rollout actor threads for HERO training (`1` = the plain
+    /// sequential loop unless `--batch-worlds` asks for more worlds).
+    pub actors: usize,
+    /// World replicas per actor; `> 1` switches HERO training to the
+    /// batched actor/learner engine.
+    pub batch_worlds: usize,
 }
 
 impl ExperimentArgs {
@@ -69,6 +76,8 @@ impl ExperimentArgs {
             checkpoint_retain: 3,
             resume: false,
             fault_plan: None,
+            actors: 1,
+            batch_worlds: 1,
         }
     }
 
@@ -114,13 +123,17 @@ impl ExperimentArgs {
                 }
                 "--resume" => out.resume = true,
                 "--fault-plan" => out.fault_plan = Some(value("--fault-plan")),
+                "--actors" => out.actors = value("--actors").parse().expect("usize"),
+                "--batch-worlds" => {
+                    out.batch_worlds = value("--batch-worlds").parse().expect("usize")
+                }
                 "--paper-scale" => {
                     out.episodes = 14_000;
                     out.batch_size = 1024;
                     out.update_every = 1;
                 }
                 other => panic!(
-                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--trace-out/--checkpoint-every/--checkpoint-dir/--checkpoint-retain/--resume/--fault-plan/--paper-scale"
+                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--trace-out/--checkpoint-every/--checkpoint-dir/--checkpoint-retain/--resume/--fault-plan/--actors/--batch-worlds/--paper-scale"
                 ),
             }
         }
@@ -154,6 +167,16 @@ impl ExperimentArgs {
             retain: self.checkpoint_retain,
             fault_plan,
             kill_mode: KillMode::Exit,
+        }
+    }
+
+    /// Builds the [`RolloutOptions`] for HERO training from `--actors` /
+    /// `--batch-worlds`.
+    pub fn rollout_options(&self) -> RolloutOptions {
+        RolloutOptions {
+            actors: self.actors.max(1),
+            batch_worlds: self.batch_worlds.max(1),
+            ..RolloutOptions::default()
         }
     }
 
@@ -217,6 +240,22 @@ mod tests {
         assert_eq!(a.episodes, 14_000);
         assert_eq!(a.batch_size, 1024);
         assert_eq!(a.update_every, 1);
+    }
+
+    #[test]
+    fn rollout_flags_parse_and_default_to_sequential() {
+        let d = ExperimentArgs::defaults(10);
+        assert_eq!(d.actors, 1);
+        assert_eq!(d.batch_worlds, 1);
+        assert!(!d.rollout_options().is_distributed());
+        let a = ExperimentArgs::parse(
+            ExperimentArgs::defaults(10),
+            strs(&["--actors", "3", "--batch-worlds", "4"]),
+        );
+        let ro = a.rollout_options();
+        assert_eq!(ro.actors, 3);
+        assert_eq!(ro.batch_worlds, 4);
+        assert!(ro.is_distributed());
     }
 
     #[test]

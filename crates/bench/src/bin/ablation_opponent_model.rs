@@ -4,7 +4,7 @@
 //! scenario and compares learning curves and final greedy metrics.
 
 use hero_bench::{
-    build_method, load_or_train_skills, print_eval_row, train_policy_checkpointed, ExperimentArgs,
+    build_method, load_or_train_skills, print_eval_row, train_policy_distributed, ExperimentArgs,
     Method, MethodParams,
 };
 use hero_core::config::HeroConfig;
@@ -43,13 +43,14 @@ fn main() {
             Some((skills.clone(), cfg)),
         );
         eprintln!("ablation: training {label}...");
-        let rec = train_policy_checkpointed(
+        let rec = train_policy_distributed(
             &mut policy,
             &mut env,
             args.episodes,
             args.update_every,
             args.seed,
             &args.checkpoint_config(label),
+            &args.rollout_options(),
         );
         for metric in ["reward", "collision", "success"] {
             if let Some(series) = rec.smoothed(metric, 100) {

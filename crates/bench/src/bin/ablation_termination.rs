@@ -5,7 +5,7 @@
 //! costs (or buys) in learning terms.
 
 use hero_bench::{
-    build_method, load_or_train_skills, print_eval_row, train_policy_checkpointed, ExperimentArgs,
+    build_method, load_or_train_skills, print_eval_row, train_policy_distributed, ExperimentArgs,
     Method, MethodParams,
 };
 use hero_core::config::{HeroConfig, TerminationMode};
@@ -45,13 +45,14 @@ fn main() {
             Some((skills.clone(), cfg)),
         );
         eprintln!("ablation: training {label}...");
-        let rec = train_policy_checkpointed(
+        let rec = train_policy_distributed(
             &mut policy,
             &mut env,
             args.episodes,
             args.update_every,
             args.seed,
             &args.checkpoint_config(label),
+            &args.rollout_options(),
         );
         for metric in ["reward", "collision", "success"] {
             if let Some(series) = rec.smoothed(metric, 100) {

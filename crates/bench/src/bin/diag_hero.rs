@@ -22,7 +22,7 @@ fn main() {
     };
     let mut env = scenario::congestion(env_cfg, args.seed);
     let mut team = HeroTeam::new(3, env_cfg.high_dim(), skills.clone(), cfg, args.seed);
-    let _ = hero_core::trainer::train_team_checkpointed(
+    let _ = hero_core::rollout::train_team_actor_learner(
         &mut team,
         &mut env,
         &TrainOptions {
@@ -31,6 +31,7 @@ fn main() {
             seed: args.seed,
         },
         &args.checkpoint_config("HERO"),
+        &args.rollout_options(),
     );
 
     // Greedy probes with narration.

@@ -6,7 +6,7 @@
 //! rate, mean speed.
 
 use hero_bench::{
-    build_method, load_or_train_skills, print_eval_row, train_policy_checkpointed, ExperimentArgs,
+    build_method, load_or_train_skills, print_eval_row, train_policy_distributed, ExperimentArgs,
     Method, MethodParams,
 };
 use hero_core::config::HeroConfig;
@@ -40,13 +40,14 @@ fn main() {
             Some((skills.clone(), hero_cfg)),
         );
         eprintln!("table2: training {} in simulation...", method.name());
-        let _ = train_policy_checkpointed(
+        let _ = train_policy_distributed(
             &mut policy,
             &mut sim,
             args.episodes,
             args.update_every,
             args.seed,
             &args.checkpoint_config(method.name()),
+            &args.rollout_options(),
         );
         // Deploy: same scenario behind the domain gap.
         let mut testbed = SimToRealEnv::new(

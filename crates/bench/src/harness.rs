@@ -14,6 +14,7 @@ use hero_baselines::dqn::{DqnConfig, IndependentDqn};
 use hero_baselines::maac::{Maac, MaacConfig};
 use hero_baselines::maddpg::{Maddpg, MaddpgConfig};
 use hero_core::config::HeroConfig;
+use hero_core::rollout::{train_team_actor_learner, RolloutOptions};
 use hero_core::skills::SkillLibrary;
 use hero_core::trainer::{
     evaluate_team, train_team_checkpointed, CheckpointConfig, EvalStats, HeroTeam, TrainOptions,
@@ -422,6 +423,49 @@ pub fn train_policy_checkpointed<W: CooperativeWorld>(
             },
             ckpt,
         ),
+    }
+}
+
+/// [`train_policy_checkpointed`] routed through the actor/learner rollout
+/// engine ([`train_team_actor_learner`]) when `rollout` asks for more than
+/// one actor or world. Only HERO trains distributed; the flat baselines
+/// log a notice and train sequentially (their update loop is already the
+/// bottleneck, and they hold no per-world cursor state to shard).
+///
+/// Requires a concrete [`hero_sim::env::LaneChangeEnv`] because actor
+/// threads rebuild world replicas from its config/spawns/seed.
+#[allow(clippy::too_many_arguments)]
+pub fn train_policy_distributed(
+    policy: &mut TrainedPolicy,
+    env: &mut hero_sim::env::LaneChangeEnv,
+    episodes: usize,
+    update_every: usize,
+    seed: u64,
+    ckpt: &CheckpointConfig,
+    rollout: &RolloutOptions,
+) -> Recorder {
+    match policy {
+        TrainedPolicy::Hero(team) if rollout.is_distributed() => {
+            train_team_actor_learner(
+                team,
+                env,
+                &TrainOptions {
+                    episodes,
+                    update_every,
+                    seed,
+                },
+                ckpt,
+                rollout,
+            )
+            .recorder
+        }
+        TrainedPolicy::Baseline(_) if rollout.is_distributed() => {
+            telemetry::progress(
+                "flat baselines train sequentially; ignoring --actors/--batch-worlds",
+            );
+            train_policy_checkpointed(policy, env, episodes, update_every, seed, ckpt)
+        }
+        _ => train_policy_checkpointed(policy, env, episodes, update_every, seed, ckpt),
     }
 }
 

@@ -33,6 +33,14 @@
 //! `--fault-plan SPEC` (e.g. `kill@ep:3,truncate@save:1`) injects
 //! deterministic crashes, IO errors, checkpoint corruption, and NaN
 //! gradients for recovery drills. Injected kills exit with code 137.
+//!
+//! Distributed rollout: `--actors N` moves environment stepping onto `N`
+//! actor threads and `--batch-worlds M` gives each actor `M` world
+//! replicas stepped as one struct-of-arrays batch
+//! (`hero_core::rollout`). With `M == 1` the run stays bit-identical to
+//! the sequential trainer for any `N`; with `M > 1` episodes interleave
+//! across `N×M` worlds for throughput (self-reproducible, resumable).
+//! HERO only — the flat baselines ignore both flags.
 
 #![warn(missing_docs)]
 
@@ -42,7 +50,8 @@ pub mod harness;
 pub use args::ExperimentArgs;
 pub use harness::{
     build_method, evaluate_baseline, train_baseline, train_baseline_faulted, train_policy,
-    train_policy_checkpointed, BaselineTrainOptions, Method, MethodParams, TrainedPolicy,
+    train_policy_checkpointed, train_policy_distributed, BaselineTrainOptions, Method,
+    MethodParams, TrainedPolicy,
 };
 
 use std::sync::Arc;

@@ -40,14 +40,56 @@ struct Segment {
     discount: f32,
 }
 
+/// One agent's option-execution state for one world: the active option
+/// and its half-open SMDP segment.
+///
+/// Historically this state lived inside [`HeroAgent`], which tied each
+/// agent to exactly one world. The batched rollout engine steps many
+/// worlds concurrently, so the per-world state is externalized: the
+/// learner owns one cursor per (world, agent) and passes it to the
+/// `*_in` method variants. The cursor-free methods still operate on the
+/// agent's own internal cursor and behave exactly as before.
+#[derive(Clone, Debug, Default)]
+pub struct AgentCursor {
+    active: Option<ActiveOption>,
+    segment: Option<Segment>,
+}
+
+impl AgentCursor {
+    /// A fresh cursor with no active option.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently executing option, if any.
+    pub fn current_option(&self) -> Option<DrivingOption> {
+        self.active.map(|a| a.option)
+    }
+
+    /// The active option's execution state (target lane etc.).
+    pub fn active(&self) -> Option<&ActiveOption> {
+        self.active.as_ref()
+    }
+
+    /// Discards any half-finished option state (between episodes).
+    pub fn clear(&mut self) {
+        self.active = None;
+        self.segment = None;
+    }
+
+    /// Whether no option (and no segment) is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_none() && self.segment.is_none()
+    }
+}
+
 /// One HERO agent (Fig. 1's two-layer stack minus the shared skill
 /// library, which lives in [`crate::skills::SkillLibrary`]).
 #[derive(Debug)]
 pub struct HeroAgent {
     high: HighLevelLearner,
     opponent: OpponentModel,
-    active: Option<ActiveOption>,
-    segment: Option<Segment>,
+    cursor: AgentCursor,
     cfg: HeroConfig,
     /// Number of option selections made so far (drives the ε schedule).
     selections: usize,
@@ -78,8 +120,7 @@ impl HeroAgent {
         Self {
             high,
             opponent,
-            active: None,
-            segment: None,
+            cursor: AgentCursor::new(),
             cfg,
             selections: 0,
             opponent_losses: vec![Vec::new(); n_opponents],
@@ -96,12 +137,12 @@ impl HeroAgent {
 
     /// The currently executing option, if any.
     pub fn current_option(&self) -> Option<DrivingOption> {
-        self.active.map(|a| a.option)
+        self.cursor.current_option()
     }
 
     /// The active option's execution state (target lane etc.).
     pub fn active(&self) -> Option<&ActiveOption> {
-        self.active.as_ref()
+        self.cursor.active()
     }
 
     /// The high-level learner (e.g. for checkpointing or inspection).
@@ -121,8 +162,7 @@ impl HeroAgent {
 
     /// Clears any half-finished option state (call between episodes).
     pub fn begin_episode(&mut self) {
-        self.active = None;
-        self.segment = None;
+        self.cursor.clear();
     }
 
     /// Ensures an option is active, selecting a new one from the actor
@@ -140,37 +180,112 @@ impl HeroAgent {
         rng: &mut StdRng,
         explore: bool,
     ) -> DrivingOption {
-        if self.active.is_none() {
+        let mut cur = std::mem::take(&mut self.cursor);
+        let option = self.ensure_option_in(&mut cur, high_obs, state, track, others_last, rng, explore);
+        self.cursor = cur;
+        option
+    }
+
+    /// [`HeroAgent::ensure_option`] against an external per-world
+    /// [`AgentCursor`]. Consumes randomness and emits telemetry in exactly
+    /// the same order as the internal-cursor path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ensure_option_in(
+        &mut self,
+        cur: &mut AgentCursor,
+        high_obs: &[f32],
+        state: &VehicleState,
+        track: &Track,
+        others_last: &[usize],
+        rng: &mut StdRng,
+        explore: bool,
+    ) -> DrivingOption {
+        if cur.active.is_none() {
             let opp_probs = self.opponent.predict_probs(high_obs);
-            let epsilon = self.cfg.exploration.value(self.selections);
-            self.selections += 1;
-            let idx = self
-                .high
-                .select_option(high_obs, &opp_probs, rng, explore, epsilon);
-            if hero_rl::telemetry::is_enabled() {
-                // Policy entropy at selection time — the collapse gauge
-                // (DESIGN.md "learning-dynamics metrics": entropy/<agent>).
-                let probs = hero_rl::rng::softmax(&self.high.logits(high_obs, &opp_probs));
-                let entropy: f64 = -probs
-                    .iter()
-                    .filter(|&&p| p > 0.0)
-                    .map(|&p| (p as f64) * (p as f64).ln())
-                    .sum::<f64>();
-                hero_rl::telemetry::observe_dyn(
-                    &format!("entropy/{}", self.metric_label),
-                    entropy,
-                );
-            }
-            let option = DrivingOption::from_index(idx);
-            self.active = Some(ActiveOption::start(option, state, track));
-            self.segment = Some(Segment {
-                start_obs: high_obs.to_vec(),
-                others_at_start: others_last.to_vec(),
-                reward: 0.0,
-                discount: 1.0,
-            });
+            let logits = self.high.logits(high_obs, &opp_probs);
+            self.start_option_from_logits(cur, &logits, high_obs, state, track, others_last, rng, explore);
         }
-        self.active.expect("option just ensured").option
+        cur.active.expect("option just ensured").option
+    }
+
+    /// [`HeroAgent::ensure_option_in`] with the policy logits already
+    /// computed (the batched rollout engine runs one forward pass over all
+    /// worlds and feeds each row back through here). RNG draws and
+    /// telemetry are identical to the scalar path; only the logits bits may
+    /// differ (batched vs single-row matmul accumulation order).
+    #[allow(clippy::too_many_arguments)]
+    pub fn ensure_option_from_logits(
+        &mut self,
+        cur: &mut AgentCursor,
+        logits: &[f32],
+        high_obs: &[f32],
+        state: &VehicleState,
+        track: &Track,
+        others_last: &[usize],
+        rng: &mut StdRng,
+        explore: bool,
+    ) -> DrivingOption {
+        if cur.active.is_none() {
+            self.start_option_from_logits(cur, logits, high_obs, state, track, others_last, rng, explore);
+        }
+        cur.active.expect("option just ensured").option
+    }
+
+    /// Policy logits for a batch of high-level observations in one forward
+    /// pass each through the opponent model and the actor. Row `r` of the
+    /// result corresponds to `rows[r]`.
+    pub fn batch_logits(&self, rows: &[&[f32]]) -> Vec<Vec<f32>> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let d = rows[0].len();
+        let mut flat = Vec::with_capacity(rows.len() * d);
+        for row in rows {
+            assert_eq!(row.len(), d, "ragged observation batch");
+            flat.extend_from_slice(row);
+        }
+        let obs = hero_autograd::Tensor::from_vec(vec![rows.len(), d], flat);
+        let opp = self.opponent.predict_probs_batch(&obs);
+        self.high.logits_batch(&obs, &opp)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_option_from_logits(
+        &mut self,
+        cur: &mut AgentCursor,
+        logits: &[f32],
+        high_obs: &[f32],
+        state: &VehicleState,
+        track: &Track,
+        others_last: &[usize],
+        rng: &mut StdRng,
+        explore: bool,
+    ) {
+        let epsilon = self.cfg.exploration.value(self.selections);
+        self.selections += 1;
+        let idx = self.high.select_from_logits(logits, rng, explore, epsilon);
+        if hero_rl::telemetry::is_enabled() {
+            // Policy entropy at selection time — the collapse gauge
+            // (DESIGN.md "learning-dynamics metrics": entropy/<agent>).
+            let probs = hero_rl::rng::softmax(logits);
+            let entropy: f64 = -probs
+                .iter()
+                .filter(|&&p| p > 0.0)
+                .map(|&p| (p as f64) * (p as f64).ln())
+                .sum::<f64>();
+            hero_rl::telemetry::observe_dyn(
+                &format!("entropy/{}", self.metric_label),
+                entropy,
+            );
+        }
+        let option = DrivingOption::from_index(idx);
+        cur.active = Some(ActiveOption::start(option, state, track));
+        cur.segment = Some(Segment {
+            start_obs: high_obs.to_vec(),
+            others_at_start: others_last.to_vec(),
+            reward: 0.0,
+            discount: 1.0,
+        });
     }
 
     /// Records the outcome of one environment step while the current
@@ -194,15 +309,41 @@ impl HeroAgent {
         track: &Track,
         done: bool,
     ) -> bool {
-        let active = self.active.as_mut().expect("record_step without active option");
-        let segment = self.segment.as_mut().expect("segment matches active option");
+        let mut cur = std::mem::take(&mut self.cursor);
+        let terminated = self.record_step_in(
+            &mut cur, pre_obs, others_during, reward, next_obs, next_state, track, done,
+        );
+        self.cursor = cur;
+        terminated
+    }
+
+    /// [`HeroAgent::record_step`] against an external per-world
+    /// [`AgentCursor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cursor holds no active option.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_step_in(
+        &mut self,
+        cur: &mut AgentCursor,
+        pre_obs: &[f32],
+        others_during: &[usize],
+        reward: f32,
+        next_obs: &[f32],
+        next_state: &VehicleState,
+        track: &Track,
+        done: bool,
+    ) -> bool {
+        let active = cur.active.as_mut().expect("record_step without active option");
+        let segment = cur.segment.as_mut().expect("segment matches active option");
         self.opponent.observe(pre_obs.to_vec(), others_during.to_vec());
         segment.reward += segment.discount * reward;
         segment.discount *= self.cfg.gamma;
         active.tick();
         let terminated = done || active.terminated(next_state, track, &self.cfg);
         if terminated {
-            self.close_segment(next_obs, done);
+            self.close_segment_in(cur, next_obs, done);
         }
         terminated
     }
@@ -216,11 +357,10 @@ impl HeroAgent {
         track: &Track,
         done: bool,
     ) {
-        if let Some(active) = self.active.as_mut() {
+        if let Some(active) = self.cursor.active.as_mut() {
             active.tick();
             if done || active.terminated(next_state, track, &self.cfg) {
-                self.active = None;
-                self.segment = None;
+                self.cursor.clear();
             }
         }
     }
@@ -228,14 +368,22 @@ impl HeroAgent {
     /// Forcibly terminates the active option (synchronous-termination
     /// ablation, Sec. III-B). No-op when no option is active.
     pub fn force_terminate(&mut self, next_obs: &[f32], done: bool) {
-        if self.active.is_some() {
-            self.close_segment(next_obs, done);
+        let mut cur = std::mem::take(&mut self.cursor);
+        self.force_terminate_in(&mut cur, next_obs, done);
+        self.cursor = cur;
+    }
+
+    /// [`HeroAgent::force_terminate`] against an external per-world
+    /// [`AgentCursor`].
+    pub fn force_terminate_in(&mut self, cur: &mut AgentCursor, next_obs: &[f32], done: bool) {
+        if cur.active.is_some() {
+            self.close_segment_in(cur, next_obs, done);
         }
     }
 
-    fn close_segment(&mut self, next_obs: &[f32], done: bool) {
-        let active = self.active.take().expect("close_segment with active option");
-        let segment = self.segment.take().expect("segment matches active option");
+    fn close_segment_in(&mut self, cur: &mut AgentCursor, next_obs: &[f32], done: bool) {
+        let active = cur.active.take().expect("close_segment with active option");
+        let segment = cur.segment.take().expect("segment matches active option");
         hero_rl::telemetry::observe("reward/option_segment", segment.reward as f64);
         hero_rl::telemetry::observe("option/duration", active.elapsed.max(1) as f64);
         self.high.store(hero_rl::transition::OptionTransition {
@@ -321,7 +469,7 @@ impl HeroAgent {
     /// episode boundaries, where no option is active.
     pub fn save_state(&self) -> Vec<(String, Vec<u8>)> {
         assert!(
-            self.active.is_none() && self.segment.is_none(),
+            self.cursor.is_idle(),
             "agent state can only be captured at an episode boundary"
         );
         let mut sections: Vec<(String, Vec<u8>)> = self
@@ -380,8 +528,7 @@ impl HeroAgent {
         self.opponent.load_state(&strip("opp/"))?;
         self.selections = selections;
         self.opponent_losses = opponent_losses;
-        self.active = None;
-        self.segment = None;
+        self.cursor.clear();
         Ok(())
     }
 }

@@ -33,6 +33,20 @@ const SNAPSHOT_VERSION: u32 = 1;
 /// Write attempts before a save degrades to a counted drop.
 const MAX_SAVE_ATTEMPTS: usize = 3;
 
+/// Per-world rollout state captured by the batched actor/learner loop:
+/// every replica's environment RNG stream and joint last-options vector.
+///
+/// Serial-mode (single-world) runs leave this out entirely, so their
+/// snapshots stay byte-identical to sequential `train_team` snapshots, and
+/// older checkpoints without the section load unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerStates {
+    /// One environment RNG stream per world replica.
+    pub rngs: Vec<Vec<u64>>,
+    /// One joint last-options vector per world replica.
+    pub last_options: Vec<Vec<usize>>,
+}
+
 /// Everything the training loop needs to resume exactly where it stopped.
 ///
 /// Team state is carried as opaque sections (produced by
@@ -55,6 +69,8 @@ pub struct TrainerSnapshot {
     /// The telemetry registry state, when telemetry was enabled at save
     /// time.
     pub telemetry: Option<RegistryState>,
+    /// Per-world rollout state (batched actor/learner runs only).
+    pub workers: Option<WorkerStates>,
     /// Opaque team sections (`team/*`, `agent<k>/*`).
     pub team_sections: Vec<(String, Vec<u8>)>,
 }
@@ -82,6 +98,12 @@ impl TrainerSnapshot {
         ];
         if let Some(state) = &self.telemetry {
             sections.push(("telemetry".to_string(), state.to_bytes()));
+        }
+        if let Some(workers) = &self.workers {
+            let mut blob = Vec::new();
+            workers.rngs.encode(&mut blob);
+            workers.last_options.encode(&mut blob);
+            sections.push(("workers".to_string(), blob));
         }
         sections.extend(self.team_sections.iter().cloned());
         sections
@@ -132,6 +154,26 @@ impl TrainerSnapshot {
             None => None,
         };
 
+        let workers = match serialize::find_section(sections, "workers") {
+            Some(bytes) => {
+                let mut r = snapshot::Reader::new(bytes);
+                let mapped =
+                    |e: snapshot::SnapshotError| malformed(format!("workers section: {e}"));
+                let rngs: Vec<Vec<u64>> = Codec::decode(&mut r).map_err(mapped)?;
+                let last_options: Vec<Vec<usize>> = Codec::decode(&mut r).map_err(mapped)?;
+                r.finish().map_err(mapped)?;
+                if rngs.len() != last_options.len() {
+                    return Err(malformed(format!(
+                        "workers section: {} rng streams vs {} last-option vectors",
+                        rngs.len(),
+                        last_options.len()
+                    )));
+                }
+                Some(WorkerStates { rngs, last_options })
+            }
+            None => None,
+        };
+
         let team_sections: Vec<(String, Vec<u8>)> = sections
             .iter()
             .filter(|(name, _)| name.starts_with("team/") || name.starts_with("agent"))
@@ -146,6 +188,7 @@ impl TrainerSnapshot {
             env_rng,
             recorder,
             telemetry,
+            workers,
             team_sections,
         })
     }
@@ -360,6 +403,7 @@ mod tests {
             env_rng: vec![5, 6, 7, 8],
             recorder,
             telemetry: None,
+            workers: None,
             team_sections: vec![
                 ("team/last_options".to_string(), vec![9, 9]),
                 ("agent0/bookkeeping".to_string(), vec![1]),
@@ -372,7 +416,28 @@ mod tests {
         assert_eq!(back.trainer_rng, [1, 2, 3, 4]);
         assert_eq!(back.env_rng, vec![5, 6, 7, 8]);
         assert_eq!(back.recorder.series("reward"), snap.recorder.series("reward"));
+        assert!(back.workers.is_none(), "no workers section round-trips as None");
         assert_eq!(back.team_sections.len(), 2);
+    }
+
+    #[test]
+    fn worker_states_roundtrip_when_present() {
+        let snap = TrainerSnapshot {
+            next_episode: 1,
+            step_counter: 2,
+            update_counter: 3,
+            trainer_rng: [1, 2, 3, 4],
+            env_rng: vec![5, 6, 7, 8],
+            recorder: Recorder::new(),
+            telemetry: None,
+            workers: Some(WorkerStates {
+                rngs: vec![vec![5, 6, 7, 8], vec![9, 10, 11, 12]],
+                last_options: vec![vec![0, 2], vec![1, 1]],
+            }),
+            team_sections: Vec::new(),
+        };
+        let back = TrainerSnapshot::from_sections(&snap.to_sections()).unwrap();
+        assert_eq!(back.workers, snap.workers);
     }
 
     #[test]

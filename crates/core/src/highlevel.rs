@@ -140,6 +140,19 @@ impl HighLevelLearner {
             .into_data()
     }
 
+    /// Policy logits for a batch of `[n, obs_dim]` states with per-opponent
+    /// `[n, n_options]` predicted distributions, in one actor forward pass.
+    /// Row `r` of the result matches [`HighLevelLearner::logits`] on row `r`
+    /// of the inputs up to matmul accumulation order (the batched rollout
+    /// engine's documented tolerance; the scalar path is used whenever
+    /// bitwise equality with sequential training is required).
+    pub fn logits_batch(&self, obs: &Tensor, opp_probs: &[Tensor]) -> Vec<Vec<f32>> {
+        assert_eq!(opp_probs.len(), self.n_opponents, "opponent arity mismatch");
+        let input = concat_rows(obs, opp_probs);
+        let out = self.actor.infer(&input);
+        (0..obs.shape()[0]).map(|r| out.row(r).to_vec()).collect()
+    }
+
     /// Selects an option: greedy when `explore` is false; otherwise
     /// sampled from the softmax policy with ε-uniform mixing.
     pub fn select_option(
@@ -151,13 +164,27 @@ impl HighLevelLearner {
         epsilon: f32,
     ) -> usize {
         let logits = self.logits(obs, opp_probs);
+        self.select_from_logits(&logits, rng, explore, epsilon)
+    }
+
+    /// The selection half of [`HighLevelLearner::select_option`], operating
+    /// on precomputed logits. Consumes randomness in exactly the same
+    /// order: one `gen::<f32>()` for the ε gate, then either a uniform
+    /// `gen_range` or a softmax sample.
+    pub fn select_from_logits(
+        &self,
+        logits: &[f32],
+        rng: &mut StdRng,
+        explore: bool,
+        epsilon: f32,
+    ) -> usize {
         if !explore {
-            return greedy(&logits);
+            return greedy(logits);
         }
         if rng.gen::<f32>() < epsilon {
             rng.gen_range(0..self.n_options)
         } else {
-            sample_from_logits(rng, &logits)
+            sample_from_logits(rng, logits)
         }
     }
 

@@ -53,17 +53,19 @@ pub mod config;
 pub mod highlevel;
 pub mod opponent;
 pub mod options;
+pub mod rollout;
 pub mod skills;
 pub mod trainer;
 
-pub use agent::HeroAgent;
-pub use checkpoint::{CheckpointStore, TrainerSnapshot};
+pub use agent::{AgentCursor, HeroAgent};
+pub use checkpoint::{CheckpointStore, TrainerSnapshot, WorkerStates};
 pub use config::{HeroConfig, TerminationMode};
 pub use highlevel::HighLevelLearner;
 pub use opponent::OpponentModel;
 pub use options::ActiveOption;
+pub use rollout::{train_team_actor_learner, RolloutOptions};
 pub use skills::{SkillLibrary, SkillTrainingConfig};
 pub use trainer::{
     evaluate_team, train_team, train_team_checkpointed, CheckpointConfig, EvalStats, HeroTeam,
-    TrainOptions, TrainOutcome,
+    TeamCursor, TrainOptions, TrainOutcome,
 };

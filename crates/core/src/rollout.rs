@@ -1,0 +1,1013 @@
+//! The actor/learner rollout engine: environment stepping on dedicated
+//! actor threads, learning on a single learner thread.
+//!
+//! Each actor owns a seeded [`BatchWorld`] shard and does nothing but
+//! reset/step worlds on request; all decisions, replay ingestion, updates,
+//! telemetry, and checkpoints happen on the learner thread. Messages flow
+//! over bounded channels (backpressure, stall detection via
+//! `recv_timeout`).
+//!
+//! Two modes, selected by [`RolloutOptions::batch_worlds`]:
+//!
+//! * **Serial** (`batch_worlds == 1`): one episode in flight at a time,
+//!   hosted round-robin across actors. The logical environment RNG stream
+//!   lives on the learner and is shipped with every `Reset`, so the run is
+//!   **bit-identical to sequential [`crate::trainer::train_team`]** — same
+//!   metric series, same telemetry totals, same checkpoint bytes — for any
+//!   actor count. A stalled actor is detected, counted under
+//!   `actor/stalled`, and its episode re-dispatched to a live actor.
+//! * **Batched** (`batch_worlds > 1`): `actors × batch_worlds` world
+//!   replicas (independent streams via
+//!   [`hero_sim::env::replica_seed`]) run waves of episodes concurrently;
+//!   policy forward passes for all deciding worlds are batched into single
+//!   tiled matmuls ([`crate::agent::HeroAgent::batch_logits`]). Batched
+//!   runs are self-reproducible (same seeds → same bits, and kill/resume
+//!   is bit-identical via the checkpoint `workers` section) but not
+//!   step-for-step equal to sequential training: matmul accumulation
+//!   order differs across batch shapes and episodes interleave.
+//!
+//! Waves never cross a `kill@ep:N` or checkpoint boundary, so fault
+//! injection and snapshot cadence behave exactly as in the sequential
+//! loop.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crossbeam::channel;
+use hero_faultplan::KillMode;
+use hero_rl::metrics::Recorder;
+use hero_rl::telemetry;
+use hero_rl::telemetry::CapturedEvent;
+use hero_sim::batch::BatchWorld;
+use hero_sim::env::{CooperativeWorld, EnvConfig, LaneChangeEnv, Observation, VehicleSpawn};
+use hero_sim::track::Track;
+use hero_sim::vehicle::{VehicleCommand, VehicleState};
+
+use crate::checkpoint::{self, CheckpointStore, TrainerSnapshot, WorkerStates};
+use crate::trainer::{
+    restore_snapshot, CheckpointConfig, HeroTeam, TeamCursor, TrainOptions, TrainOutcome,
+};
+
+/// Knobs of the actor/learner rollout engine.
+#[derive(Clone, Copy, Debug)]
+pub struct RolloutOptions {
+    /// Number of actor threads stepping environments.
+    pub actors: usize,
+    /// World replicas per actor. `1` selects serial mode (bit-identical to
+    /// sequential training); `> 1` selects batched mode.
+    pub batch_worlds: usize,
+    /// Bounded-channel capacity per actor (raised to `batch_worlds` when
+    /// smaller, so a full wave of resets never deadlocks).
+    pub channel_capacity: usize,
+    /// How long the learner waits on an actor before declaring it stalled.
+    pub stall_timeout: Duration,
+}
+
+impl Default for RolloutOptions {
+    fn default() -> Self {
+        Self {
+            actors: 1,
+            batch_worlds: 1,
+            channel_capacity: 4,
+            stall_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl RolloutOptions {
+    /// Whether these options ask for anything beyond the plain sequential
+    /// loop (more than one actor thread or world replica).
+    pub fn is_distributed(&self) -> bool {
+        self.actors > 1 || self.batch_worlds > 1
+    }
+}
+
+/// Per-vehicle episode-outcome flags shipped from actor to learner (what
+/// the sequential loop reads off the environment after each step).
+#[derive(Clone, Debug, Default)]
+struct WorldFlags {
+    collided: Vec<bool>,
+    needs_merge: Vec<bool>,
+    has_merged: Vec<bool>,
+}
+
+enum ToActor {
+    /// Reset local world `world`, first seating its RNG stream at `rng`
+    /// (the learner owns every stream; actors are stateless compute).
+    Reset { world: usize, rng: Vec<u64> },
+    /// Step the listed local worlds in one batched `step_worlds` call.
+    Step {
+        worlds: Vec<usize>,
+        commands: Vec<Vec<VehicleCommand>>,
+    },
+}
+
+struct WorldStepMsg {
+    world: usize,
+    observations: Vec<Observation>,
+    states: Vec<VehicleState>,
+    rewards: Vec<f32>,
+    done: bool,
+    mean_speed: f32,
+    flags: WorldFlags,
+}
+
+enum FromActor {
+    ResetDone {
+        world: usize,
+        observations: Vec<Observation>,
+        states: Vec<VehicleState>,
+        rng: Vec<u64>,
+        flags: WorldFlags,
+        events: Vec<CapturedEvent>,
+    },
+    StepDone {
+        steps: Vec<WorldStepMsg>,
+        events: Vec<CapturedEvent>,
+    },
+}
+
+fn flags_of(shard: &BatchWorld, w: usize, n: usize) -> WorldFlags {
+    WorldFlags {
+        collided: (0..n).map(|i| shard.has_collided(w, i)).collect(),
+        needs_merge: (0..n).map(|i| shard.needs_merge(w, i)).collect(),
+        has_merged: (0..n).map(|i| shard.has_merged(w, i)).collect(),
+    }
+}
+
+/// The body of one actor thread: build the world shard, then serve
+/// reset/step requests until the command channel closes. Telemetry emitted
+/// while serving a request is captured and shipped back for the learner to
+/// replay in deterministic order; telemetry from shard construction is
+/// captured and discarded (the learner already owns the canonical
+/// environment).
+#[allow(clippy::too_many_arguments)]
+fn actor_loop(
+    cfg: EnvConfig,
+    spawns: Vec<VehicleSpawn>,
+    seed: u64,
+    worlds: usize,
+    rx: channel::Receiver<ToActor>,
+    tx: channel::Sender<FromActor>,
+    capture: bool,
+    stalled: bool,
+    shutdown: &AtomicBool,
+) {
+    if stalled {
+        // Injected fault: freeze before serving anything, but stay
+        // responsive to shutdown so the scoped join cannot deadlock.
+        while !shutdown.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        return;
+    }
+    telemetry::begin_capture();
+    let proto = LaneChangeEnv::new(cfg, spawns, seed);
+    let mut shard = BatchWorld::replicate(&proto, worlds);
+    let _ = telemetry::take_capture();
+    let n = shard.num_vehicles();
+    while let Ok(msg) = rx.recv() {
+        if capture {
+            telemetry::begin_capture();
+        }
+        let reply = match msg {
+            ToActor::Reset { world, rng } => {
+                shard.set_rng_state(world, &rng);
+                let observations = shard.reset_world(world);
+                FromActor::ResetDone {
+                    world,
+                    states: (0..n).map(|i| shard.vehicle_state(world, i)).collect(),
+                    rng: shard.rng_state(world),
+                    flags: flags_of(&shard, world, n),
+                    observations,
+                    events: Vec::new(),
+                }
+            }
+            ToActor::Step { worlds, commands } => {
+                let outs = shard.step_worlds(&worlds, &commands);
+                let steps = worlds
+                    .iter()
+                    .zip(outs)
+                    .map(|(&w, out)| WorldStepMsg {
+                        world: w,
+                        states: (0..n).map(|i| shard.vehicle_state(w, i)).collect(),
+                        flags: flags_of(&shard, w, n),
+                        observations: out.observations,
+                        rewards: out.rewards,
+                        done: out.done,
+                        mean_speed: out.mean_speed,
+                    })
+                    .collect();
+                FromActor::StepDone {
+                    steps,
+                    events: Vec::new(),
+                }
+            }
+        };
+        let events = if capture {
+            telemetry::take_capture()
+        } else {
+            Vec::new()
+        };
+        let reply = match reply {
+            FromActor::ResetDone {
+                world,
+                observations,
+                states,
+                rng,
+                flags,
+                ..
+            } => FromActor::ResetDone {
+                world,
+                observations,
+                states,
+                rng,
+                flags,
+                events,
+            },
+            FromActor::StepDone { steps, .. } => FromActor::StepDone { steps, events },
+        };
+        if tx.send(reply).is_err() {
+            break;
+        }
+    }
+}
+
+/// Learner-side state shared by the serial and batched loops.
+struct Learner<'a> {
+    team: &'a mut HeroTeam,
+    rng: &'a mut StdRng,
+    rec: &'a mut Recorder,
+    cursors: &'a mut Vec<TeamCursor>,
+    world_rng: &'a mut Vec<Vec<u64>>,
+    step_counter: &'a mut usize,
+    update_counter: &'a mut usize,
+    store: &'a mut Option<CheckpointStore>,
+    opts: &'a TrainOptions,
+    ckpt: &'a CheckpointConfig,
+    rollout: &'a RolloutOptions,
+    track: Track,
+    learners: Vec<usize>,
+    n_vehicles: usize,
+    to_actor: Vec<channel::Sender<ToActor>>,
+    from_actor: Vec<channel::Receiver<FromActor>>,
+    dead: Vec<bool>,
+    start_episode: usize,
+}
+
+impl Learner<'_> {
+    /// Honors a `kill@ep:N` fault exactly like the sequential loop.
+    fn kill_check(&mut self, episode: usize, episodes_run: usize) -> Option<(bool, usize)> {
+        if self.ckpt.fault_plan.should_kill(episode) {
+            telemetry::counter_add("checkpoint/fault_kill", 1);
+            let _ = telemetry::flush();
+            match self.ckpt.kill_mode {
+                KillMode::Exit => std::process::exit(137),
+                KillMode::Return => return Some((false, episodes_run)),
+            }
+        }
+        None
+    }
+
+    fn mark_stalled(&mut self, a: usize) {
+        if !self.dead[a] {
+            self.dead[a] = true;
+            telemetry::counter_add("actor/stalled", 1);
+            telemetry::progress(&format!("actor {a} stalled; re-dispatching its work"));
+        }
+    }
+
+    fn live_actors(&self) -> usize {
+        self.dead.iter().filter(|d| !**d).count()
+    }
+
+    /// Receives one message from actor `a`, marking it stalled (and
+    /// returning `None`) on timeout or disconnect.
+    fn recv(&mut self, a: usize) -> Option<FromActor> {
+        match self.from_actor[a].recv_timeout(self.rollout.stall_timeout) {
+            Ok(m) => Some(m),
+            Err(_) => {
+                self.mark_stalled(a);
+                None
+            }
+        }
+    }
+
+    fn mean_learner_reward(&self, rewards: &[f32]) -> f32 {
+        self.learners.iter().map(|&v| rewards[v]).sum::<f32>() / self.learners.len() as f32
+    }
+
+    /// The per-step update cadence, identical to the sequential loop
+    /// (call after incrementing the step counter).
+    fn run_update_cadence(&mut self) {
+        if *self.step_counter % self.opts.update_every == 0 {
+            let _update = telemetry::span("update");
+            if self.ckpt.fault_plan.nan_grad_at(*self.update_counter) {
+                if let Some(agent) = self.team.agents_mut().first_mut() {
+                    agent.poison_gradients();
+                }
+            }
+            *self.update_counter += 1;
+            if let Some((c, a)) = self.team.update(self.rng) {
+                telemetry::counter_add("grad_updates", 1);
+                telemetry::observe("critic_loss", c as f64);
+                telemetry::observe("actor_loss", a as f64);
+                self.rec.push("critic_loss", c);
+                self.rec.push("actor_loss", a);
+            }
+        }
+    }
+
+    fn save_checkpoint(&mut self, next_episode: usize, workers: Option<WorkerStates>) {
+        self.team.absorb_cursor(&self.cursors[0]);
+        let snap = TrainerSnapshot {
+            next_episode,
+            step_counter: *self.step_counter,
+            update_counter: *self.update_counter,
+            trainer_rng: self.rng.state(),
+            env_rng: self.world_rng[0].clone(),
+            recorder: self.rec.clone(),
+            telemetry: telemetry::export_state(),
+            workers,
+            team_sections: self.team.save_state(),
+        };
+        if let Some(store) = self.store.as_mut() {
+            store.save(&snap.to_sections(), &self.ckpt.fault_plan);
+        }
+    }
+
+    /// Serial mode: one episode at a time, round-robin over live actors,
+    /// single learner-owned environment stream. Bit-identical to
+    /// [`crate::trainer::train_team_checkpointed`].
+    fn serial_run(&mut self) -> (bool, usize) {
+        let actors = self.to_actor.len();
+        let mut episodes_run = 0usize;
+        for episode in self.start_episode..self.opts.episodes {
+            if let Some(out) = self.kill_check(episode, episodes_run) {
+                return out;
+            }
+            // Host the episode on the round-robin actor, skipping (and
+            // re-dispatching past) stalled ones. Nothing of the episode
+            // has been ingested until ResetDone arrives, so retrying the
+            // reset on another actor is side-effect free.
+            let mut hosted = None;
+            for offset in 0..actors {
+                let a = (episode + offset) % actors;
+                if self.dead[a] {
+                    continue;
+                }
+                if self.to_actor[a]
+                    .send(ToActor::Reset {
+                        world: 0,
+                        rng: self.world_rng[0].clone(),
+                    })
+                    .is_err()
+                {
+                    self.mark_stalled(a);
+                    continue;
+                }
+                match self.recv(a) {
+                    Some(FromActor::ResetDone {
+                        observations,
+                        states,
+                        rng,
+                        flags,
+                        events,
+                        ..
+                    }) => {
+                        telemetry::replay(events);
+                        self.world_rng[0] = rng;
+                        hosted = Some((observations, states, flags, a));
+                        break;
+                    }
+                    _ => continue, // stalled: recv already marked it
+                }
+            }
+            let Some((mut obs, mut states, mut flags, actor)) = hosted else {
+                return (false, episodes_run); // every actor stalled
+            };
+            self.cursors[0].begin_episode();
+            let mut ep_reward = 0.0f32;
+            let mut ep_speed = 0.0f32;
+            let mut steps = 0usize;
+            let mut done = false;
+            while !done {
+                let rollout_span = telemetry::span("rollout");
+                let commands = self.team.decide_in(
+                    &mut self.cursors[0],
+                    &self.track,
+                    &self.learners,
+                    self.n_vehicles,
+                    &states,
+                    &obs,
+                    self.rng,
+                    true,
+                );
+                if self.to_actor[actor]
+                    .send(ToActor::Step {
+                        worlds: vec![0],
+                        commands: vec![commands],
+                    })
+                    .is_err()
+                {
+                    self.mark_stalled(actor);
+                    return (false, episodes_run);
+                }
+                let Some(FromActor::StepDone {
+                    steps: mut step_msgs,
+                    events,
+                }) = self.recv(actor)
+                else {
+                    // A mid-episode stall cannot be replayed safely (half
+                    // the step stream is already ingested): surface an
+                    // incomplete run instead of deadlocking.
+                    return (false, episodes_run);
+                };
+                telemetry::replay(events);
+                let msg = step_msgs.pop().expect("exactly one world stepped");
+                self.team.record_in(
+                    &mut self.cursors[0],
+                    &self.track,
+                    &self.learners,
+                    &msg.states,
+                    &obs,
+                    &msg.rewards,
+                    &msg.observations,
+                    msg.done,
+                );
+                drop(rollout_span);
+                ep_reward += self.mean_learner_reward(&msg.rewards);
+                ep_speed += msg.mean_speed;
+                steps += 1;
+                *self.step_counter += 1;
+                self.run_update_cadence();
+                obs = msg.observations;
+                states = msg.states;
+                flags = msg.flags;
+                done = msg.done;
+            }
+            telemetry::counter_add("episodes", 1);
+            telemetry::progress(&format!("ep {}", episode + 1));
+            record_episode_flags(self.rec, &self.learners, &flags, ep_reward, ep_speed, steps);
+            episodes_run += 1;
+            if self.store.is_some() && self.ckpt.every > 0 && (episode + 1) % self.ckpt.every == 0
+            {
+                self.save_checkpoint(episode + 1, None);
+            }
+        }
+        (true, episodes_run)
+    }
+
+    /// Batched mode: waves of episodes across all world replicas, with
+    /// per-wave resets, batched policy forwards, and batched world steps.
+    fn batched_run(&mut self) -> (bool, usize) {
+        let actors = self.to_actor.len();
+        let per_actor = self.rollout.batch_worlds;
+        let total = actors * per_actor;
+        let n_agents = self.learners.len();
+        let mut episodes_run = 0usize;
+        let mut completed_total = self.start_episode;
+
+        let mut obs: Vec<Vec<Observation>> = vec![Vec::new(); total];
+        let mut states: Vec<Vec<VehicleState>> = vec![Vec::new(); total];
+        let mut flags: Vec<WorldFlags> = vec![WorldFlags::default(); total];
+
+        while completed_total < self.opts.episodes {
+            if let Some(out) = self.kill_check(completed_total, episodes_run) {
+                return out;
+            }
+            if self.live_actors() == 0 {
+                return (false, episodes_run);
+            }
+            // Wave size: every live world runs one episode, capped so the
+            // wave never crosses the remaining-episode count, a scheduled
+            // kill, or a checkpoint boundary.
+            let live_worlds: Vec<usize> =
+                (0..total).filter(|g| !self.dead[g / per_actor]).collect();
+            let mut wave = live_worlds.len().min(self.opts.episodes - completed_total);
+            if let Some(k) = self.ckpt.fault_plan.kill_episode() {
+                if k > completed_total {
+                    wave = wave.min(k - completed_total);
+                }
+            }
+            if self.ckpt.every > 0 {
+                wave = wave.min(self.ckpt.every - completed_total % self.ckpt.every);
+            }
+            let assigned: Vec<usize> = live_worlds.into_iter().take(wave).collect();
+
+            // Reset the wave's worlds (grouped per actor, received in
+            // actor order — deterministic regardless of thread timing).
+            let mut sent = vec![0usize; actors];
+            for &g in &assigned {
+                let a = g / per_actor;
+                if self.dead[a] {
+                    continue;
+                }
+                if self.to_actor[a]
+                    .send(ToActor::Reset {
+                        world: g % per_actor,
+                        rng: self.world_rng[g].clone(),
+                    })
+                    .is_err()
+                {
+                    self.mark_stalled(a);
+                } else {
+                    sent[a] += 1;
+                }
+            }
+            let mut active: Vec<usize> = Vec::new();
+            for (a, &count) in sent.iter().enumerate() {
+                for _ in 0..count {
+                    if self.dead[a] {
+                        break;
+                    }
+                    match self.recv(a) {
+                        Some(FromActor::ResetDone {
+                            world,
+                            observations,
+                            states: st,
+                            rng,
+                            flags: fl,
+                            events,
+                        }) => {
+                            telemetry::replay(events);
+                            let g = a * per_actor + world;
+                            self.world_rng[g] = rng;
+                            obs[g] = observations;
+                            states[g] = st;
+                            flags[g] = fl;
+                            self.cursors[g].begin_episode();
+                            active.push(g);
+                        }
+                        _ => break, // recv marked the actor stalled
+                    }
+                }
+            }
+            if active.is_empty() {
+                continue; // all reset targets stalled; retry on live actors
+            }
+
+            let mut ep_reward = vec![0.0f32; total];
+            let mut ep_speed = vec![0.0f32; total];
+            let mut ep_steps = vec![0usize; total];
+            let mut running = active.clone();
+            while !running.is_empty() {
+                // Phase B: decide for every running world (world order).
+                // Policy forwards for all worlds still selecting an option
+                // are batched per agent into one matmul; the RNG draws
+                // stay strictly in world order.
+                let mut msgs: Vec<Option<WorldStepMsg>> = (0..total).map(|_| None).collect();
+                {
+                    let _rollout_span = telemetry::span("rollout");
+                    let mut logits: Vec<Vec<Option<Vec<f32>>>> =
+                        vec![vec![None; n_agents]; running.len()];
+                    if running.len() > 1 {
+                        for k in 0..n_agents {
+                            let v = self.learners[k];
+                            let sel: Vec<usize> = running
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &g)| {
+                                    self.cursors[g].agents()[k].current_option().is_none()
+                                })
+                                .map(|(pos, _)| pos)
+                                .collect();
+                            if sel.len() > 1 {
+                                let rows_owned: Vec<Vec<f32>> = sel
+                                    .iter()
+                                    .map(|&pos| obs[running[pos]][v].high_vec())
+                                    .collect();
+                                let rows: Vec<&[f32]> =
+                                    rows_owned.iter().map(|r| r.as_slice()).collect();
+                                let batched = self.team.agents()[k].batch_logits(&rows);
+                                for (i, &pos) in sel.iter().enumerate() {
+                                    logits[pos][k] = Some(batched[i].clone());
+                                }
+                            }
+                        }
+                    }
+                    let mut groups: Vec<(Vec<usize>, Vec<Vec<VehicleCommand>>)> =
+                        vec![(Vec::new(), Vec::new()); actors];
+                    for (pos, &g) in running.iter().enumerate() {
+                        let commands = self.team.decide_in_with_logits(
+                            &mut self.cursors[g],
+                            &self.track,
+                            &self.learners,
+                            self.n_vehicles,
+                            &states[g],
+                            &obs[g],
+                            &logits[pos],
+                            self.rng,
+                            true,
+                        );
+                        let a = g / per_actor;
+                        groups[a].0.push(g % per_actor);
+                        groups[a].1.push(commands);
+                    }
+                    for (a, (worlds, commands)) in groups.into_iter().enumerate() {
+                        if worlds.is_empty() {
+                            continue;
+                        }
+                        if self.to_actor[a]
+                            .send(ToActor::Step { worlds, commands })
+                            .is_err()
+                        {
+                            self.mark_stalled(a);
+                            return (false, episodes_run);
+                        }
+                    }
+                    for a in 0..actors {
+                        if !running.iter().any(|&g| g / per_actor == a) {
+                            continue;
+                        }
+                        let Some(FromActor::StepDone { steps, events }) = self.recv(a) else {
+                            // Mid-episode stall: half-ingested episodes
+                            // cannot be replayed — fail the run cleanly.
+                            return (false, episodes_run);
+                        };
+                        telemetry::replay(events);
+                        for m in steps {
+                            let g = a * per_actor + m.world;
+                            msgs[g] = Some(m);
+                        }
+                    }
+                }
+
+                // Phase A: ingest results in global world order.
+                let mut still = Vec::new();
+                for &g in &running {
+                    let msg = msgs[g].take().expect("actor stepped this world");
+                    self.team.record_in(
+                        &mut self.cursors[g],
+                        &self.track,
+                        &self.learners,
+                        &msg.states,
+                        &obs[g],
+                        &msg.rewards,
+                        &msg.observations,
+                        msg.done,
+                    );
+                    ep_reward[g] += self.mean_learner_reward(&msg.rewards);
+                    ep_speed[g] += msg.mean_speed;
+                    ep_steps[g] += 1;
+                    *self.step_counter += 1;
+                    self.run_update_cadence();
+                    obs[g] = msg.observations;
+                    states[g] = msg.states;
+                    flags[g] = msg.flags;
+                    if msg.done {
+                        telemetry::counter_add("episodes", 1);
+                        telemetry::progress(&format!("ep {}", completed_total + 1));
+                        record_episode_flags(
+                            self.rec,
+                            &self.learners,
+                            &flags[g],
+                            ep_reward[g],
+                            ep_speed[g],
+                            ep_steps[g],
+                        );
+                        completed_total += 1;
+                        episodes_run += 1;
+                    } else {
+                        still.push(g);
+                    }
+                }
+                running = still;
+            }
+
+            if self.store.is_some()
+                && self.ckpt.every > 0
+                && completed_total % self.ckpt.every == 0
+            {
+                let workers = WorkerStates {
+                    rngs: self.world_rng.clone(),
+                    last_options: self
+                        .cursors
+                        .iter()
+                        .map(|c| c.last_options().to_vec())
+                        .collect(),
+                };
+                self.save_checkpoint(completed_total, Some(workers));
+            }
+        }
+        (true, episodes_run)
+    }
+}
+
+fn record_episode_flags(
+    rec: &mut Recorder,
+    learners: &[usize],
+    flags: &WorldFlags,
+    ep_reward: f32,
+    ep_speed: f32,
+    steps: usize,
+) {
+    rec.push("reward", ep_reward / steps.max(1) as f32);
+    rec.push(
+        "collision",
+        if learners.iter().any(|&v| flags.collided[v]) {
+            1.0
+        } else {
+            0.0
+        },
+    );
+    let candidates: Vec<usize> = learners
+        .iter()
+        .copied()
+        .filter(|&v| flags.needs_merge[v])
+        .collect();
+    if !candidates.is_empty() {
+        let merged = candidates.iter().filter(|&&v| flags.has_merged[v]).count();
+        rec.push("success", merged as f32 / candidates.len() as f32);
+    }
+    rec.push("mean_speed", ep_speed / steps.max(1) as f32);
+}
+
+/// [`crate::trainer::train_team_checkpointed`] with rollout split across
+/// actor threads (see the module docs for the serial/batched contract).
+///
+/// After training, `env`'s RNG stream is advanced to world 0's position
+/// and the team's joint last-options vector reflects world 0's cursor, so
+/// downstream evaluation behaves exactly as after a sequential run.
+pub fn train_team_actor_learner(
+    team: &mut HeroTeam,
+    env: &mut LaneChangeEnv,
+    opts: &TrainOptions,
+    ckpt: &CheckpointConfig,
+    rollout: &RolloutOptions,
+) -> TrainOutcome {
+    assert!(rollout.actors >= 1, "need at least one actor thread");
+    assert!(rollout.batch_worlds >= 1, "need at least one world per actor");
+    let actors = rollout.actors;
+    let per_actor = rollout.batch_worlds;
+    let serial = per_actor == 1;
+    let total_worlds = if serial { 1 } else { actors * per_actor };
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rec = Recorder::new();
+    let mut step_counter = 0usize;
+    let mut update_counter = 0usize;
+    let mut start_episode = 0usize;
+    let mut restored_workers: Option<WorkerStates> = None;
+
+    if ckpt.resume {
+        if let Some(dir) = &ckpt.dir {
+            match checkpoint::load_latest(dir) {
+                Ok(Some(loaded)) => {
+                    match TrainerSnapshot::from_sections(&loaded.sections)
+                        .and_then(|snap| restore_snapshot(team, env, &snap).map(|()| snap))
+                    {
+                        Ok(snap) => {
+                            telemetry::counter_add("checkpoint/loaded", 1);
+                            telemetry::counter_add(
+                                "checkpoint/corrupt_skipped",
+                                loaded.corrupt_skipped as u64,
+                            );
+                            if loaded.corrupt_skipped > 0 {
+                                telemetry::counter_add("checkpoint/fallback", 1);
+                            }
+                            rng = StdRng::from_state(snap.trainer_rng);
+                            step_counter = snap.step_counter;
+                            update_counter = snap.update_counter;
+                            start_episode = snap.next_episode;
+                            restored_workers = snap.workers.clone();
+                            rec = snap.recorder;
+                        }
+                        Err(e) => {
+                            telemetry::counter_add("checkpoint/corrupt_skipped", 1);
+                            telemetry::progress(&format!("resume failed, starting fresh: {e}"));
+                        }
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    telemetry::progress(&format!("checkpoint dir unreadable, starting fresh: {e}"));
+                }
+            }
+        }
+    }
+
+    let mut store = if ckpt.every > 0 {
+        ckpt.dir
+            .as_ref()
+            .and_then(|dir| CheckpointStore::open(dir, ckpt.retain).ok())
+    } else {
+        None
+    };
+
+    // The learner owns every world's environment RNG stream; world 0 is
+    // the canonical env's own stream (so serial mode continues it
+    // exactly), worlds g > 0 get independent replica streams. Replica
+    // construction senses each world once purely to read its RNG stream;
+    // capture and discard that telemetry, because a resumed run imports
+    // the checkpoint's totals (which already counted the original
+    // construction) and then rebuilds the replicas again — without the
+    // discard its sensor counters would exceed an uninterrupted run's.
+    telemetry::begin_capture();
+    let mut world_rng: Vec<Vec<u64>> = (0..total_worlds)
+        .map(|g| {
+            if g == 0 {
+                env.rng_state()
+            } else {
+                env.replica(g).rng_state()
+            }
+        })
+        .collect();
+    let _ = telemetry::take_capture();
+    let mut cursors: Vec<TeamCursor> = (0..total_worlds).map(|_| team.new_cursor()).collect();
+    if let Some(w) = &restored_workers {
+        if w.rngs.len() == total_worlds {
+            for g in 0..total_worlds {
+                world_rng[g].clone_from(&w.rngs[g]);
+                cursors[g].set_last_options(w.last_options[g].clone());
+            }
+        } else {
+            telemetry::progress(&format!(
+                "checkpoint has {} worker streams, run has {}; extra worlds start fresh",
+                w.rngs.len(),
+                total_worlds
+            ));
+        }
+    }
+
+    let track = env.config().track;
+    let learners = env.learner_indices();
+    let n_vehicles = env.num_vehicles();
+    let cap = rollout.channel_capacity.max(per_actor).max(1);
+    let capture = telemetry::is_enabled();
+    let shutdown = AtomicBool::new(false);
+    let env_cfg = *env.config();
+    let spawns: Vec<VehicleSpawn> = env.spawns().to_vec();
+    let proto_seed = env.seed();
+
+    let (completed, episodes_run) = crossbeam::thread::scope(|s| {
+        let mut to_actor = Vec::with_capacity(actors);
+        let mut from_actor = Vec::with_capacity(actors);
+        for a in 0..actors {
+            let (tx_cmd, rx_cmd) = channel::bounded::<ToActor>(cap);
+            let (tx_res, rx_res) = channel::bounded::<FromActor>(cap);
+            let stalled = ckpt.fault_plan.stall_actor(a);
+            let spawns = spawns.clone();
+            let shutdown = &shutdown;
+            s.spawn(move || {
+                actor_loop(
+                    env_cfg, spawns, proto_seed, per_actor, rx_cmd, tx_res, capture, stalled,
+                    shutdown,
+                )
+            });
+            to_actor.push(tx_cmd);
+            from_actor.push(rx_res);
+        }
+        let mut learner = Learner {
+            team,
+            rng: &mut rng,
+            rec: &mut rec,
+            cursors: &mut cursors,
+            world_rng: &mut world_rng,
+            step_counter: &mut step_counter,
+            update_counter: &mut update_counter,
+            store: &mut store,
+            opts,
+            ckpt,
+            rollout,
+            track,
+            learners,
+            n_vehicles,
+            to_actor,
+            from_actor,
+            dead: vec![false; actors],
+            start_episode,
+        };
+        let result = if serial {
+            learner.serial_run()
+        } else {
+            learner.batched_run()
+        };
+        // Wake any stalled (sleeping) actors and close the command
+        // channels so every actor thread exits before the scope joins.
+        drop(learner);
+        shutdown.store(true, Ordering::Relaxed);
+        result
+    });
+
+    env.set_rng_state(&world_rng[0]);
+    team.absorb_cursor(&cursors[0]);
+    TrainOutcome {
+        recorder: rec,
+        completed,
+        episodes_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use hero_baselines::sac::SacConfig;
+    use hero_rl::metrics::Recorder;
+    use hero_sim::env::EnvConfig;
+    use hero_sim::scenario;
+
+    use crate::config::HeroConfig;
+    use crate::skills::SkillLibrary;
+    use crate::trainer::train_team;
+
+    fn fixture(n: usize, env_seed: u64) -> (HeroTeam, LaneChangeEnv) {
+        let env_cfg = EnvConfig {
+            max_steps: 6,
+            ..EnvConfig::default()
+        };
+        let env = scenario::congestion(env_cfg, env_seed);
+        let skills = Arc::new(SkillLibrary::untrained(
+            env_cfg,
+            SacConfig {
+                hidden: 8,
+                ..SacConfig::default()
+            },
+            0,
+        ));
+        let cfg = HeroConfig {
+            hidden: 8,
+            batch_size: 8,
+            warmup: 8,
+            ..HeroConfig::default()
+        };
+        (HeroTeam::new(n, env_cfg.high_dim(), skills, cfg, 1), env)
+    }
+
+    fn series_bits(rec: &Recorder, name: &str) -> Vec<u32> {
+        rec.series(name)
+            .map(|s| s.iter().map(|v| v.to_bits()).collect())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn one_actor_serial_matches_sequential_bitwise() {
+        let opts = TrainOptions {
+            episodes: 3,
+            update_every: 2,
+            seed: 9,
+        };
+        let (mut team_a, mut env_a) = fixture(3, 4);
+        let rec_a = train_team(&mut team_a, &mut env_a, &opts);
+        let (mut team_b, mut env_b) = fixture(3, 4);
+        let out = train_team_actor_learner(
+            &mut team_b,
+            &mut env_b,
+            &opts,
+            &CheckpointConfig::default(),
+            &RolloutOptions::default(),
+        );
+        assert!(out.completed);
+        assert_eq!(out.episodes_run, 3);
+        for name in ["reward", "collision", "mean_speed", "critic_loss"] {
+            assert_eq!(
+                series_bits(&rec_a, name),
+                series_bits(&out.recorder, name),
+                "series `{name}` diverged from sequential"
+            );
+        }
+        // The env stream advanced identically, so downstream evaluation
+        // stays aligned too.
+        assert_eq!(env_a.rng_state(), env_b.rng_state());
+    }
+
+    #[test]
+    fn batched_mode_is_reproducible_run_to_run() {
+        let opts = TrainOptions {
+            episodes: 5,
+            update_every: 2,
+            seed: 3,
+        };
+        let rollout = RolloutOptions {
+            actors: 2,
+            batch_worlds: 2,
+            ..RolloutOptions::default()
+        };
+        let run = || {
+            let (mut team, mut env) = fixture(3, 11);
+            train_team_actor_learner(
+                &mut team,
+                &mut env,
+                &opts,
+                &CheckpointConfig::default(),
+                &rollout,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert!(a.completed && b.completed);
+        assert_eq!(a.episodes_run, 5);
+        for name in ["reward", "collision", "mean_speed", "critic_loss"] {
+            assert_eq!(
+                series_bits(&a.recorder, name),
+                series_bits(&b.recorder, name),
+                "series `{name}` not reproducible"
+            );
+        }
+    }
+}

@@ -20,10 +20,66 @@ use hero_rl::telemetry;
 use hero_sim::env::{CooperativeWorld, Observation};
 use hero_sim::vehicle::VehicleCommand;
 
-use crate::agent::HeroAgent;
+use hero_sim::track::Track;
+use hero_sim::vehicle::VehicleState;
+
+use crate::agent::{AgentCursor, HeroAgent};
 use crate::checkpoint::{self, CheckpointStore, TrainerSnapshot};
 use crate::config::{HeroConfig, TerminationMode};
 use crate::skills::SkillLibrary;
+
+/// The team's option-execution state for one world: one [`AgentCursor`]
+/// per agent plus the joint last-observed-options vector.
+///
+/// The sequential loop keeps this state inside [`HeroTeam`]; the batched
+/// rollout engine owns one cursor per in-flight world and drives the team
+/// through [`HeroTeam::decide_in`] / [`HeroTeam::record_in`].
+#[derive(Clone, Debug)]
+pub struct TeamCursor {
+    agents: Vec<AgentCursor>,
+    last_options: Vec<usize>,
+}
+
+impl TeamCursor {
+    /// The per-agent cursors.
+    pub fn agents(&self) -> &[AgentCursor] {
+        &self.agents
+    }
+
+    /// The joint last-observed-options vector (`o_{1:t-1}` in the paper).
+    pub fn last_options(&self) -> &[usize] {
+        &self.last_options
+    }
+
+    /// Overwrites the joint last-options vector (checkpoint restore).
+    pub fn set_last_options(&mut self, last: Vec<usize>) {
+        assert_eq!(last.len(), self.agents.len(), "cursor/team size mismatch");
+        self.last_options = last;
+    }
+
+    /// Clears every agent's option state for a new episode. The joint
+    /// last-options vector persists across episodes, exactly as the
+    /// sequential loop's does.
+    pub fn begin_episode(&mut self) {
+        for a in &mut self.agents {
+            a.clear();
+        }
+    }
+
+    /// Whether no agent holds an active option or open segment.
+    pub fn is_idle(&self) -> bool {
+        self.agents.iter().all(|a| a.is_idle())
+    }
+
+    fn others_last(&self, k: usize) -> Vec<usize> {
+        self.last_options
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != k)
+            .map(|(_, &o)| o)
+            .collect()
+    }
+}
 
 /// A team of HERO agents sharing one trained skill library.
 #[derive(Debug)]
@@ -161,6 +217,160 @@ impl HeroTeam {
         if self.cfg.termination == TerminationMode::Synchronous && any_terminated {
             for (k, &v) in learners.iter().enumerate() {
                 self.agents[k].force_terminate(&next_obs[v].high_vec(), done);
+            }
+        }
+    }
+
+    /// A fresh per-world cursor seeded from the team's current joint
+    /// last-options vector (so a cursor created after a checkpoint restore
+    /// continues exactly where the sequential state machine would).
+    pub fn new_cursor(&self) -> TeamCursor {
+        TeamCursor {
+            agents: vec![AgentCursor::new(); self.agents.len()],
+            last_options: self.last_options.clone(),
+        }
+    }
+
+    /// Folds a world cursor's joint bookkeeping back into the team so that
+    /// checkpoints ([`HeroTeam::save_state`]) and later sequential use
+    /// (e.g. [`evaluate_team`]) see the trained last-options vector.
+    pub fn absorb_cursor(&mut self, cur: &TeamCursor) {
+        assert_eq!(cur.last_options.len(), self.last_options.len());
+        self.last_options = cur.last_options.clone();
+    }
+
+    /// [`HeroTeam::decide`] against an external world cursor, with the
+    /// world shipped as data (track + vehicle states + observations)
+    /// instead of borrowed — the actor/learner split runs this on the
+    /// learner thread against state received from actor threads. Randomness
+    /// and telemetry follow exactly the sequential order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_in(
+        &mut self,
+        cur: &mut TeamCursor,
+        track: &Track,
+        learners: &[usize],
+        num_vehicles: usize,
+        states: &[VehicleState],
+        obs: &[Observation],
+        rng: &mut StdRng,
+        explore: bool,
+    ) -> Vec<VehicleCommand> {
+        self.decide_cursor(cur, track, learners, num_vehicles, states, obs, None, rng, explore)
+    }
+
+    /// [`HeroTeam::decide_in`] with per-agent policy logits precomputed by
+    /// a batched forward pass over many worlds ([`HeroAgent::batch_logits`]).
+    /// `logits[k]` is `Some` only for agents the caller batched (those with
+    /// no active option); `None` falls back to the scalar path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_in_with_logits(
+        &mut self,
+        cur: &mut TeamCursor,
+        track: &Track,
+        learners: &[usize],
+        num_vehicles: usize,
+        states: &[VehicleState],
+        obs: &[Observation],
+        logits: &[Option<Vec<f32>>],
+        rng: &mut StdRng,
+        explore: bool,
+    ) -> Vec<VehicleCommand> {
+        self.decide_cursor(
+            cur, track, learners, num_vehicles, states, obs, Some(logits), rng, explore,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decide_cursor(
+        &mut self,
+        cur: &mut TeamCursor,
+        track: &Track,
+        learners: &[usize],
+        num_vehicles: usize,
+        states: &[VehicleState],
+        obs: &[Observation],
+        logits: Option<&[Option<Vec<f32>>]>,
+        rng: &mut StdRng,
+        explore: bool,
+    ) -> Vec<VehicleCommand> {
+        assert_eq!(learners.len(), self.agents.len(), "team/world size mismatch");
+        for (k, &v) in learners.iter().enumerate() {
+            let high_obs = obs[v].high_vec();
+            let others = cur.others_last(k);
+            let option = match logits.and_then(|l| l[k].as_ref()) {
+                Some(row) => self.agents[k].ensure_option_from_logits(
+                    &mut cur.agents[k],
+                    row,
+                    &high_obs,
+                    &states[v],
+                    track,
+                    &others,
+                    rng,
+                    explore,
+                ),
+                None => self.agents[k].ensure_option_in(
+                    &mut cur.agents[k],
+                    &high_obs,
+                    &states[v],
+                    track,
+                    &others,
+                    rng,
+                    explore,
+                ),
+            };
+            cur.last_options[k] = option.index();
+        }
+        let mut commands = vec![VehicleCommand::default(); num_vehicles];
+        for (k, &v) in learners.iter().enumerate() {
+            let active = *cur.agents[k].active().expect("option ensured above");
+            // The skills are frozen after stage one (Fig. 2), so they
+            // always execute deterministically; exploration happens in
+            // the high-level option space only.
+            commands[v] = self.skills.command(
+                active.option,
+                &obs[v],
+                &states[v],
+                active.target_d(track),
+                rng,
+                false,
+            );
+        }
+        commands
+    }
+
+    /// [`HeroTeam::record`] against an external world cursor, with the
+    /// post-step world shipped as data.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_in(
+        &mut self,
+        cur: &mut TeamCursor,
+        track: &Track,
+        learners: &[usize],
+        states: &[VehicleState],
+        pre_obs: &[Observation],
+        rewards: &[f32],
+        next_obs: &[Observation],
+        done: bool,
+    ) {
+        let mut any_terminated = false;
+        for (k, &v) in learners.iter().enumerate() {
+            let others = cur.others_last(k);
+            let terminated = self.agents[k].record_step_in(
+                &mut cur.agents[k],
+                &pre_obs[v].high_vec(),
+                &others,
+                rewards[v],
+                &next_obs[v].high_vec(),
+                &states[v],
+                track,
+                done,
+            );
+            any_terminated |= terminated;
+        }
+        if self.cfg.termination == TerminationMode::Synchronous && any_terminated {
+            for (k, &v) in learners.iter().enumerate() {
+                self.agents[k].force_terminate_in(&mut cur.agents[k], &next_obs[v].high_vec(), done);
             }
         }
     }
@@ -526,6 +736,7 @@ pub fn train_team_checkpointed<W: CooperativeWorld>(
                     env_rng: env.rng_state(),
                     recorder: rec.clone(),
                     telemetry: telemetry::export_state(),
+                    workers: None,
                     team_sections: team.save_state(),
                 };
                 store.save(&snap.to_sections(), &ckpt.fault_plan);
@@ -539,7 +750,7 @@ pub fn train_team_checkpointed<W: CooperativeWorld>(
     }
 }
 
-fn restore_snapshot<W: CooperativeWorld>(
+pub(crate) fn restore_snapshot<W: CooperativeWorld>(
     team: &mut HeroTeam,
     env: &mut W,
     snap: &TrainerSnapshot,

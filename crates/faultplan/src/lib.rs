@@ -20,6 +20,7 @@
 //! | `truncate@save:N` | the `N`-th checkpoint file is truncated after writing |
 //! | `bitflip@save:N` | one bit of the `N`-th checkpoint file is flipped |
 //! | `nan-grad@update:N` | the `N`-th gradient update is poisoned with NaN |
+//! | `stall@actor:N` | rollout actor thread `N` freezes at startup |
 //!
 //! All indices are 0-based. Example:
 //! `--fault-plan kill@ep:3,bitflip@save:1`.
@@ -67,6 +68,7 @@ pub struct FaultPlan {
     io_err_saves: Vec<(usize, bool)>,
     corrupt_saves: Vec<(usize, CorruptMode)>,
     nan_grad_updates: Vec<usize>,
+    stall_actors: Vec<usize>,
 }
 
 impl FaultPlan {
@@ -120,6 +122,7 @@ impl FaultPlan {
                     plan.corrupt_saves.push((index, CorruptMode::BitFlip));
                 }
                 ("nan-grad", "update", None) => plan.nan_grad_updates.push(index),
+                ("stall", "actor", None) => plan.stall_actors.push(index),
                 _ => return Err(ParseError(format!("unknown directive `{part}`"))),
             }
         }
@@ -163,6 +166,12 @@ impl FaultPlan {
     /// with non-finite values (to exercise the NaN watchdog).
     pub fn nan_grad_at(&self, update_index: usize) -> bool {
         self.nan_grad_updates.contains(&update_index)
+    }
+
+    /// Whether rollout actor thread `actor_index` should freeze at startup
+    /// (to exercise the learner's stall detection and re-dispatch path).
+    pub fn stall_actor(&self, actor_index: usize) -> bool {
+        self.stall_actors.contains(&actor_index)
     }
 }
 
@@ -208,7 +217,7 @@ mod tests {
     fn full_grammar_parses() {
         let plan = FaultPlan::parse(
             "kill@ep:3, io-err@save:1, io-err@save:2:persistent, \
-             truncate@save:4, bitflip@save:5, nan-grad@update:7",
+             truncate@save:4, bitflip@save:5, nan-grad@update:7, stall@actor:1",
         )
         .unwrap();
         assert!(plan.should_kill(3));
@@ -226,6 +235,8 @@ mod tests {
         assert!(plan.corrupt_after_save(6).is_none());
         assert!(plan.nan_grad_at(7));
         assert!(!plan.nan_grad_at(6));
+        assert!(plan.stall_actor(1));
+        assert!(!plan.stall_actor(0));
     }
 
     #[test]

@@ -191,11 +191,32 @@ pub struct LaneChangeEnv {
     vehicles: Vec<VehicleState>,
     executor: ScriptedExecutor,
     rng: StdRng,
+    seed: u64,
     step_count: usize,
     done: bool,
     initial_lanes: Vec<usize>,
     needs_merge: Vec<bool>,
     collided: Vec<bool>,
+}
+
+/// The seed of replica `index` of a world seeded with `base`.
+///
+/// Replica 0 keeps the base seed (so a 1-replica batch is bit-identical to
+/// the scalar world); later replicas get independent streams via a
+/// splitmix64 scramble of `base + index`. Earlier batching attempts that
+/// derived replica RNGs by cloning the parent's generator coupled adjacent
+/// worlds' spawn jitter — this function is the contract that prevents that
+/// (pinned by the `replicas_draw_independent_streams` regression test).
+pub fn replica_seed(base: u64, index: usize) -> u64 {
+    if index == 0 {
+        return base;
+    }
+    // splitmix64: a well-mixed 64-bit permutation, so adjacent indices
+    // land in unrelated regions of the seed space.
+    let mut z = base.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl LaneChangeEnv {
@@ -217,6 +238,7 @@ impl LaneChangeEnv {
             vehicles: Vec::new(),
             executor: ScriptedExecutor::new(),
             rng: StdRng::seed_from_u64(seed),
+            seed,
             step_count: 0,
             done: true,
             initial_lanes: vec![0; n],
@@ -230,6 +252,26 @@ impl LaneChangeEnv {
     /// Environment configuration.
     pub fn config(&self) -> &EnvConfig {
         &self.cfg
+    }
+
+    /// The seed this environment was constructed with. Note the RNG
+    /// stream advances past the seed position on every reset; use
+    /// [`CooperativeWorld::rng_state`] for the live stream position.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The spawn table driving each reset.
+    pub fn spawns(&self) -> &[VehicleSpawn] {
+        &self.spawns
+    }
+
+    /// Builds replica `index` of this environment: same config and spawn
+    /// table, but an independently seeded RNG stream per
+    /// [`replica_seed`]. Replica 0 reproduces this environment as freshly
+    /// constructed (not its current mid-stream state).
+    pub fn replica(&self, index: usize) -> LaneChangeEnv {
+        LaneChangeEnv::new(self.cfg, self.spawns.clone(), replica_seed(self.seed, index))
     }
 
     /// Number of vehicles (learners + scripted).
@@ -723,6 +765,31 @@ mod tests {
         let obs = env.observe(0);
         assert_eq!(obs.high_vec().len(), cfg.high_dim());
         assert_eq!(obs.low_flat_vec().len(), cfg.low_dim());
+    }
+
+    #[test]
+    fn replicas_draw_independent_streams() {
+        // Regression: replicas of a jittered world must not share (or
+        // couple) RNG streams. Replica 0 reproduces the base world;
+        // replicas 1.. draw distinct spawn jitter from their own seeds.
+        let spawns = vec![VehicleSpawn {
+            lane: 0,
+            random_lane: false,
+            s: 0.0,
+            s_jitter: 0.5,
+            speed: 0.1,
+            role: VehicleRole::Learner,
+        }];
+        let base = LaneChangeEnv::new(EnvConfig::default(), spawns, 9);
+        let r0 = base.replica(0);
+        let r1 = base.replica(1);
+        let r2 = base.replica(2);
+        assert_eq!(r0.vehicle_state(0).s.to_bits(), base.vehicle_state(0).s.to_bits());
+        assert_eq!(replica_seed(9, 0), 9);
+        assert_ne!(replica_seed(9, 1), replica_seed(9, 2));
+        let positions = [r0.vehicle_state(0).s, r1.vehicle_state(0).s, r2.vehicle_state(0).s];
+        assert_ne!(positions[0].to_bits(), positions[1].to_bits());
+        assert_ne!(positions[1].to_bits(), positions[2].to_bits());
     }
 
     #[test]

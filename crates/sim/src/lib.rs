@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod env;
 pub mod geometry;
 pub mod options;
@@ -44,7 +45,11 @@ pub mod skill_env;
 pub mod track;
 pub mod vehicle;
 
-pub use env::{CooperativeWorld, EnvConfig, LaneChangeEnv, Observation, StepOutcome, VehicleRole, VehicleSpawn};
+pub use batch::BatchWorld;
+pub use env::{
+    replica_seed, CooperativeWorld, EnvConfig, LaneChangeEnv, Observation, StepOutcome,
+    VehicleRole, VehicleSpawn,
+};
 pub use options::{ActionBounds, DrivingOption, ScriptedExecutor};
 pub use sim2real::{SimToRealConfig, SimToRealEnv};
 pub use skill_env::{ManeuverResult, SkillEnv, SkillKind};

@@ -1,0 +1,180 @@
+//! Differential equivalence suite: the vectorized [`BatchWorld`] must be
+//! **bit-identical** to N scalar [`LaneChangeEnv`] replicas seeded with
+//! `replica_seed(base, w)` — poses, lidar scans, camera images, rewards,
+//! done flags, and RNG streams, at every step of every episode, for every
+//! tested batch size.
+//!
+//! This is the repo's contract for the batched rollout path (see
+//! DESIGN.md "Rollout engine"): any change to the scalar environment or
+//! sensors must keep this suite passing, and any new observable state
+//! added to `LaneChangeEnv` must be added to `assert_world_eq` here.
+
+use hero_sim::batch::BatchWorld;
+use hero_sim::env::{replica_seed, CooperativeWorld, EnvConfig, LaneChangeEnv};
+use hero_sim::scenario;
+use hero_sim::vehicle::VehicleCommand;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The ragged batch sizes the acceptance criteria pin: a singleton batch
+/// (must reduce to the scalar path exactly), small and prime sizes, and a
+/// larger-than-typical fleet.
+const BATCH_SIZES: [usize; 4] = [1, 2, 7, 64];
+
+fn assert_obs_eq(a: &hero_sim::env::Observation, b: &hero_sim::env::Observation, ctx: &str) {
+    assert_eq!(a.lidar.len(), b.lidar.len(), "{ctx}: lidar beam count");
+    for (k, (x, y)) in a.lidar.iter().zip(&b.lidar).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: lidar[{k}] {x} vs {y}");
+    }
+    for (k, (x, y)) in a.image.iter().zip(&b.image).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: image[{k}]");
+    }
+    assert_eq!(a.speed_norm.to_bits(), b.speed_norm.to_bits(), "{ctx}: speed_norm");
+    assert_eq!(a.lane_norm.to_bits(), b.lane_norm.to_bits(), "{ctx}: lane_norm");
+    assert_eq!(a.lane_id, b.lane_id, "{ctx}: lane_id");
+    assert_eq!(a.speed.to_bits(), b.speed.to_bits(), "{ctx}: speed");
+}
+
+/// Asserts every piece of observable per-world state matches between the
+/// scalar world `env` and world `w` of `batch`.
+fn assert_world_eq(env: &LaneChangeEnv, batch: &BatchWorld, w: usize, ctx: &str) {
+    assert_eq!(env.is_done(), batch.is_done(w), "{ctx}: done flag");
+    assert_eq!(env.step_count(), batch.step_count(w), "{ctx}: step count");
+    for i in 0..env.num_vehicles() {
+        let sv = env.vehicle_state(i);
+        let bv = batch.vehicle_state(w, i);
+        assert_eq!(sv.s.to_bits(), bv.s.to_bits(), "{ctx}: v{i} s");
+        assert_eq!(sv.d.to_bits(), bv.d.to_bits(), "{ctx}: v{i} d");
+        assert_eq!(sv.heading.to_bits(), bv.heading.to_bits(), "{ctx}: v{i} heading");
+        assert_eq!(sv.speed.to_bits(), bv.speed.to_bits(), "{ctx}: v{i} speed");
+        assert_eq!(env.needs_merge(i), batch.needs_merge(w, i), "{ctx}: v{i} needs_merge");
+        assert_eq!(env.has_merged(i), batch.has_merged(w, i), "{ctx}: v{i} has_merged");
+        assert_eq!(env.has_collided(i), batch.has_collided(w, i), "{ctx}: v{i} collided");
+    }
+    assert_eq!(env.rng_state(), batch.rng_state(w), "{ctx}: rng stream");
+}
+
+/// Drives `episodes` full episodes of a `BatchWorld` and its scalar
+/// replicas in lockstep under a seeded random policy, asserting bitwise
+/// equality of every output at every step.
+fn run_differential(proto: LaneChangeEnv, n_worlds: usize, episodes: usize, policy_seed: u64) {
+    let mut batch = BatchWorld::replicate(&proto, n_worlds);
+    let mut scalars: Vec<LaneChangeEnv> =
+        (0..n_worlds).map(|w| proto.replica(w)).collect();
+    // One command-policy RNG per world so scalar and batch sides see the
+    // exact same command sequences regardless of stepping order.
+    let mut policy_rngs: Vec<StdRng> = (0..n_worlds)
+        .map(|w| StdRng::seed_from_u64(policy_seed ^ replica_seed(policy_seed, w)))
+        .collect();
+    let n = proto.num_vehicles();
+
+    for ep in 0..episodes {
+        for (w, env) in scalars.iter_mut().enumerate() {
+            let so = env.reset();
+            let bo = batch.reset_world(w);
+            assert_eq!(so.len(), bo.len());
+            for (i, (a, b)) in so.iter().zip(&bo).enumerate() {
+                assert_obs_eq(a, b, &format!("ep{ep} w{w} reset obs v{i}"));
+            }
+            assert_world_eq(env, &batch, w, &format!("ep{ep} w{w} after reset"));
+        }
+        // Step every still-live world each round, batched in one
+        // `step_worlds` call, against per-world scalar steps.
+        loop {
+            let live: Vec<usize> = (0..n_worlds).filter(|&w| !batch.is_done(w)).collect();
+            if live.is_empty() {
+                break;
+            }
+            let commands: Vec<Vec<VehicleCommand>> = live
+                .iter()
+                .map(|&w| {
+                    let rng = &mut policy_rngs[w];
+                    (0..n)
+                        .map(|_| {
+                            VehicleCommand::new(rng.gen_range(0.0..0.3), rng.gen_range(-0.4..0.4))
+                        })
+                        .collect()
+                })
+                .collect();
+            let batch_outs = batch.step_worlds(&live, &commands);
+            for ((&w, cmds), b_out) in live.iter().zip(&commands).zip(&batch_outs) {
+                let s_out = scalars[w].step(cmds);
+                let ctx = format!("ep{ep} w{w} step{}", scalars[w].step_count());
+                for (i, (a, b)) in s_out.observations.iter().zip(&b_out.observations).enumerate()
+                {
+                    assert_obs_eq(a, b, &format!("{ctx} obs v{i}"));
+                }
+                for (i, (a, b)) in s_out.rewards.iter().zip(&b_out.rewards).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: reward v{i} {a} vs {b}");
+                }
+                assert_eq!(s_out.collisions, b_out.collisions, "{ctx}: collisions");
+                assert_eq!(s_out.done, b_out.done, "{ctx}: done");
+                assert_eq!(
+                    s_out.mean_speed.to_bits(),
+                    b_out.mean_speed.to_bits(),
+                    "{ctx}: mean_speed"
+                );
+                assert_world_eq(&scalars[w], &batch, w, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn congestion_matches_scalar_at_every_batch_size() {
+    for &size in &BATCH_SIZES {
+        let proto = scenario::congestion(EnvConfig::default(), 42);
+        run_differential(proto, size, 2, 7);
+    }
+}
+
+#[test]
+fn two_vehicle_merge_matches_scalar_at_every_batch_size() {
+    for &size in &BATCH_SIZES {
+        let proto = scenario::two_vehicle_merge(EnvConfig::default(), 1234);
+        run_differential(proto, size, 2, 99);
+    }
+}
+
+#[test]
+fn replica_streams_stay_independent_across_resets() {
+    // Regression for the batching RNG-coupling bug: resetting one replica
+    // must not perturb a sibling's spawn jitter stream. Drive world 0
+    // through extra resets and check world 1 still matches its scalar
+    // twin exactly.
+    let proto = scenario::congestion(EnvConfig::default(), 8);
+    let mut batch = BatchWorld::replicate(&proto, 3);
+    let mut scalar_1 = proto.replica(1);
+    for _ in 0..4 {
+        batch.reset_world(0); // sibling churn
+        let bo = batch.reset_world(1);
+        let so = scalar_1.reset();
+        for (i, (a, b)) in so.iter().zip(&bo).enumerate() {
+            assert_obs_eq(a, b, &format!("sibling-churn reset v{i}"));
+        }
+        assert_eq!(scalar_1.rng_state(), batch.rng_state(1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized seeds/policies: every tested batch size stays
+    /// bit-identical to its scalar replicas over a full episode.
+    fn batch_equals_scalar_for_random_seeds(
+        env_seed in 0u64..1_000_000,
+        policy_seed in 0u64..1_000_000,
+        size_idx in 0usize..BATCH_SIZES.len(),
+    ) {
+        let proto = scenario::congestion(EnvConfig::default(), env_seed);
+        run_differential(proto, BATCH_SIZES[size_idx], 1, policy_seed);
+    }
+
+    /// Jittered spawns (the RNG-heavy path): replica streams are
+    /// independent and each matches its scalar twin bit-for-bit.
+    fn jittered_spawns_stay_bit_identical(env_seed in 0u64..1_000_000) {
+        let proto = scenario::two_vehicle_merge(EnvConfig::default(), env_seed);
+        run_differential(proto, 7, 2, env_seed ^ 0xABCD);
+    }
+}

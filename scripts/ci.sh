@@ -14,6 +14,14 @@ cargo test -q
 echo "=== workspace tests"
 cargo test --workspace -q
 
+echo "=== batched-rollout differential equivalence"
+# The bit-exactness contract of the vectorized rollout engine: every
+# world of a BatchWorld must match a scalar LaneChangeEnv bit-for-bit
+# (observations, rewards, RNG streams, termination). Tier-1 already runs
+# this suite; rerun it by name so a contract break is unmissable in the
+# CI log.
+cargo test -q --release -p hero-sim --test batch_equivalence
+
 echo "=== telemetry smoke"
 scripts/smoke_telemetry.sh
 
@@ -33,6 +41,19 @@ DIAG=$(mktemp -d /tmp/hero-diag.XXXXXX)
     tests/golden/diag_baseline.jsonl "$DIAG/tel" --fail-on-regression
 ./target/release/hero-inspect doctor "$DIAG/tel"
 
+echo "=== actor/learner serial-mode golden diff"
+# Serial mode (--batch-worlds 1, the default) must be bit-identical to
+# the sequential trainer for any actor count: the same seeded experiment
+# on 2 actor threads diffs clean against the sequential golden. Stall
+# bookkeeping (actor/) is excluded — it only fires on injected faults.
+./target/release/fig10_opponent_loss \
+    --episodes 6 --eval-episodes 1 --skill-episodes 2 --batch-size 8 \
+    --update-every 1 --seed 7 --actors 2 --out "$DIAG/exp-actors" \
+    --telemetry-out "$DIAG/tel-actors" >/dev/null
+./target/release/hero-inspect diff \
+    tests/golden/diag_baseline.jsonl "$DIAG/tel-actors" \
+    --ignore actor/ --fail-on-regression
+
 echo "=== training-throughput bench (quick)"
 # Quick criterion pass over the kernel and train-step microbenches; the
 # emitted JSON must exist and carry every field bench.sh promises.
@@ -46,6 +67,8 @@ required = [
     "matmul_naive_ns", "matmul_tiled_ns", "matmul_gflops",
     "train_step_naive_ns", "train_step_tiled_ns", "train_step_speedup",
     "env_steps_per_s", "grad_updates_per_s",
+    "rollout_worlds", "env_steps_per_sec_scalar", "env_steps_per_sec_batched",
+    "rollout_batch_speedup",
 ]
 missing = [k for k in required if k not in bench]
 assert not missing, f"BENCH_train_throughput.json missing {missing}"
@@ -53,7 +76,9 @@ bad = [k for k in required if not (isinstance(bench[k], (int, float)) and bench[
 assert not bad, f"non-positive bench fields: {bad}"
 print(f"  speedup {bench['train_step_speedup']}x, "
       f"{bench['matmul_gflops']} GFLOP/s, "
-      f"{bench['env_steps_per_s']} env_steps/s")
+      f"{bench['env_steps_per_s']} env_steps/s, "
+      f"rollout {bench['rollout_batch_speedup']}x @ "
+      f"{int(bench['rollout_worlds'])} worlds")
 EOF
 
 echo "=== kill-and-resume smoke"

@@ -426,3 +426,292 @@ fn skill_checkpoint_restores_identical_commands() {
     }
     std::fs::remove_file(path).ok();
 }
+
+/// Reads the bytes of the newest checkpoint file (`ckpt-<i>.hero` with
+/// the largest `i`) in `dir`.
+fn newest_checkpoint_bytes(dir: &std::path::Path) -> Vec<u8> {
+    let mut files: Vec<(usize, std::path::PathBuf)> = std::fs::read_dir(dir)
+        .expect("checkpoint dir must exist")
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            let name = path.file_name()?.to_str()?.to_string();
+            let index = name.strip_prefix("ckpt-")?.strip_suffix(".hero")?.parse().ok()?;
+            Some((index, path))
+        })
+        .collect();
+    files.sort();
+    let (_, newest) = files.last().expect("at least one checkpoint file");
+    std::fs::read(newest).expect("read checkpoint file")
+}
+
+/// Serial-mode actor/learner training (`batch_worlds == 1`) is the
+/// sequential trainer with environment stepping moved onto actor
+/// threads: for any actor count it must reproduce the sequential run
+/// bit-for-bit — metric series, telemetry totals, and checkpoint bytes.
+#[test]
+fn hero_actor_learner_serial_matches_sequential_trainer() {
+    use hero_core::rollout::{train_team_actor_learner, RolloutOptions};
+    use hero_core::trainer::{train_team_checkpointed, CheckpointConfig};
+    use hero_rl::telemetry;
+
+    let base = std::env::temp_dir().join(format!("hero_al_serial_{}", std::process::id()));
+    let dir_seq = base.join("sequential");
+    let dir_al = base.join("actor_learner");
+    let seed = 29;
+    let episodes = 6;
+    let ckpt = |dir: &std::path::Path| CheckpointConfig {
+        every: 2,
+        dir: Some(dir.to_path_buf()),
+        ..CheckpointConfig::default()
+    };
+    let rollout = RolloutOptions {
+        actors: 2,
+        batch_worlds: 1,
+        ..RolloutOptions::default()
+    };
+
+    // Pass 1 (scoped telemetry sinks): metric series and telemetry
+    // totals. The sinks record wall-clock histograms into the
+    // checkpointed telemetry state, so the files written here are not
+    // expected to be comparable — only the in-memory results are.
+    let (series_seq, telem_seq) = {
+        let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let (mut env, mut team) = hero_crash_fixture(seed);
+        let out = train_team_checkpointed(
+            &mut team,
+            &mut env,
+            &crash_opts(episodes, seed),
+            &ckpt(&dir_seq),
+        );
+        assert!(out.completed);
+        (recorder_series(&out.recorder), telemetry_fingerprint(&sink.snapshot()))
+    };
+    let (series_al, telem_al) = {
+        let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let (mut env, mut team) = hero_crash_fixture(seed);
+        let out = train_team_actor_learner(
+            &mut team,
+            &mut env,
+            &crash_opts(episodes, seed),
+            &ckpt(&dir_al),
+            &rollout,
+        );
+        assert!(out.completed);
+        assert_eq!(out.episodes_run, episodes);
+        (recorder_series(&out.recorder), telemetry_fingerprint(&sink.snapshot()))
+    };
+    assert_eq!(series_seq, series_al, "metric series must match the sequential trainer");
+    assert_eq!(telem_seq.0, telem_al.0, "counter totals must match the sequential trainer");
+    assert_eq!(telem_seq.1, telem_al.1, "value statistics must match the sequential trainer");
+
+    // Pass 2 (no sink): with telemetry disabled the exported state embeds
+    // no wall-clock data, so the final checkpoint files themselves must
+    // be byte-identical.
+    std::fs::remove_dir_all(&base).ok();
+    let (mut env, mut team) = hero_crash_fixture(seed);
+    let out = train_team_checkpointed(
+        &mut team,
+        &mut env,
+        &crash_opts(episodes, seed),
+        &ckpt(&dir_seq),
+    );
+    assert!(out.completed);
+    let (mut env, mut team) = hero_crash_fixture(seed);
+    let out = train_team_actor_learner(
+        &mut team,
+        &mut env,
+        &crash_opts(episodes, seed),
+        &ckpt(&dir_al),
+        &rollout,
+    );
+    assert!(out.completed);
+    assert_eq!(
+        newest_checkpoint_bytes(&dir_seq),
+        newest_checkpoint_bytes(&dir_al),
+        "serial-mode checkpoints must be byte-identical to sequential ones"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Batched rollout (`batch_worlds > 1`) interleaves episodes across
+/// worlds, so it is compared against itself: a batched run killed
+/// mid-training and resumed from its checkpoint must reproduce the
+/// uninterrupted batched run bit-for-bit. This exercises the per-worker
+/// RNG streams stored in the checkpoint's `workers` section.
+#[test]
+fn hero_actor_learner_batched_kill_and_resume_is_bit_identical() {
+    use hero_core::rollout::{train_team_actor_learner, RolloutOptions};
+    use hero_core::trainer::CheckpointConfig;
+    use hero_faultplan::{FaultPlan, KillMode};
+    use hero_rl::telemetry;
+
+    let base = std::env::temp_dir().join(format!("hero_al_batched_{}", std::process::id()));
+    let dir_a = base.join("uninterrupted");
+    let dir_b = base.join("crashed");
+    let seed = 31;
+    let episodes = 6;
+    let rollout = RolloutOptions {
+        actors: 2,
+        batch_worlds: 2,
+        ..RolloutOptions::default()
+    };
+
+    // Run A: uninterrupted batched training.
+    let (series_a, telem_a) = {
+        let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let (mut env, mut team) = hero_crash_fixture(seed);
+        let out = train_team_actor_learner(
+            &mut team,
+            &mut env,
+            &crash_opts(episodes, seed),
+            &CheckpointConfig {
+                every: 2,
+                dir: Some(dir_a.clone()),
+                ..CheckpointConfig::default()
+            },
+            &rollout,
+        );
+        assert!(out.completed);
+        (recorder_series(&out.recorder), telemetry_fingerprint(&sink.snapshot()))
+    };
+
+    // Run B1: identical setup, killed at the start of episode 3.
+    {
+        let _sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let (mut env, mut team) = hero_crash_fixture(seed);
+        let out = train_team_actor_learner(
+            &mut team,
+            &mut env,
+            &crash_opts(episodes, seed),
+            &CheckpointConfig {
+                every: 2,
+                dir: Some(dir_b.clone()),
+                fault_plan: FaultPlan::parse("kill@ep:3").unwrap(),
+                kill_mode: KillMode::Return,
+                ..CheckpointConfig::default()
+            },
+            &rollout,
+        );
+        assert!(!out.completed, "the injected kill must stop the run");
+    }
+
+    // Run B2: fresh process state, resumed from the crashed run's newest
+    // checkpoint.
+    let (series_b, telem_b, loaded) = {
+        let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let (mut env, mut team) = hero_crash_fixture(seed);
+        let out = train_team_actor_learner(
+            &mut team,
+            &mut env,
+            &crash_opts(episodes, seed),
+            &CheckpointConfig {
+                every: 2,
+                dir: Some(dir_b.clone()),
+                resume: true,
+                ..CheckpointConfig::default()
+            },
+            &rollout,
+        );
+        assert!(out.completed);
+        assert!(out.episodes_run < episodes, "resume must skip completed episodes");
+        let snap = sink.snapshot();
+        let loaded = snap.counter_totals().get("checkpoint/loaded").copied();
+        (recorder_series(&out.recorder), telemetry_fingerprint(&snap), loaded)
+    };
+
+    assert_eq!(loaded, Some(1), "the resume must come from a checkpoint");
+    assert_eq!(series_a, series_b, "metric series must be bit-identical");
+    assert_eq!(telem_a.0, telem_b.0, "counter totals must be bit-identical");
+    assert_eq!(telem_a.1, telem_b.1, "value statistics must be bit-identical");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// An actor frozen by a `stall@actor:N` fault must be detected by the
+/// learner's stall timeout and its work re-dispatched to a live actor;
+/// in serial mode the surviving run stays bit-identical to the
+/// sequential trainer.
+#[test]
+fn hero_actor_learner_survives_stalled_actor_bit_identically() {
+    use hero_core::rollout::{train_team_actor_learner, RolloutOptions};
+    use hero_core::trainer::{train_team_checkpointed, CheckpointConfig};
+    use hero_faultplan::FaultPlan;
+    use hero_rl::telemetry;
+    use std::time::Duration;
+
+    let seed = 37;
+    let episodes = 4;
+
+    let series_seq = {
+        let _sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let (mut env, mut team) = hero_crash_fixture(seed);
+        let out = train_team_checkpointed(
+            &mut team,
+            &mut env,
+            &crash_opts(episodes, seed),
+            &CheckpointConfig::default(),
+        );
+        assert!(out.completed);
+        recorder_series(&out.recorder)
+    };
+
+    let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+    let (mut env, mut team) = hero_crash_fixture(seed);
+    let out = train_team_actor_learner(
+        &mut team,
+        &mut env,
+        &crash_opts(episodes, seed),
+        &CheckpointConfig {
+            fault_plan: FaultPlan::parse("stall@actor:1").unwrap(),
+            ..CheckpointConfig::default()
+        },
+        &RolloutOptions {
+            actors: 2,
+            batch_worlds: 1,
+            stall_timeout: Duration::from_millis(500),
+            ..RolloutOptions::default()
+        },
+    );
+    assert!(out.completed, "the live actor must absorb the stalled actor's work");
+    assert_eq!(out.episodes_run, episodes);
+    let stalled = sink.snapshot().counter_totals().get("actor/stalled").copied();
+    assert!(
+        stalled.is_some_and(|n| n >= 1),
+        "the stall must be detected and counted (got {stalled:?})"
+    );
+    assert_eq!(
+        series_seq,
+        recorder_series(&out.recorder),
+        "the surviving run must stay bit-identical to the sequential trainer"
+    );
+}
+
+/// When every actor is stalled the learner must give up after its
+/// timeout and return an incomplete outcome instead of deadlocking.
+#[test]
+fn hero_actor_learner_reports_incomplete_when_all_actors_stall() {
+    use hero_core::rollout::{train_team_actor_learner, RolloutOptions};
+    use hero_core::trainer::CheckpointConfig;
+    use hero_faultplan::FaultPlan;
+    use hero_rl::telemetry;
+    use std::time::Duration;
+
+    let _sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+    let (mut env, mut team) = hero_crash_fixture(43);
+    let out = train_team_actor_learner(
+        &mut team,
+        &mut env,
+        &crash_opts(3, 43),
+        &CheckpointConfig {
+            fault_plan: FaultPlan::parse("stall@actor:0").unwrap(),
+            ..CheckpointConfig::default()
+        },
+        &RolloutOptions {
+            actors: 1,
+            batch_worlds: 1,
+            stall_timeout: Duration::from_millis(150),
+            ..RolloutOptions::default()
+        },
+    );
+    assert!(!out.completed, "an all-stalled fleet cannot complete the run");
+    assert_eq!(out.episodes_run, 0);
+}

@@ -1,19 +1,26 @@
 //! Vendored minimal stand-in for the `crossbeam` crate.
 //!
-//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` with the
-//! crossbeam semantics the codebase relies on: both halves are `Clone`,
-//! `Send`, and `Sync` (multi-producer *and* multi-consumer), backed by a
-//! `Mutex<VecDeque>` + `Condvar` — adequate for progress channels, not tuned
-//! for contended hot paths.
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver}`
+//! with the crossbeam semantics the codebase relies on: both halves are
+//! `Clone`, `Send`, and `Sync` (multi-producer *and* multi-consumer),
+//! backed by a `Mutex<VecDeque>` + `Condvar` — adequate for progress and
+//! rollout channels, not tuned for contended hot paths. Bounded channels
+//! block the sender while the queue is full (backpressure), and
+//! [`channel::Receiver::recv_timeout`] supports stall detection.
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled after a pop frees a slot in a bounded channel.
+        space: Condvar,
+        /// `None` for unbounded channels; `Some(cap)` bounds the queue.
+        capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -42,28 +49,59 @@ pub mod channel {
         Disconnected,
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout elapsed.
+        Timeout,
+        /// No message available and every sender is gone.
+        Disconnected,
+    }
+
+    fn shared<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
         (Sender(shared.clone()), Receiver(shared))
     }
 
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        shared(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` messages;
+    /// [`Sender::send`] blocks while the queue is full. `cap` must be at
+    /// least 1 (rendezvous channels are not supported).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel capacity must be >= 1");
+        shared(Some(cap))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues a message, failing when every receiver has been dropped.
+        /// Enqueues a message, failing when every receiver has been
+        /// dropped. On a bounded channel this blocks while the queue is
+        /// full until a receiver frees a slot (backpressure).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.0.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
-            self.0
-                .queue
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .push_back(value);
+            let mut q = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(cap) = self.0.capacity {
+                while q.len() >= cap {
+                    if self.0.receivers.load(Ordering::Acquire) == 0 {
+                        return Err(SendError(value));
+                    }
+                    q = self.0.space.wait(q).unwrap_or_else(|p| p.into_inner());
+                }
+            }
+            q.push_back(value);
+            drop(q);
             self.0.ready.notify_one();
             Ok(())
         }
@@ -90,7 +128,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
             match q.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(q);
+                    self.0.space.notify_one();
+                    Ok(v)
+                }
                 None if self.0.senders.load(Ordering::Acquire) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
@@ -104,12 +146,49 @@ pub mod channel {
             let mut q = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.0.space.notify_one();
                     return Ok(v);
                 }
                 if self.0.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
                 q = self.0.ready.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Dequeues a message, blocking until one arrives, every sender is
+        /// dropped, or `timeout` elapses — whichever comes first. Used by
+        /// the learner loop to detect stalled actor threads.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.0.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.0.space.notify_one();
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, res) = self
+                    .0
+                    .ready
+                    .wait_timeout(q, remaining)
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+                if res.timed_out() && q.is_empty() {
+                    if self.0.senders.load(Ordering::Acquire) == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -128,7 +207,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.0.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.0.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Wake blocked (bounded) senders so they can observe
+                // disconnection instead of waiting for space forever.
+                self.0.space.notify_all();
+            }
         }
     }
 
@@ -166,6 +249,48 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_recv() {
+            let (tx, rx) = bounded(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            // The third send must block until the receiver frees a slot.
+            let t = std::thread::spawn(move || {
+                tx.send(3).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv().unwrap(), 1);
+            t.join().unwrap();
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+        }
+
+        #[test]
+        fn bounded_send_errors_when_receiver_drops() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert!(t.join().unwrap().is_err());
+        }
+
+        #[test]
+        fn recv_timeout_times_out_and_delivers() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
