@@ -214,6 +214,13 @@ pub fn pre_step(params: &[Parameter], diag: Option<&StepDiagnostics>) -> StepScr
                 zero_grads(params);
                 telemetry::counter_add("watchdog/skipped_updates", 1);
                 telemetry::counter_add("watchdog/nonfinite_grads", nonfinite_total);
+                // The flight recorder wants an ordinal; the nth skip in
+                // this process is the best one available this deep in the
+                // optimizer (the trainer's update counter lives upstream).
+                static SKIPS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                telemetry::flight_event(telemetry::FlightEventKind::WatchdogSkip {
+                    update: SKIPS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                });
                 return StepScreen::Skip;
             }
         }

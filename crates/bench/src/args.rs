@@ -1,9 +1,10 @@
 //! Minimal command-line parsing shared by the experiment binaries. Every
 //! binary accepts `--episodes N --eval-episodes N --seed S --out DIR
 //! --update-every K --batch-size N --skill-episodes N
-//! --telemetry-out DIR --trace-out FILE --paper-scale
-//! --checkpoint-every N --checkpoint-dir DIR --checkpoint-retain K
-//! --resume --fault-plan SPEC --actors N --batch-worlds N`.
+//! --telemetry-out DIR --trace-out FILE --metrics-addr HOST:PORT
+//! --paper-scale --checkpoint-every N --checkpoint-dir DIR
+//! --checkpoint-retain K --resume --fault-plan SPEC --actors N
+//! --batch-worlds N`.
 
 use std::path::PathBuf;
 
@@ -36,6 +37,11 @@ pub struct ExperimentArgs {
     /// When set, record Chrome trace events for every span and write a
     /// Perfetto-loadable `trace.json` to this file on exit.
     pub trace_out: Option<PathBuf>,
+    /// When set, serve the live telemetry registry over HTTP
+    /// (`GET /metrics` Prometheus, `GET /snapshot` JSONL) from this
+    /// address for the lifetime of the run; port `0` binds an ephemeral
+    /// port, written to `<out>/metrics_addr` for scrapers to discover.
+    pub metrics_addr: Option<String>,
     /// Save a full trainer checkpoint every this many episodes
     /// (`0` disables checkpointing).
     pub checkpoint_every: usize,
@@ -71,6 +77,7 @@ impl ExperimentArgs {
             skill_episodes: 1_000,
             telemetry_out: None,
             trace_out: None,
+            metrics_addr: None,
             checkpoint_every: 0,
             checkpoint_dir: None,
             checkpoint_retain: 3,
@@ -112,6 +119,7 @@ impl ExperimentArgs {
                     out.telemetry_out = Some(PathBuf::from(value("--telemetry-out")))
                 }
                 "--trace-out" => out.trace_out = Some(PathBuf::from(value("--trace-out"))),
+                "--metrics-addr" => out.metrics_addr = Some(value("--metrics-addr")),
                 "--checkpoint-every" => {
                     out.checkpoint_every = value("--checkpoint-every").parse().expect("usize")
                 }
@@ -133,7 +141,7 @@ impl ExperimentArgs {
                     out.update_every = 1;
                 }
                 other => panic!(
-                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--trace-out/--checkpoint-every/--checkpoint-dir/--checkpoint-retain/--resume/--fault-plan/--actors/--batch-worlds/--paper-scale"
+                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--trace-out/--metrics-addr/--checkpoint-every/--checkpoint-dir/--checkpoint-retain/--resume/--fault-plan/--actors/--batch-worlds/--paper-scale"
                 ),
             }
         }
@@ -232,6 +240,19 @@ mod tests {
         );
         assert_eq!(a.trace_out, Some(PathBuf::from("/tmp/tel/trace.json")));
         assert_eq!(a.telemetry_out, None);
+    }
+
+    #[test]
+    fn metrics_addr_parses_independently_of_other_telemetry_flags() {
+        let d = ExperimentArgs::defaults(100);
+        assert_eq!(d.metrics_addr, None, "exporter stays off by default");
+        let a = ExperimentArgs::parse(
+            ExperimentArgs::defaults(100),
+            strs(&["--metrics-addr", "127.0.0.1:0"]),
+        );
+        assert_eq!(a.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(a.telemetry_out, None);
+        assert_eq!(a.trace_out, None);
     }
 
     #[test]

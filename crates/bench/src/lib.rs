@@ -24,7 +24,11 @@
 //! (see `hero_rl::telemetry`) and writes `telemetry.jsonl` plus CSV and
 //! `BENCH_telemetry.json` summaries into `DIR` on exit; passing
 //! `--trace-out FILE` records Chrome trace events for every span and
-//! writes a Perfetto-loadable `trace.json` to `FILE`.
+//! writes a Perfetto-loadable `trace.json` to `FILE`; passing
+//! `--metrics-addr HOST:PORT` serves the live registry over HTTP for the
+//! lifetime of the run (`GET /metrics` Prometheus text format,
+//! `GET /snapshot` JSONL — scrape with `hero-inspect watch HOST:PORT`),
+//! with the bound address written to `<out>/metrics_addr`.
 //!
 //! Crash-safe training: `--checkpoint-every N --checkpoint-dir DIR`
 //! snapshots the full HERO trainer state every `N` episodes into a
@@ -64,19 +68,39 @@ use hero_sim::env::EnvConfig;
 /// (override per run with `--skill-episodes`).
 pub const SKILL_BOOTSTRAP_EPISODES: usize = 1_000;
 
+/// Live telemetry session of one experiment run: the installed registry
+/// guard plus, when `--metrics-addr` was given, the background metrics
+/// exporter serving it. Keep it alive for the whole run — dropping it
+/// shuts the exporter down, flushes the emitter outputs, and uninstalls
+/// the sink (field order: the exporter thread stops before its registry
+/// flushes).
+pub struct TelemetrySession {
+    _exporter: Option<hero_rl::telemetry::exporter::MetricsExporter>,
+    _guard: hero_rl::telemetry::InstallGuard,
+}
+
 /// Installs the telemetry subsystem for one experiment run when the user
-/// passed `--telemetry-out DIR` and/or `--trace-out FILE`. Keep the
-/// returned guard alive for the whole run: dropping it flushes
-/// `telemetry.jsonl`, `counters.csv`, `spans.csv`, and
-/// `BENCH_telemetry.json` into the directory (when `--telemetry-out` was
-/// given), writes the Chrome trace to the file (when `--trace-out` was
-/// given), and uninstalls the sink. Returns `None` (telemetry stays
-/// disabled, with near-zero overhead) when both flags were absent.
-pub fn init_telemetry(
-    args: &ExperimentArgs,
-    run_label: &str,
-) -> Option<hero_rl::telemetry::InstallGuard> {
-    if args.telemetry_out.is_none() && args.trace_out.is_none() {
+/// passed `--telemetry-out DIR`, `--trace-out FILE`, and/or
+/// `--metrics-addr HOST:PORT`. Keep the returned session alive for the
+/// whole run: dropping it flushes `telemetry.jsonl`, `counters.csv`,
+/// `spans.csv`, and `BENCH_telemetry.json` into the directory (when
+/// `--telemetry-out` was given), writes the Chrome trace to the file
+/// (when `--trace-out` was given), shuts down the HTTP exporter (when
+/// `--metrics-addr` was given), and uninstalls the sink. Returns `None`
+/// (telemetry stays disabled, with near-zero overhead) when all three
+/// flags were absent.
+///
+/// With `--metrics-addr` the resolved address (port `0` becomes the real
+/// ephemeral port) is printed to stderr and written to
+/// `<out>/metrics_addr` so scrapers and `hero-inspect watch` can discover
+/// it.
+///
+/// # Panics
+///
+/// Panics when `--metrics-addr` cannot be bound — a monitoring run that
+/// silently isn't being monitored is worse than a loud early exit.
+pub fn init_telemetry(args: &ExperimentArgs, run_label: &str) -> Option<TelemetrySession> {
+    if args.telemetry_out.is_none() && args.trace_out.is_none() && args.metrics_addr.is_none() {
         return None;
     }
     let mut cfg = hero_rl::telemetry::TelemetryConfig {
@@ -87,7 +111,23 @@ pub fn init_telemetry(
     if let Some(path) = &args.trace_out {
         cfg = cfg.with_trace(path.clone());
     }
-    Some(hero_rl::telemetry::install(cfg))
+    let guard = hero_rl::telemetry::install(cfg);
+    let exporter = args.metrics_addr.as_deref().map(|addr| {
+        let exporter =
+            hero_rl::telemetry::exporter::serve(Arc::clone(guard.registry()), addr)
+                .unwrap_or_else(|e| panic!("cannot bind --metrics-addr {addr}: {e}"));
+        let bound = exporter.local_addr();
+        eprintln!("metrics exporter listening on http://{bound}/metrics");
+        let discovery = args.out.join("metrics_addr");
+        if let Some(parent) = discovery.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&discovery, format!("{bound}\n")) {
+            eprintln!("cannot write {}: {e}", discovery.display());
+        }
+        exporter
+    });
+    Some(TelemetrySession { _exporter: exporter, _guard: guard })
 }
 
 /// Loads the shared low-level skill library from

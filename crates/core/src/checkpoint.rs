@@ -273,6 +273,7 @@ impl CheckpointStore {
         self.next_index += 1;
         let path = self.dir.join(format!("{FILE_PREFIX}{index:08}{FILE_EXT}"));
         telemetry::counter_add("checkpoint/attempts", 1);
+        let write_t0 = (!telemetry::disabled()).then(std::time::Instant::now);
         for attempt in 0..MAX_SAVE_ATTEMPTS {
             let result = if plan.io_error_at(index as usize, attempt) {
                 Err(CheckpointError::Io(std::io::Error::new(
@@ -288,6 +289,15 @@ impl CheckpointStore {
                         let _ = hero_faultplan::corrupt_file(&path, mode);
                     }
                     telemetry::counter_add("checkpoint/saved", 1);
+                    if let Some(t0) = write_t0 {
+                        telemetry::live_observe(
+                            "live/checkpoint_write_us",
+                            t0.elapsed().as_micros() as f64,
+                        );
+                        telemetry::flight_event(telemetry::FlightEventKind::CheckpointSaved {
+                            index,
+                        });
+                    }
                     self.prune();
                     return true;
                 }

@@ -31,7 +31,7 @@
 //! loop.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,7 +40,7 @@ use crossbeam::channel;
 use hero_faultplan::KillMode;
 use hero_rl::metrics::Recorder;
 use hero_rl::telemetry;
-use hero_rl::telemetry::CapturedEvent;
+use hero_rl::telemetry::{CapturedEvent, FlightEventKind};
 use hero_sim::batch::BatchWorld;
 use hero_sim::env::{CooperativeWorld, EnvConfig, LaneChangeEnv, Observation, VehicleSpawn};
 use hero_sim::track::Track;
@@ -236,6 +236,31 @@ fn actor_loop(
     }
 }
 
+/// Pre-built metric names for the `live/` rollout plane, so the
+/// per-step instrumentation sites don't allocate.
+struct LiveNames {
+    queue_now: Vec<String>,
+    queue_depth: Vec<String>,
+    blocked_send: Vec<String>,
+    heartbeat: Vec<String>,
+    util: Vec<String>,
+}
+
+impl LiveNames {
+    fn new(actors: usize) -> Self {
+        let per = |prefix: &str| -> Vec<String> {
+            (0..actors).map(|a| format!("{prefix}/actor{a}")).collect()
+        };
+        Self {
+            queue_now: per("live/queue_depth_now"),
+            queue_depth: per("live/queue_depth"),
+            blocked_send: per("live/blocked_send_us"),
+            heartbeat: per("live/heartbeat_s"),
+            util: per("live/actor_util"),
+        }
+    }
+}
+
 /// Learner-side state shared by the serial and batched loops.
 struct Learner<'a> {
     team: &'a mut HeroTeam,
@@ -256,6 +281,15 @@ struct Learner<'a> {
     from_actor: Vec<channel::Receiver<FromActor>>,
     dead: Vec<bool>,
     start_episode: usize,
+    // The `live/` observability plane: wall-clock process state feeding
+    // the metrics exporter and `hero-top`. Never consulted by any
+    // training decision, so it cannot perturb determinism.
+    engine_start: Instant,
+    outstanding: Vec<u64>,
+    busy_us: Vec<u64>,
+    wave_no: u64,
+    pending_redispatch: Vec<usize>,
+    names: LiveNames,
 }
 
 impl Learner<'_> {
@@ -263,6 +297,10 @@ impl Learner<'_> {
     fn kill_check(&mut self, episode: usize, episodes_run: usize) -> Option<(bool, usize)> {
         if self.ckpt.fault_plan.should_kill(episode) {
             telemetry::counter_add("checkpoint/fault_kill", 1);
+            telemetry::flight_event(FlightEventKind::KillInjected {
+                episode: episode as u64,
+            });
+            telemetry::mark_faulted();
             let _ = telemetry::flush();
             match self.ckpt.kill_mode {
                 KillMode::Exit => std::process::exit(137),
@@ -276,6 +314,11 @@ impl Learner<'_> {
         if !self.dead[a] {
             self.dead[a] = true;
             telemetry::counter_add("actor/stalled", 1);
+            telemetry::flight_event(FlightEventKind::StallDetected { actor: a as u64 });
+            // A stall is a fault: leave the flight recorder behind for
+            // post-mortem even when the surviving actors finish the run.
+            telemetry::mark_faulted();
+            self.pending_redispatch.push(a);
             telemetry::progress(&format!("actor {a} stalled; re-dispatching its work"));
         }
     }
@@ -284,11 +327,78 @@ impl Learner<'_> {
         self.dead.iter().filter(|d| !**d).count()
     }
 
+    /// Refreshes the aggregate queue/actor gauges. Only called from
+    /// instrumentation sites that already checked a sink is active.
+    fn refresh_live_gauges(&self) {
+        let mut total = 0u64;
+        let mut busy = 0usize;
+        for (a, &o) in self.outstanding.iter().enumerate() {
+            telemetry::gauge_set(&self.names.queue_now[a], o as f64);
+            if !self.dead[a] {
+                total += o;
+                if o > 0 {
+                    busy += 1;
+                }
+            }
+        }
+        telemetry::gauge_set("live/queue_depth_total", total as f64);
+        telemetry::gauge_set("live/actors_busy", busy as f64);
+        telemetry::gauge_set("live/actors_total", self.live_actors() as f64);
+    }
+
+    /// Sends a request to actor `a`, timing how long the bounded channel
+    /// blocked and maintaining the queue-depth plane. Returns `false` on
+    /// disconnect (caller decides whether that stalls the actor).
+    fn send_to(&mut self, a: usize, msg: ToActor) -> bool {
+        if telemetry::disabled() {
+            return self.to_actor[a].send(msg).is_ok();
+        }
+        let t0 = Instant::now();
+        let ok = self.to_actor[a].send(msg).is_ok();
+        telemetry::live_observe(
+            &self.names.blocked_send[a],
+            t0.elapsed().as_secs_f64() * 1e6,
+        );
+        if ok {
+            self.outstanding[a] += 1;
+            telemetry::live_observe(&self.names.queue_depth[a], self.outstanding[a] as f64);
+        }
+        self.refresh_live_gauges();
+        ok
+    }
+
     /// Receives one message from actor `a`, marking it stalled (and
     /// returning `None`) on timeout or disconnect.
     fn recv(&mut self, a: usize) -> Option<FromActor> {
+        if telemetry::disabled() {
+            return match self.from_actor[a].recv_timeout(self.rollout.stall_timeout) {
+                Ok(m) => Some(m),
+                Err(_) => {
+                    self.mark_stalled(a);
+                    None
+                }
+            };
+        }
+        let t0 = Instant::now();
         match self.from_actor[a].recv_timeout(self.rollout.stall_timeout) {
-            Ok(m) => Some(m),
+            Ok(m) => {
+                // The learner's wait for this reply approximates the
+                // actor's busy time (request/reply protocol); its ratio
+                // against engine wall-clock is the utilization gauge.
+                self.busy_us[a] += t0.elapsed().as_micros() as u64;
+                let elapsed_us = self.engine_start.elapsed().as_micros().max(1) as u64;
+                telemetry::gauge_set(
+                    &self.names.util[a],
+                    (self.busy_us[a] as f64 / elapsed_us as f64).min(1.0),
+                );
+                telemetry::gauge_set(
+                    &self.names.heartbeat[a],
+                    telemetry::elapsed_s().unwrap_or_default(),
+                );
+                self.outstanding[a] = self.outstanding[a].saturating_sub(1);
+                self.refresh_live_gauges();
+                Some(m)
+            }
             Err(_) => {
                 self.mark_stalled(a);
                 None
@@ -305,6 +415,7 @@ impl Learner<'_> {
     fn run_update_cadence(&mut self) {
         if *self.step_counter % self.opts.update_every == 0 {
             let _update = telemetry::span("update");
+            let live_t0 = (!telemetry::disabled()).then(Instant::now);
             if self.ckpt.fault_plan.nan_grad_at(*self.update_counter) {
                 if let Some(agent) = self.team.agents_mut().first_mut() {
                     agent.poison_gradients();
@@ -317,6 +428,12 @@ impl Learner<'_> {
                 telemetry::observe("actor_loss", a as f64);
                 self.rec.push("critic_loss", c);
                 self.rec.push("actor_loss", a);
+            }
+            if let Some(t0) = live_t0 {
+                telemetry::live_observe(
+                    "live/learner_update_us",
+                    t0.elapsed().as_secs_f64() * 1e6,
+                );
             }
         }
     }
@@ -349,6 +466,12 @@ impl Learner<'_> {
             if let Some(out) = self.kill_check(episode, episodes_run) {
                 return out;
             }
+            // Serial mode: one episode == one wave of one world.
+            let wave_t0 = Instant::now();
+            telemetry::flight_event(FlightEventKind::WaveDispatched {
+                wave: episode as u64,
+                worlds: 1,
+            });
             // Host the episode on the round-robin actor, skipping (and
             // re-dispatching past) stalled ones. Nothing of the episode
             // has been ingested until ResetDone arrives, so retrying the
@@ -359,13 +482,11 @@ impl Learner<'_> {
                 if self.dead[a] {
                     continue;
                 }
-                if self.to_actor[a]
-                    .send(ToActor::Reset {
-                        world: 0,
-                        rng: self.world_rng[0].clone(),
-                    })
-                    .is_err()
-                {
+                let msg = ToActor::Reset {
+                    world: 0,
+                    rng: self.world_rng[0].clone(),
+                };
+                if !self.send_to(a, msg) {
                     self.mark_stalled(a);
                     continue;
                 }
@@ -380,12 +501,21 @@ impl Learner<'_> {
                     }) => {
                         telemetry::replay(events);
                         self.world_rng[0] = rng;
+                        if offset > 0 {
+                            // The round-robin host was dead or stalled:
+                            // this actor took the episode over.
+                            telemetry::flight_event(FlightEventKind::Redispatched {
+                                actor: a as u64,
+                                wave: episode as u64,
+                            });
+                        }
                         hosted = Some((observations, states, flags, a));
                         break;
                     }
                     _ => continue, // stalled: recv already marked it
                 }
             }
+            self.pending_redispatch.clear();
             let Some((mut obs, mut states, mut flags, actor)) = hosted else {
                 return (false, episodes_run); // every actor stalled
             };
@@ -406,13 +536,11 @@ impl Learner<'_> {
                     self.rng,
                     true,
                 );
-                if self.to_actor[actor]
-                    .send(ToActor::Step {
-                        worlds: vec![0],
-                        commands: vec![commands],
-                    })
-                    .is_err()
-                {
+                let msg = ToActor::Step {
+                    worlds: vec![0],
+                    commands: vec![commands],
+                };
+                if !self.send_to(actor, msg) {
                     self.mark_stalled(actor);
                     return (false, episodes_run);
                 }
@@ -450,6 +578,13 @@ impl Learner<'_> {
                 done = msg.done;
             }
             telemetry::counter_add("episodes", 1);
+            telemetry::flight_event(FlightEventKind::WaveCompleted {
+                wave: episode as u64,
+                episodes: 1,
+            });
+            if !telemetry::disabled() {
+                telemetry::live_observe("live/wave_us", wave_t0.elapsed().as_secs_f64() * 1e6);
+            }
             telemetry::progress(&format!("ep {}", episode + 1));
             record_episode_flags(self.rec, &self.learners, &flags, ep_reward, ep_speed, steps);
             episodes_run += 1;
@@ -498,6 +633,24 @@ impl Learner<'_> {
             }
             let assigned: Vec<usize> = live_worlds.into_iter().take(wave).collect();
 
+            let wave_no = self.wave_no;
+            self.wave_no += 1;
+            let wave_t0 = Instant::now();
+            telemetry::flight_event(FlightEventKind::WaveDispatched {
+                wave: wave_no,
+                worlds: assigned.len() as u64,
+            });
+            // Worlds stranded on previously stalled actors are folded back
+            // into this wave's live assignment.
+            if !assigned.is_empty() {
+                for _stalled in std::mem::take(&mut self.pending_redispatch) {
+                    telemetry::flight_event(FlightEventKind::Redispatched {
+                        actor: (assigned[0] / per_actor) as u64,
+                        wave: wave_no,
+                    });
+                }
+            }
+
             // Reset the wave's worlds (grouped per actor, received in
             // actor order — deterministic regardless of thread timing).
             let mut sent = vec![0usize; actors];
@@ -506,13 +659,11 @@ impl Learner<'_> {
                 if self.dead[a] {
                     continue;
                 }
-                if self.to_actor[a]
-                    .send(ToActor::Reset {
-                        world: g % per_actor,
-                        rng: self.world_rng[g].clone(),
-                    })
-                    .is_err()
-                {
+                let msg = ToActor::Reset {
+                    world: g % per_actor,
+                    rng: self.world_rng[g].clone(),
+                };
+                if !self.send_to(a, msg) {
                     self.mark_stalled(a);
                 } else {
                     sent[a] += 1;
@@ -611,10 +762,7 @@ impl Learner<'_> {
                         if worlds.is_empty() {
                             continue;
                         }
-                        if self.to_actor[a]
-                            .send(ToActor::Step { worlds, commands })
-                            .is_err()
-                        {
+                        if !self.send_to(a, ToActor::Step { worlds, commands }) {
                             self.mark_stalled(a);
                             return (false, episodes_run);
                         }
@@ -676,6 +824,13 @@ impl Learner<'_> {
                     }
                 }
                 running = still;
+            }
+            telemetry::flight_event(FlightEventKind::WaveCompleted {
+                wave: wave_no,
+                episodes: active.len() as u64,
+            });
+            if !telemetry::disabled() {
+                telemetry::live_observe("live/wave_us", wave_t0.elapsed().as_secs_f64() * 1e6);
             }
 
             if self.store.is_some()
@@ -762,6 +917,9 @@ pub fn train_team_actor_learner(
                     {
                         Ok(snap) => {
                             telemetry::counter_add("checkpoint/loaded", 1);
+                            telemetry::flight_event(FlightEventKind::CheckpointLoaded {
+                                index: loaded.index,
+                            });
                             telemetry::counter_add(
                                 "checkpoint/corrupt_skipped",
                                 loaded.corrupt_skipped as u64,
@@ -880,6 +1038,12 @@ pub fn train_team_actor_learner(
             from_actor,
             dead: vec![false; actors],
             start_episode,
+            engine_start: Instant::now(),
+            outstanding: vec![0; actors],
+            busy_us: vec![0; actors],
+            wave_no: 0,
+            pending_redispatch: Vec::new(),
+            names: LiveNames::new(actors),
         };
         let result = if serial {
             learner.serial_run()
@@ -895,6 +1059,12 @@ pub fn train_team_actor_learner(
 
     env.set_rng_state(&world_rng[0]);
     team.absorb_cursor(&cursors[0]);
+    if !completed {
+        // Incomplete runs dump the flight recorder on the next flush
+        // (stalls and kills already marked themselves; this covers every
+        // other early-return path).
+        telemetry::mark_faulted();
+    }
     TrainOutcome {
         recorder: rec,
         completed,

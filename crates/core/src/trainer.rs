@@ -631,6 +631,11 @@ pub fn train_team_checkpointed<W: CooperativeWorld>(
                             // Counters AFTER the telemetry restore, which
                             // would otherwise wipe them.
                             telemetry::counter_add("checkpoint/loaded", 1);
+                            telemetry::flight_event(
+                                telemetry::FlightEventKind::CheckpointLoaded {
+                                    index: loaded.index,
+                                },
+                            );
                             telemetry::counter_add(
                                 "checkpoint/corrupt_skipped",
                                 loaded.corrupt_skipped as u64,
@@ -670,6 +675,10 @@ pub fn train_team_checkpointed<W: CooperativeWorld>(
     for episode in start_episode..opts.episodes {
         if ckpt.fault_plan.should_kill(episode) {
             telemetry::counter_add("checkpoint/fault_kill", 1);
+            telemetry::flight_event(telemetry::FlightEventKind::KillInjected {
+                episode: episode as u64,
+            });
+            telemetry::mark_faulted();
             let _ = telemetry::flush();
             match ckpt.kill_mode {
                 KillMode::Exit => std::process::exit(137),

@@ -24,6 +24,18 @@
 //!
 //! All indices are 0-based. Example:
 //! `--fault-plan kill@ep:3,bitflip@save:1`.
+//!
+//! ## Post-mortem interplay
+//!
+//! Faults that interrupt or degrade a run (`kill@ep`, `stall@actor`, and
+//! any incomplete engine exit) mark the telemetry registry *faulted*,
+//! which makes the final flush dump the rollout flight recorder — the
+//! last 4096 structured events (waves, checkpoints, stalls,
+//! re-dispatches, injected kills) — to `flight_recorder.jsonl` in the
+//! telemetry directory. Recovery drills assert on that file to prove the
+//! injected story happened in order (e.g. `stall_detected` strictly
+//! before the `redispatched` event that saved the run); see
+//! `tests/live_observability.rs` and DESIGN.md § Live observability.
 
 #![warn(missing_docs)]
 

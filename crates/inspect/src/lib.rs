@@ -18,7 +18,15 @@
 //! time-dependent (span durations, rates, `elapsed_s`) and everything
 //! reservoir-dependent (`p50`/`p95`/`p99`, which vary with observation order
 //! under the parallel skill workers) is excluded, so a same-seed rerun diffs
-//! clean while a perturbed run trips the gate.
+//! clean while a perturbed run trips the gate. The live observability plane
+//! (`gauge` and `live` records — instantaneous rollout state and wall-clock
+//! latencies) is parsed into [`Run::gauges`]/[`Run::live`] but never enters
+//! a diff: it describes the *process*, not the computation.
+//!
+//! A fourth operation, [`render_top`], turns one snapshot (a live
+//! `/snapshot` scrape or a finished telemetry directory) into the
+//! `hero-inspect watch` terminal view: throughput, per-actor state, queue
+//! depths, and wave-latency percentiles.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -67,6 +75,10 @@ pub struct Run {
     pub spans: BTreeMap<String, Stat>,
     /// Value histograms by metric name.
     pub values: BTreeMap<String, Stat>,
+    /// Live-plane gauges (instantaneous rollout state; never diffed).
+    pub gauges: BTreeMap<String, f64>,
+    /// Live-plane histograms (wall-clock latencies; never diffed).
+    pub live: BTreeMap<String, Stat>,
 }
 
 fn field(rec: &BTreeMap<String, JsonValue>, key: &str) -> Result<f64, String> {
@@ -130,6 +142,12 @@ pub fn parse_run(text: &str) -> Result<Run, String> {
             }
             "value" => {
                 run.values.insert(name()?, stat_from(rec, "")?);
+            }
+            "gauge" => {
+                run.gauges.insert(name()?, field(rec, "value")?);
+            }
+            "live" => {
+                run.live.insert(name()?, stat_from(rec, "")?);
             }
             other => return Err(format!("record {}: unknown type {other:?}", i + 1)),
         }
@@ -422,9 +440,25 @@ pub const ENTROPY_COLLAPSE_FLOOR: f64 = 0.01;
 ///   non-zero `checkpoint/save_failed`, `checkpoint/fallback`, or
 ///   `checkpoint/corrupt_skipped` are warnings that storage is flaky or a
 ///   checkpoint file was corrupted and an older one had to be used.
+/// - **Stalled actors** — `actor/stalled > 0` means the learner timed out
+///   waiting on an actor and re-dispatched its work (warning: an actor
+///   thread wedged or fell far behind; the run completed but slower than
+///   its actor count promises).
 #[must_use]
 pub fn doctor(run: &Run) -> Vec<Finding> {
     let mut findings = Vec::new();
+    if let Some(c) = run.counters.get("actor/stalled") {
+        if c.total > 0 {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                message: format!(
+                    "actor/stalled = {} — the learner timed out waiting on an actor and \
+                     re-dispatched its work; a rollout thread wedged or fell far behind",
+                    c.total
+                ),
+            });
+        }
+    }
     for (name, c) in &run.counters {
         if name.starts_with("watchdog/") && c.total > 0 {
             findings.push(Finding {
@@ -500,6 +534,122 @@ pub fn throughput_report(run: &Run) -> String {
             None => {
                 let _ = writeln!(out, "throughput  {label:<15}        n/a  (counter {counter:?} absent)");
             }
+        }
+    }
+    out
+}
+
+/// Per-actor channel-pressure summary from the live plane: the maximum
+/// observed `live/queue_depth/<actor>` over the run. Information, not a
+/// pathology — a persistently full queue just means the learner (not the
+/// actors) is the bottleneck. Empty when the run has no live telemetry.
+#[must_use]
+pub fn queue_depth_report(run: &Run) -> String {
+    let mut out = String::new();
+    for (name, s) in &run.live {
+        if let Some(actor) = name.strip_prefix("live/queue_depth/") {
+            let _ = writeln!(
+                out,
+                "queue  {actor:<10} max depth {:>4.0}  (mean {:.1} over {} sends)",
+                s.max, s.mean, s.count
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// watch (hero-top)
+// ---------------------------------------------------------------------------
+
+/// Renders one `hero-inspect watch` frame ("hero-top") from a snapshot:
+/// throughput, per-actor state (queue depth, utilization, heartbeat age),
+/// aggregate queue pressure, and wave/update/checkpoint latency
+/// percentiles. Pure: same [`Run`] in, same text out — the subcommand
+/// loops this over fresh `/snapshot` scrapes.
+#[must_use]
+pub fn render_top(run: &Run) -> String {
+    let gauge = |name: &str| run.gauges.get(name).copied();
+    let mut out = String::new();
+    let _ = writeln!(out, "hero-top  run {:?}  elapsed {:.1}s", run.label, run.elapsed_s);
+
+    let _ = write!(out, "\nthroughput ");
+    for (counter, label) in
+        [("env_steps", "env_steps/s"), ("episodes", "episodes/s"), ("grad_updates", "updates/s")]
+    {
+        match run.counters.get(counter) {
+            Some(c) => {
+                let _ = write!(out, "  {label} {:.1} (total {})", c.rate_per_s, c.total);
+            }
+            None => {
+                let _ = write!(out, "  {label} n/a");
+            }
+        }
+    }
+    let _ = writeln!(out);
+
+    let actors_total = gauge("live/actors_total");
+    match actors_total {
+        None => {
+            let _ = writeln!(
+                out,
+                "\nno live rollout telemetry in this snapshot (sequential trainer, or the \
+                 run predates the live plane)"
+            );
+        }
+        Some(total) => {
+            let busy = gauge("live/actors_busy").unwrap_or(0.0);
+            let depth = gauge("live/queue_depth_total").unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "\nactors     {busy:.0}/{total:.0} busy   aggregate queue depth {depth:.0}"
+            );
+            for k in 0.. {
+                let name = format!("actor{k}");
+                let now = gauge(&format!("live/queue_depth_now/{name}"));
+                let util = gauge(&format!("live/actor_util/{name}"));
+                let beat = gauge(&format!("live/heartbeat_s/{name}"));
+                if now.is_none() && util.is_none() && beat.is_none() {
+                    break;
+                }
+                let max = run
+                    .live
+                    .get(&format!("live/queue_depth/{name}"))
+                    .map_or(0.0, |s| s.max);
+                let _ = writeln!(
+                    out,
+                    "  {name:<8} q now {:>3.0}  q max {max:>3.0}  util {:>5.2}  \
+                     heartbeat {:>6.1}s ago",
+                    now.unwrap_or(0.0),
+                    util.unwrap_or(0.0),
+                    beat.map_or(f64::NAN, |b| (run.elapsed_s - b).max(0.0)),
+                );
+            }
+        }
+    }
+
+    let mut latency_rows = String::new();
+    for (name, label) in [
+        ("live/wave_us", "wave dispatch->complete"),
+        ("live/learner_update_us", "learner update loop"),
+        ("live/checkpoint_write_us", "checkpoint write"),
+    ] {
+        if let Some(s) = run.live.get(name) {
+            let _ = writeln!(
+                latency_rows,
+                "  {label:<24} p50 {:>9.0}us  p95 {:>9.0}us  p99 {:>9.0}us  (n={})",
+                s.p50, s.p95, s.p99, s.count
+            );
+        }
+    }
+    if !latency_rows.is_empty() {
+        let _ = writeln!(out, "\nlatency");
+        out.push_str(&latency_rows);
+    }
+
+    if let Some(c) = run.counters.get("actor/stalled") {
+        if c.total > 0 {
+            let _ = writeln!(out, "\n!! {} stalled-actor re-dispatch(es) — see doctor", c.total);
         }
     }
     out
@@ -696,6 +846,88 @@ mod tests {
             .filter(|f| f.severity == Severity::Warning)
             .count()
             == 3);
+    }
+
+    const LIVE: &str = r#"
+{"type":"meta","run":"live","elapsed_s":10.0}
+{"type":"counter","name":"env_steps","total":5000,"rate_per_s":500.0}
+{"type":"counter","name":"episodes","total":20,"rate_per_s":2.0}
+{"type":"gauge","name":"live/actors_total","value":2}
+{"type":"gauge","name":"live/actors_busy","value":1}
+{"type":"gauge","name":"live/queue_depth_total","value":3}
+{"type":"gauge","name":"live/queue_depth_now/actor0","value":3}
+{"type":"gauge","name":"live/queue_depth_now/actor1","value":0}
+{"type":"gauge","name":"live/actor_util/actor0","value":0.9}
+{"type":"gauge","name":"live/heartbeat_s/actor0","value":9.8}
+{"type":"live","name":"live/queue_depth/actor0","count":40,"mean":2.5,"min":1,"max":8,"p50":2,"p95":6,"p99":8}
+{"type":"live","name":"live/wave_us","count":20,"mean":1500,"min":900,"max":4000,"p50":1400,"p95":3000,"p99":3900}
+"#;
+
+    #[test]
+    fn parses_gauge_and_live_records_into_their_own_maps() {
+        let run = parse_run(LIVE).unwrap();
+        assert_eq!(run.gauges["live/actors_total"], 2.0);
+        assert_eq!(run.live["live/queue_depth/actor0"].max, 8.0);
+        // They are NOT values/counters, so they can never enter a diff.
+        assert!(!run.values.contains_key("live/queue_depth/actor0"));
+        assert!(!run.counters.contains_key("live/actors_total"));
+    }
+
+    #[test]
+    fn live_plane_never_participates_in_diff() {
+        let a = parse_run(LIVE).unwrap();
+        let mut b = a.clone();
+        b.gauges.insert("live/queue_depth_total".into(), 999.0);
+        b.live.get_mut("live/wave_us").unwrap().mean = 1e9;
+        b.live.remove("live/queue_depth/actor0");
+        let report = diff(&a, &b, &Tolerances::default());
+        assert!(!report.is_regression(), "{}", report.render(true));
+    }
+
+    #[test]
+    fn doctor_warns_on_stalled_actors() {
+        let text = r#"
+{"type":"meta","run":"stalled","elapsed_s":9}
+{"type":"counter","name":"actor/stalled","total":1,"rate_per_s":0.1}
+"#;
+        let findings = doctor(&parse_run(text).unwrap());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].severity, Severity::Warning);
+        assert!(findings[0].message.contains("actor/stalled = 1"));
+    }
+
+    #[test]
+    fn queue_depth_report_lists_max_per_actor() {
+        let report = queue_depth_report(&parse_run(LIVE).unwrap());
+        assert!(report.contains("actor0"), "{report}");
+        assert!(report.contains("max depth    8"), "{report}");
+        // No live data -> empty report, not noise.
+        assert!(queue_depth_report(&parse_run(BASE).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn render_top_shows_actors_queues_and_latency() {
+        let frame = render_top(&parse_run(LIVE).unwrap());
+        for needle in [
+            "hero-top",
+            "env_steps/s 500.0",
+            "1/2 busy",
+            "aggregate queue depth 3",
+            "actor0",
+            "actor1",
+            "wave dispatch->complete",
+            "p95      3000us",
+        ] {
+            assert!(frame.contains(needle), "missing {needle:?} in:\n{frame}");
+        }
+        // Heartbeat renders as an age, not the raw gauge.
+        assert!(frame.contains("0.2s ago"), "{frame}");
+    }
+
+    #[test]
+    fn render_top_degrades_without_live_telemetry() {
+        let frame = render_top(&parse_run(BASE).unwrap());
+        assert!(frame.contains("no live rollout telemetry"), "{frame}");
     }
 
     #[test]

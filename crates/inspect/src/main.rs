@@ -6,27 +6,34 @@
 //!                  [--tol-counter F] [--abs-floor F] [--ignore PREFIX]...
 //!                  [--fail-on-regression] [--verbose]
 //! hero-inspect doctor RUN
+//! hero-inspect watch URL|RUN [--interval-ms N] [--frames N]
 //! ```
 //!
 //! `RUN` is a `telemetry.jsonl` file or a directory containing one.
 //! `diff --fail-on-regression` exits 1 when any compared quantity leaves
 //! tolerance or a metric disappears; `--ignore PREFIX` (repeatable)
-//! excludes metrics by name prefix, e.g. `--ignore checkpoint/` when
-//! comparing a resumed run against an uninterrupted one. `doctor` exits 1
-//! when a critical pathology (watchdog events, dropped checkpoints) is
-//! found. Usage errors exit 2.
+//! excludes metrics by name prefix, e.g. `--ignore checkpoint/` (resumed
+//! vs. uninterrupted) or `--ignore live/` (scraped vs. unscraped). `doctor`
+//! exits 1 when a critical pathology (watchdog events, dropped
+//! checkpoints) is found. `watch` is "hero-top": it renders a refreshing
+//! terminal view of a run from either a live exporter address (anything
+//! that is not an existing path — e.g. `127.0.0.1:9464`, scraped via
+//! `GET /snapshot`) or a finished telemetry file/directory; `--frames N`
+//! stops after N frames (0 = forever, the default), `--interval-ms`
+//! defaults to 1000. Usage errors exit 2.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use hero_inspect::{
-    diff_with, doctor, load_run, render_findings, summarize, throughput_report, Severity,
-    Tolerances,
+    diff_with, doctor, load_run, parse_run, queue_depth_report, render_findings, render_top,
+    summarize, throughput_report, Severity, Tolerances,
 };
 
 const USAGE: &str = "usage: hero-inspect <summarize RUN | diff BASELINE CANDIDATE \
                      [--tol-value F] [--tol-count F] [--tol-counter F] [--abs-floor F] \
-                     [--ignore PREFIX]... [--fail-on-regression] [--verbose] | doctor RUN>";
+                     [--ignore PREFIX]... [--fail-on-regression] [--verbose] | doctor RUN \
+                     | watch URL|RUN [--interval-ms N] [--frames N]>";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("hero-inspect: {msg}");
@@ -56,6 +63,7 @@ fn main() -> ExitCode {
             match load_run(Path::new(run)) {
                 Ok(run) => {
                     print!("{}", throughput_report(&run));
+                    print!("{}", queue_depth_report(&run));
                     let findings = doctor(&run);
                     print!("{}", render_findings(&findings));
                     if findings.iter().any(|f| f.severity == Severity::Critical) {
@@ -67,7 +75,61 @@ fn main() -> ExitCode {
                 Err(e) => fail(&e),
             }
         }
+        "watch" => run_watch(rest),
         other => fail(&format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn run_watch(rest: &[String]) -> ExitCode {
+    let mut source: Option<String> = None;
+    let mut interval = std::time::Duration::from_millis(1000);
+    let mut frames = 0u64; // 0 = forever
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) if ms > 0 => interval = std::time::Duration::from_millis(ms),
+                _ => return fail("--interval-ms requires a positive integer"),
+            },
+            "--frames" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => frames = n,
+                _ => return fail("--frames requires a non-negative integer"),
+            },
+            other if other.starts_with('-') => return fail(&format!("unknown flag {other:?}")),
+            other if source.is_none() => source = Some(other.to_owned()),
+            _ => return fail("watch takes exactly one URL or RUN"),
+        }
+    }
+    let Some(source) = source else { return fail("watch takes exactly one URL or RUN") };
+    // An existing path is a finished run; anything else is a live
+    // exporter address to scrape.
+    let from_disk = Path::new(&source).exists();
+    let mut rendered = 0u64;
+    loop {
+        let run = if from_disk {
+            load_run(Path::new(&source))
+        } else {
+            hero_telemetry::exporter::http_get(&source)
+                .map_err(|e| format!("scrape {source}: {e}"))
+                .and_then(|body| parse_run(&body).map_err(|e| format!("{source}: {e}")))
+        };
+        let run = match run {
+            Ok(run) => run,
+            Err(e) => return fail(&e),
+        };
+        if rendered > 0 || frames != 1 {
+            // Home + clear so the view refreshes in place; a single-frame
+            // render (tests, piping) stays plain text.
+            print!("\x1b[H\x1b[2J");
+        }
+        print!("{}", render_top(&run));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        rendered += 1;
+        if frames != 0 && rendered >= frames {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(interval);
     }
 }
 

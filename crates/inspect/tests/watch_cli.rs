@@ -1,0 +1,82 @@
+//! End-to-end coverage of the `hero-inspect watch` subcommand: the built
+//! binary renders a hero-top frame from a live exporter URL and from a
+//! finished telemetry directory, and rejects usage errors with exit 2.
+
+use std::process::Command;
+use std::sync::Arc;
+
+const FIXTURE: &str = r#"{"type":"meta","run":"cli-fixture","elapsed_s":4.2}
+{"type":"counter","name":"env_steps","total":840,"rate_per_s":200.0}
+{"type":"gauge","name":"live/actors_total","value":2}
+{"type":"gauge","name":"live/actors_busy","value":2}
+{"type":"gauge","name":"live/queue_depth_total","value":1}
+{"type":"gauge","name":"live/queue_depth_now/actor0","value":1}
+{"type":"live","name":"live/wave_us","count":10,"mean":1000,"min":500,"max":2000,"p50":900,"p95":1800,"p99":2000}
+"#;
+
+fn watch(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hero-inspect"))
+        .arg("watch")
+        .args(args)
+        .output()
+        .expect("run hero-inspect")
+}
+
+#[test]
+fn watch_renders_one_frame_from_a_finished_dir() {
+    let dir = std::env::temp_dir().join(format!("hero_watch_cli_dir_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("telemetry.jsonl"), FIXTURE).unwrap();
+
+    let out = watch(&[dir.to_str().unwrap(), "--frames", "1"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["hero-top", "cli-fixture", "2/2 busy", "wave dispatch->complete"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn watch_scrapes_a_live_exporter_url() {
+    let registry = Arc::new(hero_telemetry::Registry::new(hero_telemetry::TelemetryConfig {
+        run_label: "cli-live".into(),
+        ..hero_telemetry::TelemetryConfig::default()
+    }));
+    registry.counter_add("env_steps", 42);
+    registry.gauge_set("live/actors_total", 2.0);
+    registry.gauge_set("live/actors_busy", 1.0);
+    let exporter =
+        hero_telemetry::exporter::serve(registry, "127.0.0.1:0").expect("bind exporter");
+    let addr = exporter.local_addr().to_string();
+
+    // Two frames at a fast interval: exercises the refresh loop, not
+    // just a single scrape.
+    let out = watch(&[&addr, "--frames", "2", "--interval-ms", "10"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["hero-top", "cli-live", "1/2 busy"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn watch_usage_errors_exit_2() {
+    for args in [&[][..], &["--frames", "-1", "somewhere"][..], &["a", "b"][..]] {
+        let out = watch(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {out:?}");
+    }
+}
+
+#[test]
+fn watch_unreachable_url_fails_cleanly() {
+    // A port nothing listens on: bind-then-drop guarantees it's free.
+    let addr = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let out = watch(&[&addr, "--frames", "1"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("scrape"), "{err}");
+}

@@ -11,10 +11,22 @@
 //!  "min_us":<f64>,"max_us":<f64>,"p50_us":<f64>,"p95_us":<f64>,"p99_us":<f64>}
 //! {"type":"value","name":"<name>","count":<u64>,"mean":<f64>,"min":<f64>,
 //!  "max":<f64>,"p50":<f64>,"p95":<f64>,"p99":<f64>}
+//! {"type":"gauge","name":"<name>","value":<f64>}
+//! {"type":"live","name":"<name>","count":<u64>,"mean":<f64>,"min":<f64>,
+//!  "max":<f64>,"p50":<f64>,"p95":<f64>,"p99":<f64>}
 //! ```
+//!
+//! `gauge` and `live` records carry the live observability plane
+//! (instantaneous rollout state and wall-clock latencies); they are
+//! excluded from checkpoints and from `hero-inspect diff` comparisons.
 //!
 //! Every number is rendered finite (non-finite inputs are rejected at
 //! ingest; defensive sanitization maps any residual non-finite value to 0).
+//!
+//! The same snapshot also renders in the Prometheus text exposition
+//! format via [`to_prometheus`] (served by
+//! [`crate::exporter::MetricsExporter`]), with a strict parser
+//! ([`parse_prometheus`]) used by round-trip tests and CI smoke scrapes.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -22,6 +34,7 @@ use std::io::{self, Write};
 use std::path::Path;
 
 use crate::registry::Snapshot;
+use crate::ring::{FlightEvent, FlightEventKind};
 
 /// Formats a JSON number, guaranteeing finiteness.
 fn num(x: f64) -> String {
@@ -105,7 +118,83 @@ pub fn to_jsonl(snap: &Snapshot) -> String {
             num(h.p99)
         );
     }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            escape(name),
+            num(*v)
+        );
+    }
+    for (name, h) in &snap.live {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"live\",\"name\":\"{}\",\"count\":{},\"mean\":{},\
+             \"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            escape(name),
+            h.count,
+            num(h.mean),
+            num(h.min),
+            num(h.max),
+            num(h.p50),
+            num(h.p95),
+            num(h.p99)
+        );
+    }
     out
+}
+
+/// Renders flight-recorder events as JSONL, one event per line:
+/// `{"seq":N,"t_us":T,"event":"<name>",...payload}`.
+pub fn flight_to_jsonl(events: &[FlightEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"t_us\":{},\"event\":\"{}\"",
+            e.seq,
+            e.t_us,
+            e.kind.name()
+        );
+        match e.kind {
+            FlightEventKind::WaveDispatched { wave, worlds } => {
+                let _ = write!(out, ",\"wave\":{wave},\"worlds\":{worlds}");
+            }
+            FlightEventKind::WaveCompleted { wave, episodes } => {
+                let _ = write!(out, ",\"wave\":{wave},\"episodes\":{episodes}");
+            }
+            FlightEventKind::CheckpointSaved { index }
+            | FlightEventKind::CheckpointLoaded { index } => {
+                let _ = write!(out, ",\"index\":{index}");
+            }
+            FlightEventKind::StallDetected { actor } => {
+                let _ = write!(out, ",\"actor\":{actor}");
+            }
+            FlightEventKind::Redispatched { actor, wave } => {
+                let _ = write!(out, ",\"actor\":{actor},\"wave\":{wave}");
+            }
+            FlightEventKind::WatchdogSkip { update } => {
+                let _ = write!(out, ",\"update\":{update}");
+            }
+            FlightEventKind::KillInjected { episode } => {
+                let _ = write!(out, ",\"episode\":{episode}");
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Writes `flight_recorder.jsonl` into `dir`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_flight(events: &[FlightEvent], dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join("flight_recorder.jsonl"))?;
+    f.write_all(flight_to_jsonl(events).as_bytes())?;
+    f.flush()
 }
 
 /// Renders counters as CSV (`name,total,rate_per_s`).
@@ -184,6 +273,191 @@ pub fn write_all(snap: &Snapshot, dir: &Path) -> io::Result<()> {
     write("counters.csv", counters_csv(snap))?;
     write("spans.csv", spans_csv(snap))?;
     write("BENCH_telemetry.json", bench_summary_json(snap))
+}
+
+/// Escapes a Prometheus label value (`\` → `\\`, `"` → `\"`, newline →
+/// `\n`).
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4), served by the `/metrics` endpoint.
+///
+/// Metric names are fixed families; the registry's hierarchical metric
+/// names (`live/queue_depth/actor0`) travel in a `name` label so they
+/// survive Prometheus' restricted identifier alphabet unmangled:
+///
+/// * `hero_up` / `hero_elapsed_seconds` — liveness and run age
+/// * `hero_counter_total{name=...}` — monotonic counter totals
+/// * `hero_gauge{name=...}` — live gauges (`live/` plane)
+/// * `hero_span_us{name=...,quantile=...}` + `_sum`/`_count` — span summaries
+/// * `hero_value{name=...,quantile=...}` + `_sum`/`_count` — value summaries
+/// * `hero_live{name=...,quantile=...}` + `_sum`/`_count` — live histograms
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# HELP hero_up Run is alive and scrapeable.");
+    let _ = writeln!(out, "# TYPE hero_up gauge");
+    let _ = writeln!(out, "hero_up 1");
+    let _ = writeln!(out, "# HELP hero_elapsed_seconds Wall-clock run age.");
+    let _ = writeln!(out, "# TYPE hero_elapsed_seconds gauge");
+    let _ = writeln!(
+        out,
+        "hero_elapsed_seconds {}",
+        num(snap.elapsed.as_secs_f64())
+    );
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "# HELP hero_counter_total Monotonic counter totals.");
+        let _ = writeln!(out, "# TYPE hero_counter_total counter");
+        for (name, c) in &snap.counters {
+            let _ = writeln!(
+                out,
+                "hero_counter_total{{name=\"{}\"}} {}",
+                escape_label(name),
+                c.total
+            );
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "# HELP hero_gauge Live gauges (newest value).");
+        let _ = writeln!(out, "# TYPE hero_gauge gauge");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(
+                out,
+                "hero_gauge{{name=\"{}\"}} {}",
+                escape_label(name),
+                num(*v)
+            );
+        }
+    }
+    let mut summary = |family: &str, help: &str, map: &BTreeMap<String, crate::HistogramStats>| {
+        if map.is_empty() {
+            return;
+        }
+        let _ = writeln!(out, "# HELP {family} {help}");
+        let _ = writeln!(out, "# TYPE {family} summary");
+        for (name, h) in map {
+            let name = escape_label(name);
+            for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                let _ = writeln!(
+                    out,
+                    "{family}{{name=\"{name}\",quantile=\"{q}\"}} {}",
+                    num(v)
+                );
+            }
+            let _ = writeln!(out, "{family}_sum{{name=\"{name}\"}} {}", num(h.sum));
+            let _ = writeln!(out, "{family}_count{{name=\"{name}\"}} {}", h.count);
+        }
+    };
+    summary("hero_span_us", "Span durations (microseconds).", &snap.spans);
+    summary("hero_value", "Free-form value observations.", &snap.values);
+    summary("hero_live", "Live rollout-plane histograms.", &snap.live);
+    out
+}
+
+/// One sample parsed back out of the Prometheus text format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    /// The metric family name.
+    pub name: String,
+    /// Label key/value pairs.
+    pub labels: BTreeMap<String, String>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Parses the Prometheus text format produced by [`to_prometheus`]
+/// (comment lines are skipped; every sample line must be well-formed).
+///
+/// # Errors
+///
+/// Returns the 1-based line number and a description of the first
+/// malformed line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, (usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_prom_line(line).map_err(|e| (i + 1, e))?);
+    }
+    Ok(out)
+}
+
+fn parse_prom_line(line: &str) -> Result<PromSample, String> {
+    let mut chars = line.chars().peekable();
+    let mut name = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            name.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    if name.is_empty() || name.chars().next().unwrap().is_ascii_digit() {
+        return Err(format!("bad metric name in {line:?}"));
+    }
+    let mut labels = BTreeMap::new();
+    if chars.peek() == Some(&'{') {
+        chars.next();
+        loop {
+            while chars.peek() == Some(&',') || chars.peek() == Some(&' ') {
+                chars.next();
+            }
+            if chars.peek() == Some(&'}') {
+                chars.next();
+                break;
+            }
+            let mut key = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    key.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            if key.is_empty() || chars.next() != Some('=') || chars.next() != Some('"') {
+                return Err(format!("bad label in {line:?}"));
+            }
+            let mut val = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => break,
+                    Some('\\') => match chars.next() {
+                        Some('n') => val.push('\n'),
+                        Some('\\') => val.push('\\'),
+                        Some('"') => val.push('"'),
+                        other => return Err(format!("bad escape {other:?} in {line:?}")),
+                    },
+                    Some(c) => val.push(c),
+                    None => return Err(format!("unterminated label value in {line:?}")),
+                }
+            }
+            labels.insert(key, val);
+        }
+    }
+    let rest: String = chars.collect();
+    let value = rest
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| format!("bad value {:?} in {line:?}: {e}", rest.trim()))?;
+    Ok(PromSample {
+        name,
+        labels,
+        value,
+    })
 }
 
 /// A JSON value in a parsed JSONL record.
@@ -415,5 +689,119 @@ mod tests {
         assert_eq!(num(f64::INFINITY), "0");
         assert_eq!(num(2.0), "2");
         assert_eq!(num(2.5), "2.5");
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        use crate::registry::{Registry, TelemetryConfig};
+        let r = Registry::new(TelemetryConfig::default());
+        r.counter_add("env_steps", 41);
+        r.counter_add("episodes", 3);
+        r.record_span("rollout/env_step".into(), std::time::Duration::from_micros(120));
+        r.observe("reward", 1.5);
+        r.gauge_set("live/queue_depth/actor0", 2.0);
+        r.gauge_set("live/actors_total", 2.0);
+        r.live_observe("live/wave_us", 512.0);
+        r.live_observe("live/wave_us", 1024.0);
+        r.snapshot()
+    }
+
+    #[test]
+    fn jsonl_includes_gauge_and_live_records() {
+        let text = to_jsonl(&sample_snapshot());
+        let records = parse_jsonl(&text).unwrap();
+        let gauge = records
+            .iter()
+            .find(|r| {
+                r.get("type").and_then(JsonValue::as_str) == Some("gauge")
+                    && r.get("name").and_then(JsonValue::as_str)
+                        == Some("live/queue_depth/actor0")
+            })
+            .expect("gauge record present");
+        assert_eq!(gauge["value"].as_f64(), Some(2.0));
+        let live = records
+            .iter()
+            .find(|r| r.get("type").and_then(JsonValue::as_str) == Some("live"))
+            .expect("live record present");
+        assert_eq!(live["name"].as_str(), Some("live/wave_us"));
+        assert_eq!(live["count"].as_f64(), Some(2.0));
+        assert_eq!(live["mean"].as_f64(), Some(768.0));
+    }
+
+    #[test]
+    fn prometheus_round_trips_names_labels_and_values() {
+        let snap = sample_snapshot();
+        let text = to_prometheus(&snap);
+        let samples = parse_prometheus(&text).unwrap();
+        let find = |family: &str, name: &str| -> Vec<&PromSample> {
+            samples
+                .iter()
+                .filter(|s| s.name == family && s.labels.get("name").map(String::as_str) == Some(name))
+                .collect()
+        };
+        assert_eq!(find("hero_counter_total", "env_steps")[0].value, 41.0);
+        assert_eq!(find("hero_counter_total", "episodes")[0].value, 3.0);
+        assert_eq!(find("hero_gauge", "live/queue_depth/actor0")[0].value, 2.0);
+        assert_eq!(find("hero_live_count", "live/wave_us")[0].value, 2.0);
+        assert_eq!(find("hero_live_sum", "live/wave_us")[0].value, 1536.0);
+        let quantiles = find("hero_live", "live/wave_us");
+        assert_eq!(quantiles.len(), 3);
+        for s in &quantiles {
+            assert!(s.labels.contains_key("quantile"));
+            assert!(s.value >= 512.0 && s.value <= 1024.0);
+        }
+        assert_eq!(find("hero_span_us_count", "rollout/env_step")[0].value, 1.0);
+        assert!(samples.iter().any(|s| s.name == "hero_up" && s.value == 1.0));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "hero_elapsed_seconds" && s.value >= 0.0));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        let line = format!("hero_gauge{{name=\"{}\"}} 1", escape_label("a\"b\\c\nd"));
+        let parsed = parse_prom_line(&line).unwrap();
+        assert_eq!(parsed.labels["name"], "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_malformed() {
+        assert!(parse_prometheus("3metric 1").is_err());
+        assert!(parse_prometheus("m{name=} 1").is_err());
+        assert!(parse_prometheus("m{name=\"x\"} nope").is_err());
+        assert!(parse_prometheus("m{name=\"unterminated} 1").is_err());
+        let err = parse_prometheus("hero_up 1\nbroken{ 1").unwrap_err();
+        assert_eq!(err.0, 2, "error carries the 1-based line number");
+    }
+
+    #[test]
+    fn flight_jsonl_round_trips_through_parser() {
+        let events = vec![
+            FlightEvent {
+                seq: 0,
+                t_us: 10,
+                kind: FlightEventKind::StallDetected { actor: 0 },
+            },
+            FlightEvent {
+                seq: 1,
+                t_us: 20,
+                kind: FlightEventKind::Redispatched { actor: 1, wave: 4 },
+            },
+            FlightEvent {
+                seq: 2,
+                t_us: 30,
+                kind: FlightEventKind::CheckpointSaved { index: 7 },
+            },
+        ];
+        let text = flight_to_jsonl(&events);
+        let records = parse_jsonl(&text).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0]["event"].as_str(), Some("stall_detected"));
+        assert_eq!(records[0]["actor"].as_f64(), Some(0.0));
+        assert_eq!(records[1]["event"].as_str(), Some("redispatched"));
+        assert_eq!(records[1]["wave"].as_f64(), Some(4.0));
+        assert_eq!(records[2]["event"].as_str(), Some("checkpoint_saved"));
+        assert_eq!(records[2]["index"].as_f64(), Some(7.0));
+        let seqs: Vec<f64> = records.iter().map(|r| r["seq"].as_f64().unwrap()).collect();
+        assert_eq!(seqs, vec![0.0, 1.0, 2.0]);
     }
 }

@@ -17,6 +17,15 @@
 //!   [`TelemetryConfig::trace_out`] is set, the span guards additionally
 //!   record Chrome trace events and [`flush`] writes a Perfetto-loadable
 //!   `trace.json` (see [`trace`]).
+//! * **The live observability plane** — [`gauge_set`] / [`live_observe`]
+//!   record instantaneous rollout state and wall-clock latencies under the
+//!   `live/` namespace, [`flight_event`] appends structured events to a
+//!   lock-free flight recorder ([`ring`]), and [`exporter::serve`] exposes
+//!   the whole registry over HTTP (`/metrics` Prometheus, `/snapshot`
+//!   JSONL) for mid-run scraping. The live plane is excluded from
+//!   checkpoint state and golden diffs: it describes the process, not the
+//!   training run, so instrumenting or scraping a run never perturbs its
+//!   bit-exact determinism.
 //!
 //! ## Enabling
 //!
@@ -37,8 +46,10 @@
 #![warn(missing_docs)]
 
 pub mod emit;
+pub mod exporter;
 pub mod histogram;
 pub mod registry;
+pub mod ring;
 pub mod trace;
 
 use std::cell::RefCell;
@@ -50,6 +61,7 @@ use parking_lot::RwLock;
 
 pub use histogram::{HistogramState, HistogramStats, StreamingHistogram};
 pub use registry::{CounterStats, Registry, RegistryState, Snapshot, TelemetryConfig};
+pub use ring::{FlightEvent, FlightEventKind, FlightRing};
 pub use trace::{TraceEvent, TracePhase};
 
 /// Count of live sinks (global installs + scoped registries across all
@@ -284,7 +296,15 @@ fn flush_registry(registry: &Registry) -> std::io::Result<()> {
         trace::write_trace(&registry.trace_events(), &snap, path)?;
     }
     match &registry.config().out_dir {
-        Some(dir) => emit::write_all(&snap, dir),
+        Some(dir) => {
+            emit::write_all(&snap, dir)?;
+            // Post-mortem dump: only incomplete/faulted runs leave a
+            // flight_recorder.jsonl behind (a clean exit needs none).
+            if registry.is_faulted() {
+                emit::write_flight(&registry.flight_events(), dir)?;
+            }
+            Ok(())
+        }
         None => Ok(()),
     }
 }
@@ -402,6 +422,61 @@ pub fn observe_dyn(name: &str, value: f64) {
         return;
     }
     let _ = with_registry(|r| r.observe(name, value));
+}
+
+/// Sets a live gauge (overwrite semantics — current queue depth, actors
+/// busy). Part of the `live/` observability plane: bypasses capture mode
+/// (gauges describe the process, not the training run, so worker threads
+/// write them directly), never enters checkpoints, and is excluded from
+/// golden diffs.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if disabled() {
+        return;
+    }
+    let _ = with_registry(|r| r.gauge_set(name, value));
+}
+
+/// Records a wall-clock observation into the `live/` histogram plane
+/// (wave latency, blocked-send time). Bypasses capture mode and never
+/// enters checkpoints, like [`gauge_set`].
+#[inline]
+pub fn live_observe(name: &str, value: f64) {
+    if disabled() {
+        return;
+    }
+    let _ = with_registry(|r| r.live_observe(name, value));
+}
+
+/// Appends one structured event to the flight recorder (see
+/// [`ring::FlightRing`]). Bypasses capture mode; events survive in a
+/// fixed-capacity ring and are dumped to `flight_recorder.jsonl` by
+/// [`flush`] when the run was marked faulted.
+#[inline]
+pub fn flight_event(kind: FlightEventKind) {
+    if disabled() {
+        return;
+    }
+    let _ = with_registry(|r| r.flight_event(kind));
+}
+
+/// Marks the current run incomplete/faulted: the next [`flush`] (including
+/// the implicit one when the sink guard drops) dumps the flight recorder
+/// to `flight_recorder.jsonl` in the configured `out_dir` for post-mortem.
+pub fn mark_faulted() {
+    if disabled() {
+        return;
+    }
+    let _ = with_registry(Registry::mark_faulted);
+}
+
+/// Wall-clock seconds since the active registry was created; `None`
+/// without a sink. Used to stamp heartbeat gauges.
+pub fn elapsed_s() -> Option<f64> {
+    if disabled() {
+        return None;
+    }
+    with_registry(|r| r.elapsed().as_secs_f64())
 }
 
 /// Prints a rate-limited progress line to stderr with `context` appended
@@ -560,6 +635,50 @@ mod tests {
     #[test]
     fn take_capture_without_begin_is_empty() {
         assert!(take_capture().is_empty());
+    }
+
+    #[test]
+    fn faulted_runs_dump_the_flight_recorder() {
+        let dir = std::env::temp_dir().join(format!(
+            "hero-telemetry-flight-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Clean run: no flight_recorder.jsonl.
+        {
+            let _g = scoped(TelemetryConfig::to_dir("clean", &dir));
+            flight_event(FlightEventKind::WaveDispatched { wave: 0, worlds: 1 });
+        }
+        assert!(!dir.join("flight_recorder.jsonl").exists());
+        // Faulted run: the ring is dumped on the guard-drop flush.
+        {
+            let _g = scoped(TelemetryConfig::to_dir("faulted", &dir));
+            flight_event(FlightEventKind::StallDetected { actor: 0 });
+            flight_event(FlightEventKind::Redispatched { actor: 1, wave: 3 });
+            mark_faulted();
+        }
+        let body = std::fs::read_to_string(dir.join("flight_recorder.jsonl")).unwrap();
+        let records = emit::parse_jsonl(&body).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0]["event"].as_str(), Some("stall_detected"));
+        assert_eq!(records[1]["event"].as_str(), Some("redispatched"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_plane_bypasses_capture() {
+        let guard = scoped(TelemetryConfig::default());
+        begin_capture();
+        gauge_set("live/queue/actor0", 2.0);
+        live_observe("live/wave_us", 5.0);
+        flight_event(FlightEventKind::WaveCompleted { wave: 0, episodes: 1 });
+        let captured = take_capture();
+        assert!(captured.is_empty(), "live plane must not be captured");
+        let snap = guard.snapshot();
+        assert_eq!(snap.gauges["live/queue/actor0"], 2.0);
+        assert_eq!(snap.live["live/wave_us"].count, 1);
+        assert_eq!(guard.registry().flight_events().len(), 1);
     }
 
     #[test]

@@ -2,14 +2,18 @@
 //! and throughput derivation.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::histogram::{HistogramState, HistogramStats, StreamingHistogram};
+use crate::ring::{FlightEvent, FlightEventKind, FlightRing};
 use crate::trace::TraceEvent;
+
+/// Events the flight recorder retains (newest-first eviction beyond this).
+pub const FLIGHT_RING_CAPACITY: usize = 4096;
 
 /// Configuration for a telemetry sink.
 #[derive(Clone, Debug)]
@@ -65,6 +69,15 @@ pub struct Registry {
     counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
     spans: Mutex<BTreeMap<String, StreamingHistogram>>,
     values: Mutex<BTreeMap<String, StreamingHistogram>>,
+    // The live observability plane. Everything below describes the
+    // *process* (wall-clock latencies, instantaneous queue depths, event
+    // timelines), not the training run, so none of it enters
+    // `export_state`/`restore_state` — checkpoint bytes stay independent
+    // of whether a run was instrumented, scraped, or neither.
+    gauges: RwLock<BTreeMap<String, f64>>,
+    live: Mutex<BTreeMap<String, StreamingHistogram>>,
+    flight: FlightRing,
+    faulted: AtomicBool,
     trace: Mutex<Vec<TraceEvent>>,
     last_progress: Mutex<Option<Instant>>,
 }
@@ -78,6 +91,10 @@ impl Registry {
             counters: RwLock::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
             values: Mutex::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            live: Mutex::new(BTreeMap::new()),
+            flight: FlightRing::new(FLIGHT_RING_CAPACITY),
+            faulted: AtomicBool::new(false),
             trace: Mutex::new(Vec::new()),
             last_progress: Mutex::new(None),
         }
@@ -120,6 +137,56 @@ impl Registry {
         } else {
             values.entry(name.to_string()).or_default().observe(value);
         }
+    }
+
+    /// Sets a live gauge to its newest value (overwrite semantics — the
+    /// current queue depth, not its history). Gauges live outside the
+    /// checkpointable state and outside golden diffs.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if let Some(g) = self.gauges.write().get_mut(name) {
+            *g = value;
+            return;
+        }
+        self.gauges.write().insert(name.to_string(), value);
+    }
+
+    /// Records a wall-clock observation into the `live/` histogram plane
+    /// (wave latency, blocked-send time, checkpoint write duration).
+    /// Like gauges, live histograms never enter `export_state`.
+    pub fn live_observe(&self, name: &str, value: f64) {
+        let mut live = self.live.lock();
+        if let Some(h) = live.get_mut(name) {
+            h.observe(value);
+        } else {
+            live.entry(name.to_string()).or_default().observe(value);
+        }
+    }
+
+    /// Appends one structured event to the flight recorder, timestamped
+    /// against this registry's start.
+    pub fn flight_event(&self, kind: FlightEventKind) {
+        self.flight
+            .record(self.elapsed().as_micros() as u64, kind);
+    }
+
+    /// A consistent copy of the surviving flight-recorder events,
+    /// oldest first.
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        self.flight.events()
+    }
+
+    /// Marks the run as incomplete/faulted: `flush` will then dump the
+    /// flight recorder to `flight_recorder.jsonl` for post-mortem.
+    pub fn mark_faulted(&self) {
+        self.faulted.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`Registry::mark_faulted`] was called.
+    pub fn is_faulted(&self) -> bool {
+        self.faulted.load(Ordering::Relaxed)
     }
 
     /// Whether Chrome trace capture is on for this registry.
@@ -175,12 +242,21 @@ impl Registry {
             .iter()
             .map(|(name, h)| ((*name).to_string(), h.stats()))
             .collect();
+        let gauges: BTreeMap<String, f64> = self.gauges.read().clone();
+        let live: BTreeMap<String, HistogramStats> = self
+            .live
+            .lock()
+            .iter()
+            .map(|(name, h)| ((*name).to_string(), h.stats()))
+            .collect();
         Snapshot {
             run_label: self.cfg.run_label.clone(),
             elapsed,
             counters,
             spans,
             values,
+            gauges,
+            live,
         }
     }
 
@@ -442,6 +518,11 @@ pub struct Snapshot {
     pub spans: BTreeMap<String, HistogramStats>,
     /// Free-form value summaries, by name.
     pub values: BTreeMap<String, HistogramStats>,
+    /// Live gauges (newest value only), by name. `live/` plane: excluded
+    /// from checkpoints and golden diffs.
+    pub gauges: BTreeMap<String, f64>,
+    /// Live wall-clock histograms, by name. Same exclusions as gauges.
+    pub live: BTreeMap<String, HistogramStats>,
 }
 
 impl Snapshot {
@@ -483,6 +564,17 @@ impl Snapshot {
             if acc.count > 0 {
                 let _ = write!(line, " | opp_acc {:.3}", acc.mean);
             }
+        }
+        // Live rollout tail: only present while the actor/learner path is
+        // active (the gauges are set by `hero_core::rollout`).
+        if let Some(total) = self.gauges.get("live/actors_total") {
+            let busy = self.gauges.get("live/actors_busy").copied().unwrap_or(0.0);
+            let depth = self
+                .gauges
+                .get("live/queue_depth_total")
+                .copied()
+                .unwrap_or(0.0);
+            let _ = write!(line, " | actors {}/{} q {}", busy, total, depth);
         }
         line
     }
@@ -605,6 +697,67 @@ mod tests {
                 "cut at {cut} must fail"
             );
         }
+    }
+
+    #[test]
+    fn gauges_overwrite_and_live_histograms_accumulate() {
+        let r = Registry::new(TelemetryConfig::default());
+        r.gauge_set("live/queue/actor0", 3.0);
+        r.gauge_set("live/queue/actor0", 1.0);
+        r.gauge_set("live/bad", f64::NAN);
+        r.live_observe("live/wave_us", 100.0);
+        r.live_observe("live/wave_us", 300.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauges["live/queue/actor0"], 1.0);
+        assert!(!snap.gauges.contains_key("live/bad"));
+        assert_eq!(snap.live["live/wave_us"].count, 2);
+        assert!((snap.live["live/wave_us"].mean - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn live_plane_never_enters_checkpoint_state() {
+        let r = Registry::new(TelemetryConfig::default());
+        r.counter_add("env_steps", 1);
+        let clean = r.export_state();
+        r.gauge_set("live/queue/actor0", 5.0);
+        r.live_observe("live/wave_us", 42.0);
+        r.flight_event(FlightEventKind::StallDetected { actor: 0 });
+        r.mark_faulted();
+        assert_eq!(
+            r.export_state(),
+            clean,
+            "gauges/live/flight/faulted are process state, not training state"
+        );
+        assert_eq!(clean.to_bytes(), r.export_state().to_bytes());
+    }
+
+    #[test]
+    fn flight_events_timestamped_and_ordered() {
+        let r = Registry::new(TelemetryConfig::default());
+        r.flight_event(FlightEventKind::WaveDispatched { wave: 0, worlds: 2 });
+        r.flight_event(FlightEventKind::WaveCompleted { wave: 0, episodes: 2 });
+        let events = r.flight_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert!(events[0].t_us <= events[1].t_us);
+        assert!(matches!(
+            events[0].kind,
+            FlightEventKind::WaveDispatched { wave: 0, worlds: 2 }
+        ));
+    }
+
+    #[test]
+    fn progress_line_gains_live_rollout_tail() {
+        let r = Registry::new(TelemetryConfig::default());
+        r.counter_add("env_steps", 7);
+        let plain = r.snapshot().progress_line("ep 1");
+        assert!(!plain.contains("actors"), "{plain}");
+        r.gauge_set("live/actors_total", 2.0);
+        r.gauge_set("live/actors_busy", 1.0);
+        r.gauge_set("live/queue_depth_total", 3.0);
+        let line = r.snapshot().progress_line("ep 1");
+        assert!(line.contains("actors 1/2 q 3"), "{line}");
     }
 
     #[test]

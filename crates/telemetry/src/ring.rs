@@ -1,0 +1,334 @@
+//! The rollout flight recorder: a fixed-capacity concurrent ring buffer
+//! of structured events with monotonic sequence ids.
+//!
+//! Every [`FlightEvent`] gets a process-unique, strictly increasing
+//! sequence id from one atomic counter; the slot it lands in is
+//! `seq % capacity`, so once the ring is full the oldest event is always
+//! the one evicted. Writers never take a lock: each slot is guarded by a
+//! seqlock-style stamp word, and the event payload is stored as plain
+//! `u64` words behind it. A writer whose slot has already been claimed by
+//! a *newer* sequence id simply drops its own event — that event was a
+//! full capacity-wrap old and would have been evicted anyway — so the
+//! surviving set is always exactly the newest `capacity` events.
+//!
+//! Readers ([`FlightRing::events`]) are wait-free spectators: they read
+//! the stamp, copy the payload words, and re-read the stamp; a changed
+//! stamp means a writer raced them and the slot is retried (bounded) or
+//! skipped. Reading never blocks recording, which is what lets the
+//! metrics exporter and the post-mortem dump inspect a live run without
+//! perturbing the learner thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One structured rollout event; see [`FlightEventKind`] for the payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotonic, process-unique sequence id (assignment order).
+    pub seq: u64,
+    /// Microseconds since the owning registry was created.
+    pub t_us: u64,
+    /// What happened.
+    pub kind: FlightEventKind,
+}
+
+/// The event vocabulary of the rollout plane. Kept deliberately small and
+/// `Copy` so recording is a handful of relaxed atomic stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// The learner dispatched a wave of episodes/steps to the actors.
+    WaveDispatched {
+        /// Wave ordinal (serial mode: the episode index).
+        wave: u64,
+        /// World replicas participating in the wave.
+        worlds: u64,
+    },
+    /// All actors reported the wave done.
+    WaveCompleted {
+        /// Wave ordinal (serial mode: the episode index).
+        wave: u64,
+        /// Episodes finished inside this wave.
+        episodes: u64,
+    },
+    /// A checkpoint file was durably written.
+    CheckpointSaved {
+        /// The checkpoint's rotation index.
+        index: u64,
+    },
+    /// Training resumed from a checkpoint file.
+    CheckpointLoaded {
+        /// The checkpoint's rotation index.
+        index: u64,
+    },
+    /// An actor missed the stall deadline.
+    StallDetected {
+        /// The stalled actor's index.
+        actor: u64,
+    },
+    /// Work owned by a stalled actor was re-dispatched to a live one.
+    Redispatched {
+        /// The actor that took over.
+        actor: u64,
+        /// The wave (serial mode: episode) being recovered.
+        wave: u64,
+    },
+    /// The optimizer watchdog skipped a non-finite update.
+    WatchdogSkip {
+        /// Total updates skipped so far.
+        update: u64,
+    },
+    /// A fault-plan kill fired.
+    KillInjected {
+        /// The episode at which the kill fired.
+        episode: u64,
+    },
+}
+
+impl FlightEventKind {
+    /// Packs the kind into `(tag, a, b)` words for lock-free slot storage.
+    fn encode(self) -> (u64, u64, u64) {
+        match self {
+            Self::WaveDispatched { wave, worlds } => (0, wave, worlds),
+            Self::WaveCompleted { wave, episodes } => (1, wave, episodes),
+            Self::CheckpointSaved { index } => (2, index, 0),
+            Self::CheckpointLoaded { index } => (3, index, 0),
+            Self::StallDetected { actor } => (4, actor, 0),
+            Self::Redispatched { actor, wave } => (5, actor, wave),
+            Self::WatchdogSkip { update } => (6, update, 0),
+            Self::KillInjected { episode } => (7, episode, 0),
+        }
+    }
+
+    fn decode(tag: u64, a: u64, b: u64) -> Option<Self> {
+        Some(match tag {
+            0 => Self::WaveDispatched { wave: a, worlds: b },
+            1 => Self::WaveCompleted { wave: a, episodes: b },
+            2 => Self::CheckpointSaved { index: a },
+            3 => Self::CheckpointLoaded { index: a },
+            4 => Self::StallDetected { actor: a },
+            5 => Self::Redispatched { actor: a, wave: b },
+            6 => Self::WatchdogSkip { update: a },
+            7 => Self::KillInjected { episode: a },
+            _ => return None,
+        })
+    }
+
+    /// The event's snake_case name, used as the JSONL `event` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::WaveDispatched { .. } => "wave_dispatched",
+            Self::WaveCompleted { .. } => "wave_completed",
+            Self::CheckpointSaved { .. } => "checkpoint_saved",
+            Self::CheckpointLoaded { .. } => "checkpoint_loaded",
+            Self::StallDetected { .. } => "stall_detected",
+            Self::Redispatched { .. } => "redispatched",
+            Self::WatchdogSkip { .. } => "watchdog_skip",
+            Self::KillInjected { .. } => "kill_injected",
+        }
+    }
+}
+
+/// Slot stamp states: `0` = never written; `2*seq + 1` = a writer holding
+/// sequence id `seq` is mid-write; `2*seq + 2` = payload for `seq` is
+/// complete. Stamps only ever increase, which rules out ABA.
+const EMPTY: u64 = 0;
+
+fn writing(seq: u64) -> u64 {
+    2 * seq + 1
+}
+
+fn done(seq: u64) -> u64 {
+    2 * seq + 2
+}
+
+struct Slot {
+    stamp: AtomicU64,
+    // tag, a, b, t_us — only read when the stamp proves them consistent.
+    words: [AtomicU64; 4],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            stamp: AtomicU64::new(EMPTY),
+            words: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+}
+
+/// The fixed-capacity event ring; see the module docs for the protocol.
+pub struct FlightRing {
+    next: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl FlightRing {
+    /// A ring holding the newest `capacity` events (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            next: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (= the next sequence id).
+    pub fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Records one event, timestamped by the caller, and returns its
+    /// sequence id. Returns even when the event was immediately
+    /// superseded (its slot already held a newer sequence id).
+    pub fn record(&self, t_us: u64, kind: FlightEventKind) -> u64 {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let (tag, a, b) = kind.encode();
+        loop {
+            let cur = slot.stamp.load(Ordering::Acquire);
+            if cur >= writing(seq) {
+                // A newer event claimed this slot: ours is a full
+                // capacity-wrap old and already evicted. Drop it.
+                return seq;
+            }
+            if cur != EMPTY && cur % 2 == 1 {
+                // An *older* writer is mid-write (it lagged a full wrap
+                // behind us). Its critical section is four relaxed
+                // stores; wait it out rather than tearing the payload.
+                std::hint::spin_loop();
+                continue;
+            }
+            if slot
+                .stamp
+                .compare_exchange(cur, writing(seq), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slot.words[0].store(tag, Ordering::Relaxed);
+                slot.words[1].store(a, Ordering::Relaxed);
+                slot.words[2].store(b, Ordering::Relaxed);
+                slot.words[3].store(t_us, Ordering::Relaxed);
+                slot.stamp.store(done(seq), Ordering::Release);
+                return seq;
+            }
+        }
+    }
+
+    /// A consistent copy of every surviving event, oldest first. Slots a
+    /// writer is actively racing are retried a few times and then
+    /// skipped; recording is never blocked by readers.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            for _attempt in 0..8 {
+                let before = slot.stamp.load(Ordering::Acquire);
+                if before == EMPTY || before % 2 == 1 {
+                    if before == EMPTY {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                    continue;
+                }
+                let tag = slot.words[0].load(Ordering::Relaxed);
+                let a = slot.words[1].load(Ordering::Relaxed);
+                let b = slot.words[2].load(Ordering::Relaxed);
+                let t_us = slot.words[3].load(Ordering::Relaxed);
+                if slot.stamp.load(Ordering::Acquire) != before {
+                    continue; // torn read: a writer landed mid-copy
+                }
+                if let Some(kind) = FlightEventKind::decode(tag, a, b) {
+                    out.push(FlightEvent {
+                        seq: (before - 2) / 2,
+                        t_us,
+                        kind,
+                    });
+                }
+                break;
+            }
+        }
+        out.sort_unstable_by_key(|e| e.seq);
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRing")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_monotonic_seqs() {
+        let ring = FlightRing::new(8);
+        for i in 0..5u64 {
+            let seq = ring.record(i * 10, FlightEventKind::WaveDispatched { wave: i, worlds: 2 });
+            assert_eq!(seq, i);
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.t_us, i as u64 * 10);
+            assert_eq!(
+                e.kind,
+                FlightEventKind::WaveDispatched { wave: i as u64, worlds: 2 }
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_is_oldest_first() {
+        let ring = FlightRing::new(4);
+        for i in 0..10u64 {
+            ring.record(i, FlightEventKind::CheckpointSaved { index: i });
+        }
+        let seqs: Vec<u64> = ring.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "only the newest capacity survive");
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn kind_encoding_round_trips() {
+        let kinds = [
+            FlightEventKind::WaveDispatched { wave: 3, worlds: 4 },
+            FlightEventKind::WaveCompleted { wave: 3, episodes: 8 },
+            FlightEventKind::CheckpointSaved { index: 2 },
+            FlightEventKind::CheckpointLoaded { index: 1 },
+            FlightEventKind::StallDetected { actor: 0 },
+            FlightEventKind::Redispatched { actor: 1, wave: 7 },
+            FlightEventKind::WatchdogSkip { update: 9 },
+            FlightEventKind::KillInjected { episode: 5 },
+        ];
+        for kind in kinds {
+            let (tag, a, b) = kind.encode();
+            assert_eq!(FlightEventKind::decode(tag, a, b), Some(kind));
+        }
+        assert_eq!(FlightEventKind::decode(99, 0, 0), None);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let ring = FlightRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(0, FlightEventKind::StallDetected { actor: 0 });
+        ring.record(1, FlightEventKind::StallDetected { actor: 1 });
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based coverage of the flight-recorder ring: sequence ids are
+//! never lost or duplicated under concurrent writers, and eviction is
+//! always oldest-first.
+
+use std::sync::Arc;
+
+use hero_telemetry::ring::{FlightEventKind, FlightRing};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-writer ground truth: after `n` records into a ring of
+    /// capacity `cap`, the surviving events are exactly the newest
+    /// `min(n, cap)` sequence ids, in order — eviction is oldest-first.
+    fn eviction_is_oldest_first(n in 0u64..300, cap in 1usize..32) {
+        let ring = FlightRing::new(cap);
+        for i in 0..n {
+            ring.record(i, FlightEventKind::WaveDispatched { wave: i, worlds: 1 });
+        }
+        let events = ring.events();
+        let survivors = (n.min(cap as u64)) as usize;
+        prop_assert_eq!(events.len(), survivors);
+        let first = n - survivors as u64;
+        for (k, e) in events.iter().enumerate() {
+            prop_assert_eq!(e.seq, first + k as u64);
+            prop_assert_eq!(e.t_us, first + k as u64, "payload belongs to its seq");
+            prop_assert_eq!(
+                e.kind,
+                FlightEventKind::WaveDispatched { wave: first + k as u64, worlds: 1 }
+            );
+        }
+        prop_assert_eq!(ring.recorded(), n);
+    }
+
+    /// Concurrent writers: every surviving sequence id is unique, the
+    /// full id space `0..n_total` was assigned without gaps, and once all
+    /// writers join the survivors are exactly the newest `capacity` ids
+    /// with payloads that match their id (no torn slots).
+    fn concurrent_writers_never_lose_or_duplicate_seqs(
+        writers in 1usize..8,
+        per_writer in 1usize..60,
+        cap in 1usize..24,
+    ) {
+        let ring = Arc::new(FlightRing::new(cap));
+        let mut assigned: Vec<Vec<u64>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..writers {
+                let ring = Arc::clone(&ring);
+                handles.push(scope.spawn(move || {
+                    (0..per_writer)
+                        .map(|i| {
+                            let ring_seq = ring.record(
+                                0,
+                                FlightEventKind::Redispatched {
+                                    actor: w as u64,
+                                    wave: i as u64,
+                                },
+                            );
+                            ring_seq
+                        })
+                        .collect::<Vec<u64>>()
+                }));
+            }
+            for h in handles {
+                assigned.push(h.join().unwrap());
+            }
+        });
+        let n_total = (writers * per_writer) as u64;
+        // Ids were handed out exactly once each, covering 0..n_total.
+        let mut all: Vec<u64> = assigned.into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n_total).collect::<Vec<u64>>());
+        prop_assert_eq!(ring.recorded(), n_total);
+        // The survivors are exactly the newest `cap` ids, oldest first,
+        // and each slot's payload decodes to the event its writer stored.
+        let events = ring.events();
+        let survivors = (n_total.min(cap as u64)) as usize;
+        prop_assert_eq!(events.len(), survivors);
+        let first = n_total - survivors as u64;
+        for (k, e) in events.iter().enumerate() {
+            prop_assert_eq!(e.seq, first + k as u64);
+            prop_assert!(
+                matches!(e.kind, FlightEventKind::Redispatched { actor, wave }
+                    if actor < writers as u64 && wave < per_writer as u64),
+                "payload is one a writer actually stored: {:?}",
+                e
+            );
+        }
+    }
+
+    /// A reader racing live writers only ever sees consistent events:
+    /// unique, sorted sequence ids whose payload matches the id.
+    fn reader_racing_writers_sees_consistent_events(
+        per_writer in 1usize..200,
+        cap in 1usize..16,
+    ) {
+        let ring = Arc::new(FlightRing::new(cap));
+        std::thread::scope(|scope| {
+            for _w in 0..2 {
+                let ring = Arc::clone(&ring);
+                scope.spawn(move || {
+                    for _ in 0..per_writer {
+                        let t = ring.recorded(); // racy, but only used as payload salt
+                        let seq = ring.record(
+                            t,
+                            FlightEventKind::CheckpointSaved { index: 0 },
+                        );
+                        // Overwrite-style second event keyed by its own seq.
+                        ring.record(seq, FlightEventKind::WaveCompleted {
+                            wave: seq,
+                            episodes: 1,
+                        });
+                    }
+                });
+            }
+            let ring = Arc::clone(&ring);
+            scope.spawn(move || {
+                for _ in 0..32 {
+                    let events = ring.events();
+                    let mut prev: Option<u64> = None;
+                    for e in &events {
+                        if let Some(p) = prev {
+                            assert!(e.seq > p, "sorted + unique: {p} then {}", e.seq);
+                        }
+                        prev = Some(e.seq);
+                        if let FlightEventKind::WaveCompleted { wave, .. } = e.kind {
+                            assert_eq!(
+                                wave, e.t_us,
+                                "torn slot: payload does not match its seq stamp"
+                            );
+                        }
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+        });
+        prop_assert_eq!(ring.recorded(), 4 * per_writer as u64);
+    }
+}

@@ -2,7 +2,9 @@
 # Training-throughput benchmark. Runs the criterion microbenches (naive vs
 # register-tiled matmul kernels, naive vs arena-reusing train step) plus a
 # short end-to-end fig7-style training run, and writes the summary JSON to
-# BENCH_train_throughput.json at the repo root.
+# BENCH_train_throughput.json at the repo root. Each run also appends one
+# line to BENCH_history.jsonl ({"sha","date","bench"}) so throughput can
+# be tracked across commits.
 #
 # Usage: scripts/bench.sh [--quick]
 #   --quick   shorter warm-up/measurement windows (what CI runs)
@@ -19,3 +21,18 @@ cargo bench -p hero-bench --bench train_throughput -- "$@"
 
 echo "--- $HERO_BENCH_OUT"
 cat "$HERO_BENCH_OUT"
+
+# Append this run to the throughput history, stamped with the commit and
+# an ISO-8601 UTC date, so regressions are traceable across commits.
+SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+python3 - "$SHA" "$DATE" "$HERO_BENCH_OUT" <<'EOF'
+import json, sys
+sha, date, path = sys.argv[1:4]
+with open(path) as f:
+    bench = json.load(f)
+entry = {"sha": sha, "date": date, "bench": bench}
+with open("BENCH_history.jsonl", "a") as f:
+    f.write(json.dumps(entry, sort_keys=True) + "\n")
+EOF
+echo "--- appended $SHA @ $DATE to BENCH_history.jsonl"

@@ -52,7 +52,82 @@ echo "=== actor/learner serial-mode golden diff"
     --telemetry-out "$DIAG/tel-actors" >/dev/null
 ./target/release/hero-inspect diff \
     tests/golden/diag_baseline.jsonl "$DIAG/tel-actors" \
-    --ignore actor/ --fail-on-regression
+    --ignore actor/ --ignore live/ --fail-on-regression
+
+echo "=== live metrics exporter smoke"
+# Run a longer 2-actor experiment with the runtime exporter attached
+# (ephemeral port, discovered via <out>/metrics_addr) and scrape
+# GET /metrics mid-run: the exposition must be well-formed Prometheus
+# text with the live/ rollout gauges populated. A twin run without the
+# exporter must then diff bit-identical (counters AND value statistics)
+# — scraping is read-only. 120 episodes (~2s) so the scraper has a
+# comfortable mid-run window; the 6-episode golden run is too short.
+# Like the kill-and-resume smoke, both compared runs load one shared
+# skill bootstrap: a fresh bootstrap trains the two skills on parallel
+# threads whose sac.* diagnostic values interleave into shared
+# histograms, so fresh-bootstrap value sums are scheduling-sensitive at
+# the last ULP and never zero-tol comparable across runs.
+LIVE=$(mktemp -d /tmp/hero-live.XXXXXX)
+LIVE_FLAGS=(--episodes 120 --eval-episodes 1 --skill-episodes 2 --batch-size 8
+            --update-every 1 --seed 7 --actors 2)
+./target/release/fig10_opponent_loss \
+    --episodes 2 --eval-episodes 1 --skill-episodes 2 --batch-size 8 \
+    --update-every 1 --seed 7 --out "$LIVE/shared" \
+    --telemetry-out "$LIVE/tel-warm" >/dev/null
+./target/release/fig10_opponent_loss "${LIVE_FLAGS[@]}" \
+    --out "$LIVE/shared" --telemetry-out "$LIVE/tel" \
+    --metrics-addr 127.0.0.1:0 \
+    >/dev/null 2>"$LIVE/stderr.log" &
+live_pid=$!
+for _ in $(seq 1 100); do
+    [ -f "$LIVE/shared/metrics_addr" ] && break
+    kill -0 "$live_pid" 2>/dev/null || { cat "$LIVE/stderr.log"; exit 1; }
+    sleep 0.1
+done
+ADDR=$(cat "$LIVE/shared/metrics_addr")
+python3 - "$ADDR" <<'EOF'
+import sys, time, urllib.request
+
+addr = sys.argv[1].strip()
+deadline = time.monotonic() + 30
+last = ""
+while time.monotonic() < deadline:
+    try:
+        with urllib.request.urlopen(f"http://{addr}/metrics", timeout=2) as r:
+            last = r.read().decode()
+    except OSError:
+        if last:
+            break  # run (and exporter) finished; judge the last scrape
+        time.sleep(0.05)  # exporter not up yet (or gone before first hit)
+        continue
+    live = {}
+    for ln in last.splitlines():
+        if not ln or ln.startswith("#"):
+            continue
+        name, _, value = ln.rpartition(" ")
+        assert name, f"malformed sample line: {ln!r}"
+        float(value)  # every sample line ends in a number
+        if ln.startswith("hero_gauge") and 'name="live/' in ln:
+            live[name] = float(value)
+    if live and any(v > 0 for v in live.values()):
+        print(f"  scraped {addr}: {len(last.splitlines())} lines, "
+              f"{len(live)} live gauges, e.g. {sorted(live)[0]}")
+        sys.exit(0)
+    time.sleep(0.1)
+sys.exit(f"never saw a nonzero live/ gauge at {addr}; last scrape:\n{last}")
+EOF
+wait "$live_pid"
+# Twin run, identical flags, no exporter: zero-tolerance diff proves the
+# scraped run's telemetry is untouched by a live scraper.
+./target/release/fig10_opponent_loss "${LIVE_FLAGS[@]}" \
+    --out "$LIVE/shared" --telemetry-out "$LIVE/tel-plain" >/dev/null
+./target/release/hero-inspect diff "$LIVE/tel-plain" "$LIVE/tel" \
+    --tol-value 0 --tol-count 0 --tol-counter 0 --abs-floor 0 \
+    --ignore actor/ --ignore live/ --fail-on-regression
+# hero-top renders a frame from the finished telemetry directory.
+./target/release/hero-inspect watch "$LIVE/tel" --frames 1 | grep -q "hero-top" \
+    || { echo "hero-inspect watch failed to render from $LIVE/tel"; exit 1; }
+rm -rf "$LIVE"
 
 echo "=== training-throughput bench (quick)"
 # Quick criterion pass over the kernel and train-step microbenches; the
@@ -79,6 +154,17 @@ print(f"  speedup {bench['train_step_speedup']}x, "
       f"{bench['env_steps_per_s']} env_steps/s, "
       f"rollout {bench['rollout_batch_speedup']}x @ "
       f"{int(bench['rollout_worlds'])} worlds")
+
+# bench.sh also appends one history entry per run; the newest line must
+# be valid JSONL carrying the commit, an ISO date, and the full bench.
+with open("BENCH_history.jsonl") as f:
+    lines = [ln for ln in f.read().splitlines() if ln.strip()]
+assert lines, "BENCH_history.jsonl is empty"
+entry = json.loads(lines[-1])
+missing = {"sha", "date", "bench"} - set(entry)
+assert not missing, f"BENCH_history.jsonl entry missing {missing}"
+assert entry["bench"].get("train_step_speedup", 0) > 0, entry
+print(f"  history: {len(lines)} entries, newest {entry['sha']} @ {entry['date']}")
 EOF
 
 echo "=== kill-and-resume smoke"
@@ -118,7 +204,7 @@ test "$rc" -eq 137 || { echo "expected exit 137 from injected kill, got $rc"; ex
 # Bit-identical telemetry (counters AND value statistics) and CSVs.
 ./target/release/hero-inspect diff "$CRASH/tel-a" "$CRASH/tel-b" \
     --tol-value 0 --tol-count 0 --tol-counter 0 --abs-floor 0 \
-    --ignore checkpoint/ --fail-on-regression
+    --ignore checkpoint/ --ignore live/ --fail-on-regression
 cmp "$CRASH/fig10_a.csv" "$CRASH/shared/fig10_opponent_loss.csv"
 
 # Corrupt the newest checkpoint of run B; resume must fall back to the

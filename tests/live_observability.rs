@@ -1,0 +1,382 @@
+//! The live observability plane, end to end: scraping a run's metrics
+//! exporter every few milliseconds perturbs nothing deterministic, a
+//! faulted run leaves a flight recorder behind with the stall story in
+//! order, and `hero-inspect watch` renders from both a live exporter URL
+//! and a finished telemetry directory.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hero::prelude::*;
+use hero_baselines::sac::SacConfig;
+use hero_core::rollout::{train_team_actor_learner, RolloutOptions};
+use hero_core::trainer::CheckpointConfig;
+use hero_faultplan::FaultPlan;
+use hero_rl::telemetry;
+use hero_rl::telemetry::exporter::{http_get, serve};
+use hero_sim::scenario;
+
+/// Same tiny HERO fixture the crash-safety tests use: fresh team + env
+/// per call, so every run starts from identical state.
+fn fixture(seed: u64) -> (hero_sim::env::LaneChangeEnv, hero_core::HeroTeam) {
+    let cfg = EnvConfig {
+        max_steps: 6,
+        ..EnvConfig::default()
+    };
+    let skills = Arc::new(hero_core::skills::SkillLibrary::untrained(
+        cfg,
+        SacConfig {
+            hidden: 8,
+            ..SacConfig::default()
+        },
+        seed,
+    ));
+    let hero_cfg = HeroConfig {
+        hidden: 8,
+        batch_size: 8,
+        warmup: 8,
+        ..HeroConfig::default()
+    };
+    let env = scenario::congestion(cfg, seed);
+    let team = hero_core::HeroTeam::new(3, cfg.high_dim(), skills, hero_cfg, seed);
+    (env, team)
+}
+
+fn opts(episodes: usize, seed: u64) -> hero_core::trainer::TrainOptions {
+    hero_core::trainer::TrainOptions {
+        episodes,
+        update_every: 2,
+        seed,
+    }
+}
+
+fn rollout_2actors() -> RolloutOptions {
+    RolloutOptions {
+        actors: 2,
+        batch_worlds: 1,
+        ..RolloutOptions::default()
+    }
+}
+
+/// Deterministic telemetry: counter totals plus the order-independent
+/// fields of every value histogram. Gauges and live histograms live in
+/// separate snapshot maps and deliberately never enter this fingerprint —
+/// they describe wall-clock process state.
+type Fingerprint = (
+    std::collections::BTreeMap<String, u64>,
+    std::collections::BTreeMap<String, (u64, f64, f64, f64)>,
+);
+
+fn fingerprint(snap: &telemetry::Snapshot) -> Fingerprint {
+    let counters = snap
+        .counter_totals()
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("checkpoint/"))
+        .collect();
+    let values = snap
+        .values
+        .iter()
+        .map(|(name, v)| (name.clone(), (v.count, v.mean, v.min, v.max)))
+        .collect();
+    (counters, values)
+}
+
+fn series(rec: &hero_rl::metrics::Recorder) -> Vec<(String, Vec<f32>)> {
+    rec.names()
+        .iter()
+        .map(|&n| (n.to_string(), rec.series(n).unwrap().to_vec()))
+        .collect()
+}
+
+/// Spawns a thread that scrapes `GET /metrics` in a tight loop until
+/// `done` flips, asserting every response parses as Prometheus text.
+/// Returns a handle yielding the number of successful scrapes.
+fn spawn_scraper(
+    addr: std::net::SocketAddr,
+    done: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<usize> {
+    std::thread::spawn(move || {
+        let mut scrapes = 0usize;
+        loop {
+            let body = http_get(&format!("http://{addr}/metrics")).expect("scrape /metrics");
+            hero_rl::telemetry::emit::parse_prometheus(&body)
+                .unwrap_or_else(|(line, e)| panic!("malformed scrape at line {line}: {e}"));
+            scrapes += 1;
+            if done.load(Ordering::Relaxed) {
+                return scrapes;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    })
+}
+
+/// The tentpole guarantee: a seeded 2-actor run scraped continuously over
+/// HTTP produces bit-identical metric series and telemetry fingerprints
+/// to the same run left unscraped — the serving path is read-only.
+#[test]
+fn scraped_run_is_bit_identical_to_unscraped() {
+    let seed = 47;
+    let episodes = 6;
+
+    // Unscraped reference run.
+    let (series_a, telem_a) = {
+        let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let (mut env, mut team) = fixture(seed);
+        let out = train_team_actor_learner(
+            &mut team,
+            &mut env,
+            &opts(episodes, seed),
+            &CheckpointConfig::default(),
+            &rollout_2actors(),
+        );
+        assert!(out.completed);
+        (series(&out.recorder), fingerprint(&sink.snapshot()))
+    };
+
+    // Identical run, scraped as fast as the client can go (well under
+    // the 100 ms cadence the exporter is specified for).
+    let (series_b, telem_b, scrapes) = {
+        let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let exporter = serve(Arc::clone(sink.registry()), "127.0.0.1:0").expect("bind");
+        let done = Arc::new(AtomicBool::new(false));
+        let scraper = spawn_scraper(exporter.local_addr(), Arc::clone(&done));
+        let (mut env, mut team) = fixture(seed);
+        let out = train_team_actor_learner(
+            &mut team,
+            &mut env,
+            &opts(episodes, seed),
+            &CheckpointConfig::default(),
+            &rollout_2actors(),
+        );
+        done.store(true, Ordering::Relaxed);
+        let scrapes = scraper.join().expect("scraper panicked");
+        assert!(out.completed);
+        (series(&out.recorder), fingerprint(&sink.snapshot()), scrapes)
+    };
+
+    assert!(scrapes >= 1, "the run must actually have been scraped");
+    assert_eq!(series_a, series_b, "metric series must be bit-identical under scraping");
+    assert_eq!(telem_a.0, telem_b.0, "counter totals must be bit-identical under scraping");
+    assert_eq!(telem_a.1, telem_b.1, "value statistics must be bit-identical under scraping");
+}
+
+/// Checkpoint bytes are equally untouchable: with telemetry disabled (the
+/// configuration under which checkpoint files are comparable at all — an
+/// active sink embeds wall-clock span histograms in the telemetry
+/// section), a run sharing its process with a busy exporter writes
+/// byte-identical checkpoints to an undisturbed run.
+#[test]
+fn checkpoint_bytes_survive_a_busy_exporter_in_process() {
+    let base = std::env::temp_dir().join(format!("hero_live_ckpt_{}", std::process::id()));
+    let dir_quiet = base.join("quiet");
+    let dir_scraped = base.join("scraped");
+    let seed = 47;
+    let episodes = 6;
+    let ckpt = |dir: &std::path::Path| CheckpointConfig {
+        every: 2,
+        dir: Some(dir.to_path_buf()),
+        ..CheckpointConfig::default()
+    };
+
+    let (mut env, mut team) = fixture(seed);
+    let out = train_team_actor_learner(
+        &mut team,
+        &mut env,
+        &opts(episodes, seed),
+        &ckpt(&dir_quiet),
+        &rollout_2actors(),
+    );
+    assert!(out.completed);
+
+    // Same run with an exporter being hammered in-process for its whole
+    // duration (served from a detached registry: no sink is installed,
+    // exactly as in the quiet run).
+    {
+        let registry = Arc::new(telemetry::Registry::new(telemetry::TelemetryConfig::default()));
+        let exporter = serve(registry, "127.0.0.1:0").expect("bind");
+        let done = Arc::new(AtomicBool::new(false));
+        let scraper = spawn_scraper(exporter.local_addr(), Arc::clone(&done));
+        let (mut env, mut team) = fixture(seed);
+        let out = train_team_actor_learner(
+            &mut team,
+            &mut env,
+            &opts(episodes, seed),
+            &ckpt(&dir_scraped),
+            &rollout_2actors(),
+        );
+        done.store(true, Ordering::Relaxed);
+        assert!(scraper.join().expect("scraper panicked") >= 1);
+        assert!(out.completed);
+    }
+
+    let newest = |dir: &std::path::Path| {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .expect("checkpoint dir")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "hero"))
+            .collect();
+        files.sort();
+        std::fs::read(files.last().expect("a checkpoint file")).expect("read checkpoint")
+    };
+    assert_eq!(
+        newest(&dir_quiet),
+        newest(&dir_scraped),
+        "checkpoint bytes must be identical with and without the exporter"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// A `stall@actor:0` faulted run must leave `flight_recorder.jsonl`
+/// behind, with the stall detected on actor 0 strictly before the
+/// re-dispatch that saved the run.
+#[test]
+fn stalled_run_dumps_flight_recorder_with_ordered_stall_story() {
+    let dir = std::env::temp_dir().join(format!("hero_live_flight_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let _sink = telemetry::scoped(telemetry::TelemetryConfig {
+            run_label: "stall-drill".into(),
+            out_dir: Some(dir.clone()),
+            ..telemetry::TelemetryConfig::default()
+        });
+        let (mut env, mut team) = fixture(53);
+        let out = train_team_actor_learner(
+            &mut team,
+            &mut env,
+            &opts(4, 53),
+            &CheckpointConfig {
+                fault_plan: FaultPlan::parse("stall@actor:0").unwrap(),
+                ..CheckpointConfig::default()
+            },
+            &RolloutOptions {
+                actors: 2,
+                batch_worlds: 1,
+                stall_timeout: Duration::from_millis(500),
+                ..RolloutOptions::default()
+            },
+        );
+        assert!(out.completed, "the live actor must absorb the stalled actor's work");
+        // Guard drops here: the faulted run flushes its flight recorder.
+    }
+
+    let path = dir.join("flight_recorder.jsonl");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("faulted run must leave {}: {e}", path.display()));
+    let records = hero_rl::telemetry::emit::parse_jsonl(&text)
+        .unwrap_or_else(|(line, e)| panic!("malformed flight record at line {line}: {e}"));
+    let event = |rec: &std::collections::BTreeMap<String, telemetry::emit::JsonValue>| {
+        rec.get("event").and_then(telemetry::emit::JsonValue::as_str).map(str::to_owned)
+    };
+    let field = |rec: &std::collections::BTreeMap<String, telemetry::emit::JsonValue>,
+                 key: &str| rec.get(key).and_then(telemetry::emit::JsonValue::as_f64);
+
+    let stall = records
+        .iter()
+        .position(|r| event(r).as_deref() == Some("stall_detected") && field(r, "actor") == Some(0.0))
+        .expect("a stall_detected event for actor 0");
+    let redispatch = records
+        .iter()
+        .position(|r| event(r).as_deref() == Some("redispatched"))
+        .expect("a redispatched event after the stall");
+    assert!(
+        stall < redispatch,
+        "stall must be detected (record {stall}) before the re-dispatch (record {redispatch})"
+    );
+    // Sequence ids are strictly increasing in the dump.
+    let seqs: Vec<f64> = records.iter().filter_map(|r| field(r, "seq")).collect();
+    assert_eq!(seqs.len(), records.len(), "every record carries a seq");
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seqs must increase: {seqs:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Scraping `/metrics` mid-run returns well-formed Prometheus text with
+/// the live rollout gauges populated — the same check `ci.sh` smokes.
+#[test]
+fn metrics_endpoint_reports_live_rollout_state_during_training() {
+    let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+    let exporter = serve(Arc::clone(sink.registry()), "127.0.0.1:0").expect("bind");
+    let addr = exporter.local_addr();
+
+    let (mut env, mut team) = fixture(59);
+    let out = train_team_actor_learner(
+        &mut team,
+        &mut env,
+        &opts(4, 59),
+        &CheckpointConfig::default(),
+        &RolloutOptions {
+            actors: 2,
+            batch_worlds: 2,
+            ..RolloutOptions::default()
+        },
+    );
+    assert!(out.completed);
+
+    // The gauges persist in the registry after the run, so this scrape
+    // sees exactly what a mid-run scrape would (minus races).
+    let body = http_get(&format!("http://{addr}/metrics")).expect("scrape");
+    let samples = telemetry::emit::parse_prometheus(&body).expect("well-formed");
+    let gauge = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == "hero_gauge" && s.labels.get("name").map(String::as_str) == Some(name))
+            .map(|s| s.value)
+    };
+    assert_eq!(gauge("live/actors_total"), Some(2.0), "{body}");
+    assert!(samples.iter().any(|s| s.name == "hero_up" && s.value == 1.0));
+    assert!(
+        samples.iter().any(|s| {
+            s.name == "hero_counter_total"
+                && s.labels.get("name").map(String::as_str) == Some("env_steps")
+                && s.value > 0.0
+        }),
+        "env_steps must be visible over HTTP"
+    );
+    assert!(
+        samples.iter().any(|s| s.name == "hero_live"
+            && s.labels.get("name").is_some_and(|n| n.starts_with("live/wave_us"))),
+        "wave latency summary must be exported"
+    );
+}
+
+/// `hero-inspect watch` ("hero-top") renders the same run from a live
+/// exporter URL and from the finished telemetry directory.
+#[test]
+fn hero_top_renders_from_live_url_and_finished_dir() {
+    let dir = std::env::temp_dir().join(format!("hero_live_watch_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let live_frame = {
+        let sink = telemetry::scoped(telemetry::TelemetryConfig {
+            run_label: "watch-me".into(),
+            out_dir: Some(dir.clone()),
+            ..telemetry::TelemetryConfig::default()
+        });
+        let exporter = serve(Arc::clone(sink.registry()), "127.0.0.1:0").expect("bind");
+        let (mut env, mut team) = fixture(61);
+        let out = train_team_actor_learner(
+            &mut team,
+            &mut env,
+            &opts(4, 61),
+            &CheckpointConfig::default(),
+            &rollout_2actors(),
+        );
+        assert!(out.completed);
+        // Live path: scrape /snapshot (the bare-address default) and
+        // render, exactly as `hero-inspect watch HOST:PORT` does.
+        let body = http_get(&exporter.local_addr().to_string()).expect("scrape snapshot");
+        let run = hero_inspect::parse_run(&body).expect("parse live snapshot");
+        hero_inspect::render_top(&run)
+        // Guard drops here, flushing telemetry.jsonl for the dir path.
+    };
+    for needle in ["hero-top", "watch-me", "busy", "actor0", "actor1"] {
+        assert!(live_frame.contains(needle), "missing {needle:?} in live frame:\n{live_frame}");
+    }
+
+    let run = hero_inspect::load_run(&dir).expect("load finished run");
+    let dir_frame = hero_inspect::render_top(&run);
+    for needle in ["hero-top", "watch-me", "busy", "wave dispatch->complete"] {
+        assert!(dir_frame.contains(needle), "missing {needle:?} in dir frame:\n{dir_frame}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
