@@ -60,6 +60,16 @@ pub enum CheckpointError {
     /// A structural invariant of the format is violated (bad lengths,
     /// impossible counts, non-UTF-8 names, ...).
     Malformed(String),
+    /// The checkpoint was written under a different GEMM kernel mode
+    /// (strict vs fast-math) than the one active in this process. Resuming
+    /// across modes would silently diverge from both baselines, so the
+    /// trainer refuses instead of falling back to a fresh run.
+    KernelModeMismatch {
+        /// Mode recorded in the checkpoint (`strict` or `fast`).
+        saved: String,
+        /// Mode active in the resuming process.
+        active: String,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -82,6 +92,11 @@ impl fmt::Display for CheckpointError {
                 write!(f, "checkpoint is missing required section `{name}`")
             }
             CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            CheckpointError::KernelModeMismatch { saved, active } => write!(
+                f,
+                "checkpoint was written under kernel mode `{saved}` but this run uses \
+                 `{active}`; rerun with `--kernel-mode {saved}` or start a fresh run"
+            ),
         }
     }
 }

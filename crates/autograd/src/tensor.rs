@@ -638,6 +638,11 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) {
     assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
     out.clear();
     out.resize(m * n, 0.0);
+    #[cfg(feature = "fast-math")]
+    if crate::fastmath::kernel_mode() == crate::fastmath::KernelMode::Fast {
+        crate::fastmath::gemm(crate::fastmath::Layout::Nn, &a.data, &b.data, out, m, k, n);
+        return;
+    }
     #[cfg(target_arch = "x86_64")]
     if avx512_available() {
         // SAFETY: avx512f support was verified at runtime.
@@ -679,6 +684,13 @@ pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) {
     assert_eq!(k, k2, "matmul_nt inner dimension mismatch: {k} vs {k2}");
     out.clear();
     out.resize(m * n, 0.0);
+    #[cfg(feature = "fast-math")]
+    if crate::fastmath::kernel_mode() == crate::fastmath::KernelMode::Fast {
+        // The fast tier packs B's rows directly into NR-column panels —
+        // no transpose materialization even in NT form.
+        crate::fastmath::gemm(crate::fastmath::Layout::Nt, &a.data, &b.data, out, m, k, n);
+        return;
+    }
     if k == 0 {
         return;
     }
@@ -739,6 +751,11 @@ pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Vec<f32>) {
     assert_eq!(k, k2, "matmul_tn inner dimension mismatch: {k} vs {k2}");
     out.clear();
     out.resize(m * n, 0.0);
+    #[cfg(feature = "fast-math")]
+    if crate::fastmath::kernel_mode() == crate::fastmath::KernelMode::Fast {
+        crate::fastmath::gemm(crate::fastmath::Layout::Tn, &a.data, &b.data, out, m, k, n);
+        return;
+    }
     #[cfg(target_arch = "x86_64")]
     if avx512_available() {
         // SAFETY: avx512f support was verified at runtime.

@@ -1,0 +1,158 @@
+//! Property tests for the fast-math GEMM tier (`--features fast-math`).
+//!
+//! Two contracts from DESIGN.md "Performance → Fast-math tier":
+//!
+//! 1. **Accuracy**: fast-tier results match an f64-accumulated reference
+//!    within `rtol = 1e-4` over ragged shapes — FMA contraction and
+//!    blocked-`k` traversal change rounding, not values.
+//! 2. **Reproducibility**: the same product yields the same *bytes* every
+//!    run, at 1, 2, and 4 GEMM threads — and across thread counts, since
+//!    the partition schedule never splits the accumulation chain.
+//!
+//! The whole file is feature-gated: a default (strict) build compiles it
+//! to an empty test binary.
+#![cfg(feature = "fast-math")]
+
+use hero_autograd::fastmath::{fast_matmul, fast_matmul_nt, fast_matmul_threaded, fast_matmul_tn};
+use hero_autograd::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const RTOL: f64 = 1e-4;
+
+fn filled(shape: Vec<usize>, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = shape.iter().product();
+    Tensor::from_vec(shape, (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+/// `C = A·B` accumulated in f64, the rounding-error yardstick.
+fn matmul_f64(a: &Tensor, b: &Tensor) -> Vec<f64> {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = vec![0.0f64; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let a_ip = a.data()[i * k + p] as f64;
+            for j in 0..n {
+                out[i * n + j] += a_ip * b.data()[p * n + j] as f64;
+            }
+        }
+    }
+    out
+}
+
+fn assert_close(fast: &Tensor, reference: &[f64], what: &str) {
+    assert_eq!(fast.data().len(), reference.len(), "{what}: length");
+    for (idx, (&f, &r)) in fast.data().iter().zip(reference).enumerate() {
+        let err = (f as f64 - r).abs();
+        let tol = RTOL * r.abs().max(1.0);
+        assert!(
+            err <= tol,
+            "{what}: element {idx} off by {err:.3e} (tol {tol:.3e}): fast={f} ref={r}"
+        );
+    }
+}
+
+fn transposed(t: &Tensor) -> Tensor {
+    let (r, c) = (t.shape()[0], t.shape()[1]);
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            out[j * r + i] = t.data()[i * c + j];
+        }
+    }
+    Tensor::from_vec(vec![c, r], out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// NN/NT/TN fast products all match the f64 reference on ragged
+    /// shapes (deliberately spanning the MR/NR/KC/MC edge cases).
+    #[test]
+    fn fast_gemm_matches_f64_reference(
+        m in 1usize..70,
+        k in 1usize..70,
+        n in 1usize..70,
+        seed in 0u64..1_000,
+    ) {
+        let a = filled(vec![m, k], seed);
+        let b = filled(vec![k, n], seed.wrapping_add(1));
+        let reference = matmul_f64(&a, &b);
+        assert_close(&fast_matmul(&a, &b), &reference, "nn");
+        assert_close(&fast_matmul_nt(&a, &transposed(&b)), &reference, "nt");
+        assert_close(&fast_matmul_tn(&transposed(&a), &b), &reference, "tn");
+    }
+}
+
+/// Shapes crossing every blocking boundary: partial MR/NR tiles, multiple
+/// KC blocks, multiple MC row blocks.
+const RAGGED: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (3, 5, 7),
+    (4, 32, 32),
+    (5, 33, 31),
+    (63, 257, 65),
+    (65, 130, 70),
+    (128, 300, 96),
+    (256, 64, 100),
+];
+
+#[test]
+fn fast_gemm_matches_reference_on_blocking_boundaries() {
+    for &(m, k, n) in RAGGED {
+        let a = filled(vec![m, k], 42);
+        let b = filled(vec![k, n], 43);
+        let reference = matmul_f64(&a, &b);
+        assert_close(&fast_matmul(&a, &b), &reference, &format!("nn {m}x{k}x{n}"));
+        assert_close(
+            &fast_matmul_nt(&a, &transposed(&b)),
+            &reference,
+            &format!("nt {m}x{k}x{n}"),
+        );
+        assert_close(
+            &fast_matmul_tn(&transposed(&a), &b),
+            &reference,
+            &format!("tn {m}x{k}x{n}"),
+        );
+    }
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Run-to-run reproducibility at 1/2/4 GEMM threads: the same product
+/// must produce the same bytes on every repetition — and, because the
+/// partition schedule never splits the inner dimension, the bytes are
+/// identical *across* thread budgets too.
+#[test]
+fn fast_gemm_reproducible_at_1_2_4_threads() {
+    // Big enough to clear the PAR_MIN_FLOPS threading threshold and span
+    // several MC row blocks; ragged in every dimension.
+    let (m, k, n) = (257, 300, 130);
+    let a = filled(vec![m, k], 7);
+    let b = filled(vec![k, n], 8);
+    let reference = bits(&fast_matmul_threaded(&a, &b, 1));
+    for threads in [1usize, 2, 4] {
+        for rep in 0..3 {
+            let got = bits(&fast_matmul_threaded(&a, &b, threads));
+            assert_eq!(
+                got, reference,
+                "threads={threads} rep={rep}: fast-math bytes must not vary"
+            );
+        }
+    }
+}
+
+/// Degenerate shapes: empty inner dimension yields exact zeros.
+#[test]
+fn fast_gemm_zero_k_is_zero() {
+    let a = Tensor::from_vec(vec![3, 0], vec![]);
+    let b = Tensor::from_vec(vec![0, 4], vec![]);
+    let out = fast_matmul(&a, &b);
+    assert_eq!(out.shape(), &[3, 4]);
+    assert!(out.data().iter().all(|&v| v == 0.0));
+}

@@ -7,6 +7,12 @@
 //! - `matmul_gflops` — tiled kernel throughput at a square 128³ GEMM,
 //!   alongside the naive zero-skipping kernel it replaced
 //!   ([`hero_autograd::matmul_sparse_lhs`]) for reference.
+//! - `matmul_gflops_strict` / `matmul_gflops_fast` (+ `_t1/_t2/_t4`
+//!   scaling points, `isa`, `gemm_threads`) — the kernel-tier comparison
+//!   at a square 256³ GEMM: the strict register-tiled kernel versus the
+//!   packed FMA fast-math tier. Fast points are `0.0` unless the bench is
+//!   built with `--features fast-math`; on a fast-math build the
+//!   single-thread fast tier must clear 2× strict.
 //! - `train_step_speedup` — the 32×32-hidden training-step microbench:
 //!   a hand-rolled replica of the *old* cost model (naive kernel,
 //!   materialized transposes in backward, fresh allocations per step)
@@ -144,6 +150,12 @@ fn col_sums_fresh(g: &Tensor) -> Tensor {
 // ---------------------------------------------------------------------------
 
 const MM_DIM: usize = 128;
+/// Square GEMM size for the strict-vs-fast kernel-tier comparison — big
+/// enough that packing pays for itself (the fast tier must clear 2×
+/// strict here on a fast-math build).
+const MODE_DIM: usize = 256;
+/// Thread counts swept for the fast tier's scaling curve.
+const FAST_THREADS: [usize; 3] = [1, 2, 4];
 const STEP_BATCH: usize = 256;
 const STEP_IN: usize = 64;
 const STEP_HIDDEN: usize = 32;
@@ -159,6 +171,32 @@ fn bench_matmul(c: &mut Criterion) {
     c.bench_function("matmul_tiled_128", |bench| {
         bench.iter(|| matmul(black_box(&a), black_box(&b)))
     });
+}
+
+/// Strict vs fast kernel tier at [`MODE_DIM`]³, plus the fast tier's
+/// thread-scaling points. The strict side is the default [`matmul`]
+/// (register-tiled, no FMA contraction); the fast side calls the packed
+/// FMA tier directly via [`hero_autograd::fastmath::fast_matmul_threaded`]
+/// — no global mode flipping, so this composes with everything else in
+/// the process. Without the `fast-math` feature only the strict point is
+/// measured.
+fn bench_kernel_modes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let a = Tensor::randn(vec![MODE_DIM, MODE_DIM], 1.0, &mut rng);
+    let b = Tensor::randn(vec![MODE_DIM, MODE_DIM], 1.0, &mut rng);
+    c.bench_function("matmul_strict_256", |bench| {
+        bench.iter(|| matmul(black_box(&a), black_box(&b)))
+    });
+    #[cfg(feature = "fast-math")]
+    for t in FAST_THREADS {
+        c.bench_function(&format!("matmul_fast_256_t{t}"), |bench| {
+            bench.iter(|| {
+                hero_autograd::fastmath::fast_matmul_threaded(black_box(&a), black_box(&b), t)
+            })
+        });
+    }
+    #[cfg(not(feature = "fast-math"))]
+    let _ = &FAST_THREADS;
 }
 
 fn bench_train_step(c: &mut Criterion) {
@@ -319,6 +357,7 @@ fn main() {
     // report the per-bench minimum (result_ns takes the min over repeats).
     for _ in 0..3 {
         bench_matmul(&mut c);
+        bench_kernel_modes(&mut c);
         bench_train_step(&mut c);
     }
 
@@ -350,12 +389,55 @@ fn main() {
     println!("matmul GFLOP/s   {matmul_gflops:>14.2}");
     println!("train-step speedup {train_step_speedup:>12.2}x");
 
+    // Kernel-tier comparison at MODE_DIM³. Fast points are 0.0 on a
+    // build without the feature — absent capability, not a slow kernel.
+    let mode_flops = 2.0 * (MODE_DIM * MODE_DIM * MODE_DIM) as f64;
+    let matmul_gflops_strict = mode_flops / result_ns(&c, "matmul_strict_256");
+    let fast_curve: Vec<f64> = FAST_THREADS
+        .iter()
+        .map(|t| {
+            let ns = result_ns(&c, &format!("matmul_fast_256_t{t}"));
+            if ns.is_nan() {
+                0.0
+            } else {
+                mode_flops / ns
+            }
+        })
+        .collect();
+    let matmul_gflops_fast = fast_curve[0]; // headline: single-thread
+    let fast_vs_strict_speedup = matmul_gflops_fast / matmul_gflops_strict;
+    // The thread count that actually went fastest on this box — recorded
+    // so BENCH_history rows say how the fast number was obtained.
+    let gemm_threads = FAST_THREADS
+        .iter()
+        .zip(&fast_curve)
+        .max_by(|(_, a), (_, b)| a.total_cmp(b))
+        .map_or(1, |(t, g)| if *g > 0.0 { *t } else { 1 });
+    let isa = hero_autograd::isa_name();
+    println!("strict GFLOP/s ({MODE_DIM}) {matmul_gflops_strict:>10.2}  (isa {isa})");
+    if matmul_gflops_fast > 0.0 {
+        for (t, g) in FAST_THREADS.iter().zip(&fast_curve) {
+            println!("fast GFLOP/s t{t}       {g:>10.2}");
+        }
+        println!("fast/strict speedup    {fast_vs_strict_speedup:>9.2}x");
+    } else {
+        println!("fast tier not compiled (rebuild with --features fast-math)");
+    }
+
     let out = std::env::var("HERO_BENCH_OUT")
         .unwrap_or_else(|_| "BENCH_train_throughput.json".to_string());
     let json = format!(
         "{{\n  \"bench\": \"train_throughput\",\n  \"quick\": {quick},\n  \
+         \"isa\": \"{isa}\",\n  \"gemm_threads\": {gemm_threads},\n  \
          \"matmul_dim\": {MM_DIM},\n  \"matmul_naive_ns\": {matmul_naive_ns:.1},\n  \
          \"matmul_tiled_ns\": {matmul_tiled_ns:.1},\n  \"matmul_gflops\": {matmul_gflops:.3},\n  \
+         \"matmul_mode_dim\": {MODE_DIM},\n  \
+         \"matmul_gflops_strict\": {matmul_gflops_strict:.3},\n  \
+         \"matmul_gflops_fast\": {matmul_gflops_fast:.3},\n  \
+         \"matmul_gflops_fast_t1\": {t1:.3},\n  \
+         \"matmul_gflops_fast_t2\": {t2:.3},\n  \
+         \"matmul_gflops_fast_t4\": {t4:.3},\n  \
+         \"fast_vs_strict_speedup\": {fast_vs_strict_speedup:.3},\n  \
          \"train_step_naive_ns\": {train_step_naive_ns:.1},\n  \
          \"train_step_tiled_ns\": {train_step_tiled_ns:.1},\n  \
          \"train_step_speedup\": {train_step_speedup:.3},\n  \
@@ -364,7 +446,10 @@ fn main() {
          \"rollout_worlds\": {ROLLOUT_WORLDS},\n  \
          \"env_steps_per_sec_scalar\": {env_steps_per_sec_scalar:.3},\n  \
          \"env_steps_per_sec_batched\": {env_steps_per_sec_batched:.3},\n  \
-         \"rollout_batch_speedup\": {rollout_batch_speedup:.3}\n}}\n"
+         \"rollout_batch_speedup\": {rollout_batch_speedup:.3}\n}}\n",
+        t1 = fast_curve[0],
+        t2 = fast_curve[1],
+        t4 = fast_curve[2],
     );
     std::fs::write(&out, json).expect("write bench JSON");
     println!("wrote {out}");

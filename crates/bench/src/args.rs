@@ -4,10 +4,11 @@
 //! --telemetry-out DIR --trace-out FILE --metrics-addr HOST:PORT
 //! --paper-scale --checkpoint-every N --checkpoint-dir DIR
 //! --checkpoint-retain K --resume --fault-plan SPEC --actors N
-//! --batch-worlds N`.
+//! --batch-worlds N --kernel-mode strict|fast --gemm-threads N`.
 
 use std::path::PathBuf;
 
+use hero_autograd::KernelMode;
 use hero_core::rollout::RolloutOptions;
 use hero_core::CheckpointConfig;
 use hero_faultplan::{FaultPlan, KillMode};
@@ -60,6 +61,14 @@ pub struct ExperimentArgs {
     /// World replicas per actor; `> 1` switches HERO training to the
     /// batched actor/learner engine.
     pub batch_worlds: usize,
+    /// GEMM kernel tier: `strict` (default, bitwise-deterministic) or
+    /// `fast` (packed FMA kernels; requires a `--features fast-math`
+    /// build). Recorded in telemetry and checkpoint metadata — resuming a
+    /// checkpoint under the other mode is refused.
+    pub kernel_mode: KernelMode,
+    /// Thread budget for fast-tier GEMMs (ignored in strict mode; never
+    /// changes result bytes, only wall-clock).
+    pub gemm_threads: usize,
 }
 
 impl ExperimentArgs {
@@ -85,6 +94,8 @@ impl ExperimentArgs {
             fault_plan: None,
             actors: 1,
             batch_worlds: 1,
+            kernel_mode: KernelMode::Strict,
+            gemm_threads: 1,
         }
     }
 
@@ -135,13 +146,22 @@ impl ExperimentArgs {
                 "--batch-worlds" => {
                     out.batch_worlds = value("--batch-worlds").parse().expect("usize")
                 }
+                "--kernel-mode" => {
+                    let raw = value("--kernel-mode");
+                    out.kernel_mode = raw
+                        .parse()
+                        .unwrap_or_else(|e| panic!("--kernel-mode {raw}: {e}"));
+                }
+                "--gemm-threads" => {
+                    out.gemm_threads = value("--gemm-threads").parse().expect("usize")
+                }
                 "--paper-scale" => {
                     out.episodes = 14_000;
                     out.batch_size = 1024;
                     out.update_every = 1;
                 }
                 other => panic!(
-                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--trace-out/--metrics-addr/--checkpoint-every/--checkpoint-dir/--checkpoint-retain/--resume/--fault-plan/--actors/--batch-worlds/--paper-scale"
+                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--trace-out/--metrics-addr/--checkpoint-every/--checkpoint-dir/--checkpoint-retain/--resume/--fault-plan/--actors/--batch-worlds/--kernel-mode/--gemm-threads/--paper-scale"
                 ),
             }
         }
@@ -185,6 +205,29 @@ impl ExperimentArgs {
             actors: self.actors.max(1),
             batch_worlds: self.batch_worlds.max(1),
             ..RolloutOptions::default()
+        }
+    }
+
+    /// Applies `--kernel-mode` / `--gemm-threads` to the process-global
+    /// kernel dispatch (call once per binary, after
+    /// [`crate::init_telemetry`] so the mode is visible in the run's
+    /// telemetry). In fast mode, emits `kernel/fast_math` and
+    /// `kernel/gemm_threads` counters; strict mode emits nothing so
+    /// strict goldens are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--kernel-mode fast` is requested in a build compiled
+    /// without the `fast-math` cargo feature — a run that silently fell
+    /// back to strict would corrupt the bench trajectory.
+    pub fn apply_kernel_mode(&self) {
+        hero_autograd::set_gemm_threads(self.gemm_threads);
+        if let Err(e) = hero_autograd::set_kernel_mode(self.kernel_mode) {
+            panic!("--kernel-mode {}: {e}", self.kernel_mode);
+        }
+        if self.kernel_mode == KernelMode::Fast {
+            hero_rl::telemetry::counter_add("kernel/fast_math", 1);
+            hero_rl::telemetry::counter_add("kernel/gemm_threads", self.gemm_threads.max(1) as u64);
         }
     }
 
@@ -277,6 +320,44 @@ mod tests {
         assert_eq!(ro.actors, 3);
         assert_eq!(ro.batch_worlds, 4);
         assert!(ro.is_distributed());
+    }
+
+    #[test]
+    fn kernel_mode_flags_parse_and_default_to_strict() {
+        let d = ExperimentArgs::defaults(10);
+        assert_eq!(d.kernel_mode, KernelMode::Strict);
+        assert_eq!(d.gemm_threads, 1);
+        let a = ExperimentArgs::parse(
+            ExperimentArgs::defaults(10),
+            strs(&["--kernel-mode", "fast", "--gemm-threads", "4"]),
+        );
+        assert_eq!(a.kernel_mode, KernelMode::Fast);
+        assert_eq!(a.gemm_threads, 4);
+        let s = ExperimentArgs::parse(
+            ExperimentArgs::defaults(10),
+            strs(&["--kernel-mode", "strict"]),
+        );
+        assert_eq!(s.kernel_mode, KernelMode::Strict);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel mode")]
+    fn bogus_kernel_mode_rejected() {
+        ExperimentArgs::parse(
+            ExperimentArgs::defaults(1),
+            strs(&["--kernel-mode", "loose"]),
+        );
+    }
+
+    #[cfg(not(feature = "fast-math"))]
+    #[test]
+    #[should_panic(expected = "fast-math kernels are not compiled")]
+    fn fast_mode_without_feature_fails_loudly() {
+        let a = ExperimentArgs::parse(
+            ExperimentArgs::defaults(1),
+            strs(&["--kernel-mode", "fast"]),
+        );
+        a.apply_kernel_mode();
     }
 
     #[test]

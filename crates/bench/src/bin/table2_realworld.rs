@@ -18,6 +18,7 @@ use hero_sim::sim2real::{SimToRealConfig, SimToRealEnv};
 fn main() {
     let args = ExperimentArgs::from_env(ExperimentArgs::defaults(600));
     let _telemetry = hero_bench::init_telemetry(&args, "table2");
+    args.apply_kernel_mode();
     let env_cfg = EnvConfig::default();
     let skills = load_or_train_skills(&args, env_cfg);
     let hero_cfg = HeroConfig::default();

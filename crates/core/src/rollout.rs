@@ -449,6 +449,7 @@ impl Learner<'_> {
             recorder: self.rec.clone(),
             telemetry: telemetry::export_state(),
             workers,
+            kernel_mode: hero_autograd::kernel_mode(),
             team_sections: self.team.save_state(),
         };
         if let Some(store) = self.store.as_mut() {
@@ -913,6 +914,7 @@ pub fn train_team_actor_learner(
             match checkpoint::load_latest(dir) {
                 Ok(Some(loaded)) => {
                     match TrainerSnapshot::from_sections(&loaded.sections)
+                        .and_then(|snap| snap.verify_kernel_mode().map(|()| snap))
                         .and_then(|snap| restore_snapshot(team, env, &snap).map(|()| snap))
                     {
                         Ok(snap) => {
@@ -933,6 +935,14 @@ pub fn train_team_actor_learner(
                             start_episode = snap.next_episode;
                             restored_workers = snap.workers.clone();
                             rec = snap.recorder;
+                        }
+                        Err(e @ hero_autograd::CheckpointError::KernelModeMismatch { .. }) => {
+                            // See trainer::train_team_checkpointed: a
+                            // cross-mode resume must fail loudly, not fall
+                            // back to a fresh run.
+                            telemetry::progress(&format!("refusing to resume: {e}"));
+                            let _ = telemetry::flush();
+                            panic!("refusing to resume: {e}");
                         }
                         Err(e) => {
                             telemetry::counter_add("checkpoint/corrupt_skipped", 1);

@@ -625,6 +625,7 @@ pub fn train_team_checkpointed<W: CooperativeWorld>(
             match checkpoint::load_latest(dir) {
                 Ok(Some(loaded)) => {
                     match TrainerSnapshot::from_sections(&loaded.sections)
+                        .and_then(|snap| snap.verify_kernel_mode().map(|()| snap))
                         .and_then(|snap| restore_snapshot(team, env, &snap).map(|()| snap))
                     {
                         Ok(snap) => {
@@ -648,6 +649,14 @@ pub fn train_team_checkpointed<W: CooperativeWorld>(
                             step_counter = snap.step_counter;
                             update_counter = snap.update_counter;
                             start_episode = snap.next_episode;
+                        }
+                        Err(e @ hero_autograd::CheckpointError::KernelModeMismatch { .. }) => {
+                            // A cross-mode resume would diverge from every
+                            // golden while looking healthy; starting fresh
+                            // would silently discard the run. Refuse loudly.
+                            telemetry::progress(&format!("refusing to resume: {e}"));
+                            let _ = telemetry::flush();
+                            panic!("refusing to resume: {e}");
                         }
                         Err(e) => {
                             telemetry::counter_add("checkpoint/corrupt_skipped", 1);
@@ -746,6 +755,7 @@ pub fn train_team_checkpointed<W: CooperativeWorld>(
                     recorder: rec.clone(),
                     telemetry: telemetry::export_state(),
                     workers: None,
+                    kernel_mode: hero_autograd::kernel_mode(),
                     team_sections: team.save_state(),
                 };
                 store.save(&snap.to_sections(), &ckpt.fault_plan);

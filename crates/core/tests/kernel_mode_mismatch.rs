@@ -1,0 +1,193 @@
+//! Checkpoint kernel-mode refusal: a checkpoint written under one GEMM
+//! tier must not resume under the other (DESIGN.md "Performance →
+//! Fast-math tier"). A cross-mode resume would diverge from both golden
+//! baselines while looking perfectly healthy, and falling back to a
+//! fresh run would silently discard the checkpointed progress — so the
+//! trainer fails loudly with a typed [`CheckpointError`].
+
+use std::sync::{Arc, Mutex};
+
+use hero_autograd::{CheckpointError, KernelMode};
+use hero_baselines::sac::SacConfig;
+use hero_core::checkpoint::{CheckpointStore, TrainerSnapshot};
+use hero_core::trainer::{train_team_checkpointed, CheckpointConfig, HeroTeam, TrainOptions};
+use hero_core::{HeroConfig, SkillLibrary};
+use hero_faultplan::FaultPlan;
+use hero_rl::metrics::Recorder;
+use hero_sim::env::EnvConfig;
+use hero_sim::scenario;
+
+/// Serializes tests that read or flip the process-global kernel mode.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    MODE_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn snapshot(kernel_mode: KernelMode) -> TrainerSnapshot {
+    TrainerSnapshot {
+        next_episode: 2,
+        step_counter: 16,
+        update_counter: 16,
+        trainer_rng: [1, 2, 3, 4],
+        env_rng: vec![5, 6, 7, 8],
+        recorder: Recorder::new(),
+        telemetry: None,
+        workers: None,
+        kernel_mode,
+        team_sections: Vec::new(),
+    }
+}
+
+#[test]
+fn kernel_mode_roundtrips_through_sections() {
+    for mode in [KernelMode::Strict, KernelMode::Fast] {
+        let back = TrainerSnapshot::from_sections(&snapshot(mode).to_sections()).unwrap();
+        assert_eq!(back.kernel_mode, mode);
+    }
+}
+
+#[test]
+fn missing_kernel_mode_section_means_strict() {
+    // Checkpoints written before the fast-math tier carry no section;
+    // strict was the only mode that existed.
+    let sections: Vec<_> = snapshot(KernelMode::Fast)
+        .to_sections()
+        .into_iter()
+        .filter(|(name, _)| name != "kernel_mode")
+        .collect();
+    let back = TrainerSnapshot::from_sections(&sections).unwrap();
+    assert_eq!(back.kernel_mode, KernelMode::Strict);
+}
+
+#[test]
+fn unknown_mode_byte_is_malformed() {
+    let mut sections = snapshot(KernelMode::Strict).to_sections();
+    for (name, bytes) in &mut sections {
+        if name == "kernel_mode" {
+            bytes[0] = 9;
+        }
+    }
+    let err = TrainerSnapshot::from_sections(&sections).unwrap_err();
+    assert!(
+        matches!(&err, CheckpointError::Malformed(what) if what.contains("kernel_mode")),
+        "{err}"
+    );
+}
+
+#[test]
+fn verify_refuses_cross_mode_and_accepts_matching() {
+    let _guard = lock();
+    // The active mode in an untouched process is strict.
+    assert_eq!(hero_autograd::kernel_mode(), KernelMode::Strict);
+    snapshot(KernelMode::Strict).verify_kernel_mode().unwrap();
+    let err = snapshot(KernelMode::Fast).verify_kernel_mode().unwrap_err();
+    match &err {
+        CheckpointError::KernelModeMismatch { saved, active } => {
+            assert_eq!(saved, "fast");
+            assert_eq!(active, "strict");
+        }
+        other => panic!("expected KernelModeMismatch, got {other}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("fast") && msg.contains("strict"), "{msg}");
+}
+
+/// Runs a tiny resuming training job against `dir` on a scratch thread
+/// and returns the panic message, if any. A thread keeps the
+/// mode-refusal panic out of this process's test harness accounting and
+/// lets callers restore global state afterwards.
+fn resume_outcome(dir: &std::path::Path) -> Result<(), String> {
+    let dir = dir.to_path_buf();
+    std::thread::spawn(move || {
+        let env_cfg = EnvConfig {
+            max_steps: 4,
+            ..EnvConfig::default()
+        };
+        let skills = Arc::new(SkillLibrary::untrained(
+            env_cfg,
+            SacConfig {
+                hidden: 8,
+                ..SacConfig::default()
+            },
+            0,
+        ));
+        let cfg = HeroConfig {
+            hidden: 8,
+            batch_size: 8,
+            warmup: 8,
+            ..HeroConfig::default()
+        };
+        let mut team = HeroTeam::new(2, env_cfg.high_dim(), skills, cfg, 1);
+        let mut env = scenario::two_vehicle_merge(env_cfg, 3);
+        train_team_checkpointed(
+            &mut team,
+            &mut env,
+            &TrainOptions {
+                episodes: 3,
+                update_every: 4,
+                seed: 7,
+            },
+            &CheckpointConfig {
+                dir: Some(dir),
+                resume: true,
+                ..CheckpointConfig::default()
+            },
+        );
+    })
+    .join()
+    .map(|_| ())
+    .map_err(|p| {
+        p.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic".to_string())
+    })
+}
+
+fn store_snapshot(tag: &str, mode: KernelMode) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hero-modeckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = CheckpointStore::open(&dir, 2).unwrap();
+    assert!(store.save(&snapshot(mode).to_sections(), &FaultPlan::none()));
+    dir
+}
+
+#[test]
+fn strict_run_refuses_fast_checkpoint() {
+    let _guard = lock();
+    let dir = store_snapshot("fast-under-strict", KernelMode::Fast);
+    let msg = resume_outcome(&dir).expect_err("resume must panic on mode mismatch");
+    assert!(
+        msg.contains("refusing to resume") && msg.contains("kernel mode"),
+        "panic message should name the refusal: {msg}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(feature = "fast-math")]
+#[test]
+fn fast_run_refuses_strict_checkpoint() {
+    let _guard = lock();
+    let dir = store_snapshot("strict-under-fast", KernelMode::Strict);
+    hero_autograd::set_kernel_mode(KernelMode::Fast).unwrap();
+    let outcome = resume_outcome(&dir);
+    // Restore before asserting so a failure can't poison other tests.
+    hero_autograd::set_kernel_mode(KernelMode::Strict).unwrap();
+    let msg = outcome.expect_err("resume must panic on mode mismatch");
+    assert!(
+        msg.contains("refusing to resume") && msg.contains("`strict`"),
+        "panic message should name the saved mode: {msg}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The matching direction still resumes: a strict checkpoint under a
+/// strict runtime is accepted (the refusal is specific, not blanket).
+#[test]
+fn matching_mode_resumes_cleanly() {
+    let _guard = lock();
+    let dir = store_snapshot("strict-under-strict", KernelMode::Strict);
+    resume_outcome(&dir).expect("matching-mode resume must not panic");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -315,6 +315,54 @@ fn compare(report: &mut DiffReport, what: String, a: f64, b: f64, tol: f64, abs_
     report.lines.push(DiffLine { what, a, b, delta_pct, within });
 }
 
+/// A tolerance override scoped to qualified-quantity-name prefixes, used
+/// by [`diff_tolerance`]. Quantity names are the `what` strings of
+/// [`DiffLine`]: `counter/<name>/total`, `value/<name>/count`,
+/// `value/<name>/mean|min|max` — so `counter/` targets every counter,
+/// `value/sac.` every SAC diagnostic, and a full name exactly one
+/// quantity. The longest matching prefix wins.
+#[derive(Clone, Debug, Default)]
+pub struct PrefixTolerance {
+    /// Prefix of the qualified quantity name this override applies to.
+    pub prefix: String,
+    /// Relative tolerance override (`None` keeps the base `rtol`).
+    pub rtol: Option<f64>,
+    /// Absolute tolerance override (`None` keeps the base `atol`).
+    pub atol: Option<f64>,
+}
+
+/// Tolerance-mode diff for runs that are reproducible but not bitwise
+/// comparable — fast-math runs differ from their golden at the ULP when
+/// the host's ISA (and therefore kernel instantiation) differs, so CI
+/// gates them with `|b - a| <= atol + rtol * max(|a|, |b|)` instead of
+/// the bitwise/legacy tolerances of [`diff_with`].
+///
+/// `overrides` refine `rtol`/`atol` per qualified-name prefix (longest
+/// match wins), e.g. pin `counter/` to zero — event counts must match
+/// exactly even when float statistics may drift. `ignore_prefixes` works
+/// as in [`diff_with`] (matched against the bare metric name).
+#[must_use]
+pub fn diff_tolerance(
+    a: &Run,
+    b: &Run,
+    rtol: f64,
+    atol: f64,
+    overrides: &[PrefixTolerance],
+    ignore_prefixes: &[String],
+) -> DiffReport {
+    let tol_for = |what: &str| {
+        let best = overrides
+            .iter()
+            .filter(|o| what.starts_with(o.prefix.as_str()))
+            .max_by_key(|o| o.prefix.len());
+        match best {
+            Some(o) => (o.rtol.unwrap_or(rtol), o.atol.unwrap_or(atol)),
+            None => (rtol, atol),
+        }
+    };
+    diff_core(a, b, ignore_prefixes, &tol_for)
+}
+
 /// Compares run `b` (candidate) against run `a` (baseline).
 ///
 /// Counter totals and value `count`/`mean`/`min`/`max` are compared under
@@ -335,20 +383,44 @@ pub fn diff(a: &Run, b: &Run, tol: &Tolerances) -> DiffReport {
 /// still match the uninterrupted run bit-for-bit.
 #[must_use]
 pub fn diff_with(a: &Run, b: &Run, tol: &Tolerances, ignore_prefixes: &[String]) -> DiffReport {
+    let tol = *tol;
+    let tol_for = move |what: &str| {
+        if what.starts_with("counter/") {
+            (tol.counter, tol.abs_floor)
+        } else if what.ends_with("/count") {
+            (tol.count, tol.abs_floor)
+        } else {
+            (tol.value, tol.abs_floor)
+        }
+    };
+    diff_core(a, b, ignore_prefixes, &tol_for)
+}
+
+/// Shared walk over both runs' counters and value statistics; every
+/// quantity's `(rtol, atol)` pair comes from `tol_for`, keyed by the
+/// qualified name (`counter/<name>/total`, `value/<name>/mean`, ...).
+fn diff_core(
+    a: &Run,
+    b: &Run,
+    ignore_prefixes: &[String],
+    tol_for: &dyn Fn(&str) -> (f64, f64),
+) -> DiffReport {
     let ignored = |name: &str| ignore_prefixes.iter().any(|p| name.starts_with(p.as_str()));
+    let push = |report: &mut DiffReport, what: String, a: f64, b: f64| {
+        let (rtol, atol) = tol_for(&what);
+        compare(report, what, a, b, rtol, atol);
+    };
     let mut report = DiffReport::default();
     for (name, ca) in &a.counters {
         if ignored(name) {
             continue;
         }
         match b.counters.get(name) {
-            Some(cb) => compare(
+            Some(cb) => push(
                 &mut report,
                 format!("counter/{name}/total"),
                 ca.total as f64,
                 cb.total as f64,
-                tol.counter,
-                tol.abs_floor,
             ),
             None => report.missing.push(format!("counter {name:?} absent from candidate")),
         }
@@ -364,27 +436,18 @@ pub fn diff_with(a: &Run, b: &Run, tol: &Tolerances, ignore_prefixes: &[String])
         }
         match b.values.get(name) {
             Some(vb) => {
-                compare(
+                push(
                     &mut report,
                     format!("value/{name}/count"),
                     va.count as f64,
                     vb.count as f64,
-                    tol.count,
-                    tol.abs_floor,
                 );
                 for (fieldname, fa, fb) in [
                     ("mean", va.mean, vb.mean),
                     ("min", va.min, vb.min),
                     ("max", va.max, vb.max),
                 ] {
-                    compare(
-                        &mut report,
-                        format!("value/{name}/{fieldname}"),
-                        fa,
-                        fb,
-                        tol.value,
-                        tol.abs_floor,
-                    );
+                    push(&mut report, format!("value/{name}/{fieldname}"), fa, fb);
                 }
             }
             None => report.missing.push(format!("value {name:?} absent from candidate")),
@@ -535,6 +598,54 @@ pub fn throughput_report(run: &Run) -> String {
                 let _ = writeln!(out, "throughput  {label:<15}        n/a  (counter {counter:?} absent)");
             }
         }
+    }
+    out
+}
+
+/// Kernel-throughput summary from a `BENCH_train_throughput.json` next to
+/// the run (searched in the run directory, then the current directory).
+/// Prints the recorded matmul GFLOP/s — per kernel tier when the bench
+/// was produced by a fast-math build — so `doctor` shows at a glance
+/// whether the machine's measured compute matches expectations. Empty
+/// when no bench file is found or it predates the GFLOP/s fields:
+/// absence of a benchmark is not a pathology.
+#[must_use]
+pub fn bench_report(run_path: &Path) -> String {
+    let run_dir = if run_path.is_dir() { run_path } else { run_path.parent().unwrap_or(run_path) };
+    let mut out = String::new();
+    for dir in [run_dir, Path::new(".")] {
+        let path = dir.join("BENCH_train_throughput.json");
+        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        let Ok(fields) = hero_telemetry::emit::parse_json_object(&text) else {
+            let _ = writeln!(out, "bench  {} unreadable (not a JSON object)", path.display());
+            return out;
+        };
+        let num = |key: &str| fields.get(key).and_then(JsonValue::as_f64);
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        if let Some(g) = num("matmul_gflops_strict").or_else(|| num("matmul_gflops")) {
+            rows.push(("matmul GFLOP/s (strict)".into(), g));
+        }
+        if let Some(g) = num("matmul_gflops_fast") {
+            rows.push(("matmul GFLOP/s (fast)".into(), g));
+            for t in [1usize, 2, 4] {
+                if let Some(gt) = num(&format!("matmul_gflops_fast_t{t}")) {
+                    rows.push((format!("matmul GFLOP/s (fast, {t} thr)"), gt));
+                }
+            }
+            if let Some(s) = num("fast_vs_strict_speedup") {
+                rows.push(("fast / strict speedup".into(), s));
+            }
+        }
+        if rows.is_empty() {
+            return out;
+        }
+        let dim = num("matmul_mode_dim").or_else(|| num("matmul_dim")).unwrap_or(0.0);
+        let isa = fields.get("isa").and_then(JsonValue::as_str).unwrap_or("unknown");
+        let _ = writeln!(out, "bench  {} (dim {dim:.0}, isa {isa})", path.display());
+        for (label, v) in rows {
+            let _ = writeln!(out, "bench  {label:<28} {v:>10.1}");
+        }
+        return out;
     }
     out
 }
@@ -780,6 +891,87 @@ mod tests {
         b.counters.get_mut("episodes").unwrap().rate_per_s = 1e9;
         b.elapsed_s = 1e9;
         assert!(!diff(&a, &b, &Tolerances::default()).is_regression());
+    }
+
+    #[test]
+    fn tolerance_diff_gates_on_rtol_and_atol() {
+        let a = parse_run(BASE).unwrap();
+        let mut b = a.clone();
+        // 10% drift on a value mean: inside rtol 0.2, outside rtol 0.05.
+        b.values.get_mut("entropy/agent0").unwrap().mean = 1.05 * 1.1;
+        assert!(!diff_tolerance(&a, &b, 0.2, 0.0, &[], &[]).is_regression());
+        assert!(diff_tolerance(&a, &b, 0.05, 0.0, &[], &[]).is_regression());
+        // A pure atol catches the same drift in absolute terms.
+        assert!(!diff_tolerance(&a, &b, 0.0, 0.2, &[], &[]).is_regression());
+        assert!(diff_tolerance(&a, &b, 0.0, 0.05, &[], &[]).is_regression());
+    }
+
+    #[test]
+    fn tolerance_diff_prefix_override_longest_match_wins() {
+        let a = parse_run(BASE).unwrap();
+        let mut b = a.clone();
+        b.counters.get_mut("grad_updates").unwrap().total = 101;
+        // Base rtol is generous, but `counter/` pinned to zero trips on a
+        // one-count drift.
+        let pin_counters = [PrefixTolerance {
+            prefix: "counter/".into(),
+            rtol: Some(0.0),
+            atol: Some(0.0),
+        }];
+        assert!(!diff_tolerance(&a, &b, 0.5, 0.0, &[], &[]).is_regression());
+        assert!(diff_tolerance(&a, &b, 0.5, 0.0, &pin_counters, &[]).is_regression());
+        // A longer, more specific prefix re-opens one counter.
+        let reopened = [
+            pin_counters[0].clone(),
+            PrefixTolerance {
+                prefix: "counter/grad_updates/".into(),
+                rtol: Some(0.5),
+                atol: None,
+            },
+        ];
+        assert!(!diff_tolerance(&a, &b, 0.5, 0.0, &reopened, &[]).is_regression());
+    }
+
+    #[test]
+    fn tolerance_diff_honors_ignore_prefixes_and_missing_metrics() {
+        let a = parse_run(BASE).unwrap();
+        let mut b = a.clone();
+        b.values.remove("entropy/agent0");
+        let report = diff_tolerance(&a, &b, 0.5, 0.0, &[], &[]);
+        assert!(report.is_regression());
+        assert!(report.missing[0].contains("absent from candidate"));
+        let ignore = ["entropy/".to_string()];
+        assert!(!diff_tolerance(&a, &b, 0.5, 0.0, &[], &ignore).is_regression());
+    }
+
+    #[test]
+    fn bench_report_reads_gflops_fields() {
+        let dir = std::env::temp_dir().join(format!("hero-benchrep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_train_throughput.json"),
+            "{\"bench\": \"train_throughput\", \"isa\": \"avx512f\", \"matmul_mode_dim\": 256,\n \
+             \"matmul_gflops_strict\": 34.8, \"matmul_gflops_fast\": 90.9,\n \
+             \"matmul_gflops_fast_t1\": 90.9, \"fast_vs_strict_speedup\": 2.61}",
+        )
+        .unwrap();
+        let text = bench_report(&dir);
+        assert!(text.contains("34.8") && text.contains("90.9"), "{text}");
+        assert!(text.contains("avx512f") && text.contains("dim 256"), "{text}");
+        assert!(text.contains("speedup"), "{text}");
+        // A run *file* inside the directory resolves to the same report.
+        let via_file = bench_report(&dir.join("telemetry.jsonl"));
+        assert_eq!(via_file, text);
+        // Legacy bench files (strict-only field names) still report.
+        std::fs::write(
+            dir.join("BENCH_train_throughput.json"),
+            "{\"matmul_dim\": 128, \"matmul_gflops\": 36.9}",
+        )
+        .unwrap();
+        let text = bench_report(&dir);
+        assert!(text.contains("36.9") && text.contains("strict"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Training-throughput benchmark. Runs the criterion microbenches (naive vs
-# register-tiled matmul kernels, naive vs arena-reusing train step) plus a
+# register-tiled matmul kernels, strict vs fast-math GEMM tiers with the
+# 1/2/4-thread scaling curve, naive vs arena-reusing train step) plus a
 # short end-to-end fig7-style training run, and writes the summary JSON to
 # BENCH_train_throughput.json at the repo root. Each run also appends one
-# line to BENCH_history.jsonl ({"sha","date","bench"}) so throughput can
-# be tracked across commits.
+# line to BENCH_history.jsonl ({"sha","date","isa","threads","bench"}) so
+# throughput can be tracked across commits and machines.
 #
 # Usage: scripts/bench.sh [--quick]
 #   --quick   shorter warm-up/measurement windows (what CI runs)
@@ -17,7 +18,10 @@ ROOT=$(pwd)
 # path must be absolute to land at the repo root.
 export HERO_BENCH_OUT="$ROOT/BENCH_train_throughput.json"
 
-cargo bench -p hero-bench --bench train_throughput -- "$@"
+# Built with fast-math so the kernel-tier comparison measures both GEMM
+# tiers; the strict numbers are unaffected (the feature only *adds* the
+# opt-in fast path — the default dispatch stays the strict kernel).
+cargo bench -p hero-bench --features fast-math --bench train_throughput -- "$@"
 
 echo "--- $HERO_BENCH_OUT"
 cat "$HERO_BENCH_OUT"
@@ -31,7 +35,16 @@ import json, sys
 sha, date, path = sys.argv[1:4]
 with open(path) as f:
     bench = json.load(f)
-entry = {"sha": sha, "date": date, "bench": bench}
+entry = {
+    "sha": sha,
+    "date": date,
+    # Denormalized from the bench payload: which ISA tier the kernels
+    # dispatched to and how many GEMM threads produced the best fast
+    # number, so history rows are comparable across machines at a glance.
+    "isa": bench.get("isa", "unknown"),
+    "threads": int(bench.get("gemm_threads", 1)),
+    "bench": bench,
+}
 with open("BENCH_history.jsonl", "a") as f:
     f.write(json.dumps(entry, sort_keys=True) + "\n")
 EOF

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate, telemetry smoke test, and the learning-dynamics golden
-# diff. Run from anywhere.
+# Tier-1 gate, telemetry smoke test, the learning-dynamics golden diff,
+# and the fast-math kernel lane. Run from anywhere.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -144,27 +144,44 @@ required = [
     "env_steps_per_s", "grad_updates_per_s",
     "rollout_worlds", "env_steps_per_sec_scalar", "env_steps_per_sec_batched",
     "rollout_batch_speedup",
+    # Kernel-tier comparison (bench.sh builds with --features fast-math,
+    # so the fast points must be real measurements, not the 0.0 stubs).
+    "matmul_mode_dim", "matmul_gflops_strict", "matmul_gflops_fast",
+    "matmul_gflops_fast_t1", "matmul_gflops_fast_t2", "matmul_gflops_fast_t4",
+    "fast_vs_strict_speedup", "gemm_threads",
 ]
 missing = [k for k in required if k not in bench]
 assert not missing, f"BENCH_train_throughput.json missing {missing}"
 bad = [k for k in required if not (isinstance(bench[k], (int, float)) and bench[k] > 0)]
 assert not bad, f"non-positive bench fields: {bad}"
+assert isinstance(bench.get("isa"), str) and bench["isa"], f"bad isa: {bench.get('isa')!r}"
+# The packed FMA tier must beat the strict tiled kernel convincingly;
+# 1.5x here is the noise-proof CI floor (the committed full-length run
+# records >= 2x, the acceptance headline).
+assert bench["fast_vs_strict_speedup"] >= 1.5, \
+    f"fast tier only {bench['fast_vs_strict_speedup']}x over strict"
 print(f"  speedup {bench['train_step_speedup']}x, "
       f"{bench['matmul_gflops']} GFLOP/s, "
       f"{bench['env_steps_per_s']} env_steps/s, "
       f"rollout {bench['rollout_batch_speedup']}x @ "
       f"{int(bench['rollout_worlds'])} worlds")
+print(f"  kernel tiers ({bench['isa']}): strict {bench['matmul_gflops_strict']} "
+      f"vs fast {bench['matmul_gflops_fast']} GFLOP/s "
+      f"({bench['fast_vs_strict_speedup']}x) @ dim {int(bench['matmul_mode_dim'])}")
 
 # bench.sh also appends one history entry per run; the newest line must
-# be valid JSONL carrying the commit, an ISO date, and the full bench.
+# be valid JSONL carrying the commit, an ISO date, the machine's ISA and
+# GEMM thread count, and the full bench.
 with open("BENCH_history.jsonl") as f:
     lines = [ln for ln in f.read().splitlines() if ln.strip()]
 assert lines, "BENCH_history.jsonl is empty"
 entry = json.loads(lines[-1])
-missing = {"sha", "date", "bench"} - set(entry)
+missing = {"sha", "date", "isa", "threads", "bench"} - set(entry)
 assert not missing, f"BENCH_history.jsonl entry missing {missing}"
 assert entry["bench"].get("train_step_speedup", 0) > 0, entry
-print(f"  history: {len(lines)} entries, newest {entry['sha']} @ {entry['date']}")
+assert entry["threads"] >= 1 and entry["isa"], entry
+print(f"  history: {len(lines)} entries, newest {entry['sha']} @ {entry['date']} "
+      f"({entry['isa']}, {entry['threads']} thr)")
 EOF
 
 echo "=== kill-and-resume smoke"
@@ -218,5 +235,41 @@ grep -q '^checkpoint/fallback,1,' "$CRASH/tel-c/counters.csv" \
     || { echo "expected checkpoint/fallback=1 after corrupting the newest checkpoint"; \
          cat "$CRASH/tel-c/counters.csv"; exit 1; }
 rm -rf "$CRASH"
+
+echo "=== fast-math lane"
+# The opt-in GEMM tier: packed FMA kernels behind --features fast-math.
+# This lane runs LAST because it rebuilds target/release binaries with
+# the feature on (the default dispatch is still strict, so the rebuilt
+# binaries behave identically unless --kernel-mode fast is passed).
+#
+# 1. The kernel property suite: fast kernels vs an f64-accumulated
+#    reference over ragged shapes, and bit-identical reruns at 1/2/4
+#    GEMM threads.
+cargo test -q --release -p hero-autograd --features fast-math \
+    --test fastmath_kernel_props
+# 2. Checkpoint mode hygiene: a checkpoint written under one kernel mode
+#    refuses to resume under the other (both directions with the feature).
+cargo test -q --release -p hero-core --features fast-math \
+    --test kernel_mode_mismatch
+# 3. Seeded fast-math smoke, gated against the fast golden with relative
+#    tolerance: fast runs are reproducible but only ULP-close to their
+#    golden when the host ISA (kernel instantiation) differs, so float
+#    statistics get rtol 0.4 while event counts stay exact
+#    (--rtol-prefix counter/:0).
+cargo build --release -q -p hero-bench --features fast-math \
+    --bin fig10_opponent_loss
+FAST=$(mktemp -d /tmp/hero-fast.XXXXXX)
+./target/release/fig10_opponent_loss \
+    --episodes 6 --eval-episodes 1 --skill-episodes 2 --batch-size 8 \
+    --update-every 1 --seed 7 --kernel-mode fast --out "$FAST/exp" \
+    --telemetry-out "$FAST/tel" >/dev/null
+./target/release/hero-inspect diff \
+    tests/golden/diag_baseline_fast.jsonl "$FAST/tel" \
+    --rtol 0.4 --atol 1e-3 --rtol-prefix counter/:0 --fail-on-regression
+# The fast run must identify itself in telemetry.
+grep -q '^kernel/fast_math,1,' "$FAST/tel/counters.csv" \
+    || { echo "fast run did not record kernel/fast_math"; \
+         cat "$FAST/tel/counters.csv"; exit 1; }
+rm -rf "$FAST"
 
 echo "=== CI passed"
