@@ -3,8 +3,9 @@
 //! --update-every K --batch-size N --skill-episodes N
 //! --telemetry-out DIR --trace-out FILE --metrics-addr HOST:PORT
 //! --paper-scale --checkpoint-every N --checkpoint-dir DIR
-//! --checkpoint-retain K --resume --fault-plan SPEC --actors N
-//! --batch-worlds N --kernel-mode strict|fast --gemm-threads N`.
+//! --checkpoint-retain K --checkpoint-retry N --resume --fault-plan SPEC
+//! --actors N --batch-worlds N --stall-timeout-ms MS --max-respawns N
+//! --respawn-backoff-ms MS --kernel-mode strict|fast --gemm-threads N`.
 
 use std::path::PathBuf;
 
@@ -61,6 +62,19 @@ pub struct ExperimentArgs {
     /// World replicas per actor; `> 1` switches HERO training to the
     /// batched actor/learner engine.
     pub batch_worlds: usize,
+    /// How long the learner waits on an actor reply before declaring it
+    /// stalled, in milliseconds.
+    pub stall_timeout_ms: u64,
+    /// How many times the supervisor respawns a failed actor slot before
+    /// retiring it permanently.
+    pub max_respawns: usize,
+    /// Base of the deterministic exponential respawn backoff in
+    /// milliseconds (`0` disables the sleep).
+    pub respawn_backoff_ms: u64,
+    /// How many times a failed checkpoint save is retried (on top of the
+    /// first attempt), with a deterministic exponential backoff counted
+    /// under `checkpoint/retries`.
+    pub checkpoint_retry: usize,
     /// GEMM kernel tier: `strict` (default, bitwise-deterministic) or
     /// `fast` (packed FMA kernels; requires a `--features fast-math`
     /// build). Recorded in telemetry and checkpoint metadata — resuming a
@@ -94,6 +108,10 @@ impl ExperimentArgs {
             fault_plan: None,
             actors: 1,
             batch_worlds: 1,
+            stall_timeout_ms: 30_000,
+            max_respawns: RolloutOptions::default().max_respawns,
+            respawn_backoff_ms: RolloutOptions::default().respawn_backoff_ms,
+            checkpoint_retry: hero_core::checkpoint::DEFAULT_SAVE_ATTEMPTS - 1,
             kernel_mode: KernelMode::Strict,
             gemm_threads: 1,
         }
@@ -146,6 +164,18 @@ impl ExperimentArgs {
                 "--batch-worlds" => {
                     out.batch_worlds = value("--batch-worlds").parse().expect("usize")
                 }
+                "--stall-timeout-ms" => {
+                    out.stall_timeout_ms = value("--stall-timeout-ms").parse().expect("u64")
+                }
+                "--max-respawns" => {
+                    out.max_respawns = value("--max-respawns").parse().expect("usize")
+                }
+                "--respawn-backoff-ms" => {
+                    out.respawn_backoff_ms = value("--respawn-backoff-ms").parse().expect("u64")
+                }
+                "--checkpoint-retry" => {
+                    out.checkpoint_retry = value("--checkpoint-retry").parse().expect("usize")
+                }
                 "--kernel-mode" => {
                     let raw = value("--kernel-mode");
                     out.kernel_mode = raw
@@ -161,7 +191,7 @@ impl ExperimentArgs {
                     out.update_every = 1;
                 }
                 other => panic!(
-                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--trace-out/--metrics-addr/--checkpoint-every/--checkpoint-dir/--checkpoint-retain/--resume/--fault-plan/--actors/--batch-worlds/--kernel-mode/--gemm-threads/--paper-scale"
+                    "unknown flag {other}; expected --episodes/--eval-episodes/--seed/--out/--update-every/--batch-size/--skill-episodes/--telemetry-out/--trace-out/--metrics-addr/--checkpoint-every/--checkpoint-dir/--checkpoint-retain/--resume/--fault-plan/--actors/--batch-worlds/--stall-timeout-ms/--max-respawns/--respawn-backoff-ms/--checkpoint-retry/--kernel-mode/--gemm-threads/--paper-scale"
                 ),
             }
         }
@@ -195,15 +225,21 @@ impl ExperimentArgs {
             retain: self.checkpoint_retain,
             fault_plan,
             kill_mode: KillMode::Exit,
+            save_attempts: self.checkpoint_retry + 1,
+            ..CheckpointConfig::default()
         }
     }
 
     /// Builds the [`RolloutOptions`] for HERO training from `--actors` /
-    /// `--batch-worlds`.
+    /// `--batch-worlds` and the supervision knobs (`--stall-timeout-ms`,
+    /// `--max-respawns`, `--respawn-backoff-ms`).
     pub fn rollout_options(&self) -> RolloutOptions {
         RolloutOptions {
             actors: self.actors.max(1),
             batch_worlds: self.batch_worlds.max(1),
+            stall_timeout: std::time::Duration::from_millis(self.stall_timeout_ms.max(1)),
+            max_respawns: self.max_respawns,
+            respawn_backoff_ms: self.respawn_backoff_ms,
             ..RolloutOptions::default()
         }
     }
@@ -320,6 +356,56 @@ mod tests {
         assert_eq!(ro.actors, 3);
         assert_eq!(ro.batch_worlds, 4);
         assert!(ro.is_distributed());
+    }
+
+    #[test]
+    fn supervision_flags_parse_and_reach_rollout_options() {
+        let d = ExperimentArgs::defaults(10);
+        assert_eq!(d.stall_timeout_ms, 30_000);
+        assert_eq!(d.max_respawns, RolloutOptions::default().max_respawns);
+        assert_eq!(d.respawn_backoff_ms, RolloutOptions::default().respawn_backoff_ms);
+        let a = ExperimentArgs::parse(
+            ExperimentArgs::defaults(10),
+            strs(&[
+                "--stall-timeout-ms",
+                "250",
+                "--max-respawns",
+                "5",
+                "--respawn-backoff-ms",
+                "0",
+            ]),
+        );
+        let ro = a.rollout_options();
+        assert_eq!(ro.stall_timeout, std::time::Duration::from_millis(250));
+        assert_eq!(ro.max_respawns, 5);
+        assert_eq!(ro.respawn_backoff_ms, 0);
+        // A zero timeout would spin the learner; it is clamped to 1 ms.
+        let z = ExperimentArgs::parse(
+            ExperimentArgs::defaults(10),
+            strs(&["--stall-timeout-ms", "0"]),
+        );
+        assert_eq!(z.rollout_options().stall_timeout, std::time::Duration::from_millis(1));
+    }
+
+    #[test]
+    fn checkpoint_retry_flag_sets_save_attempts() {
+        let d = ExperimentArgs::defaults(10);
+        assert_eq!(
+            d.checkpoint_config("HERO").save_attempts,
+            hero_core::checkpoint::DEFAULT_SAVE_ATTEMPTS,
+            "the default retry budget matches the store's"
+        );
+        let a = ExperimentArgs::parse(
+            ExperimentArgs::defaults(10),
+            strs(&["--checkpoint-retry", "4"]),
+        );
+        assert_eq!(a.checkpoint_retry, 4);
+        assert_eq!(a.checkpoint_config("HERO").save_attempts, 5, "N retries = N + 1 attempts");
+        let none = ExperimentArgs::parse(
+            ExperimentArgs::defaults(10),
+            strs(&["--checkpoint-retry", "0"]),
+        );
+        assert_eq!(none.checkpoint_config("HERO").save_attempts, 1, "0 = single attempt");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use hero_baselines::sac::{SacAgent, SacConfig};
 use hero_bench::{
-    build_method, load_or_train_skills, print_eval_row, train_policy_distributed, ExperimentArgs,
+    build_method, load_or_train_skills, print_eval_row, exit_on_train_error, train_policy_distributed, ExperimentArgs,
     Method, MethodParams,
 };
 use hero_core::config::HeroConfig;
@@ -148,7 +148,7 @@ fn main() {
             Some((skills, HeroConfig::default())),
         );
         eprintln!("ablation: training HERO...");
-        let rec = train_policy_distributed(
+        let rec = exit_on_train_error(train_policy_distributed(
             &mut policy,
             &mut env,
             args.episodes,
@@ -156,7 +156,7 @@ fn main() {
             args.seed,
             &args.checkpoint_config("HERO"),
             &args.rollout_options(),
-        );
+        ));
         for metric in ["reward", "collision"] {
             if let Some(series) = rec.smoothed(metric, 100) {
                 for v in series {

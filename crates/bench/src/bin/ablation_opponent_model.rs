@@ -4,7 +4,7 @@
 //! scenario and compares learning curves and final greedy metrics.
 
 use hero_bench::{
-    build_method, load_or_train_skills, print_eval_row, train_policy_distributed, ExperimentArgs,
+    build_method, load_or_train_skills, print_eval_row, exit_on_train_error, train_policy_distributed, ExperimentArgs,
     Method, MethodParams,
 };
 use hero_core::config::HeroConfig;
@@ -44,7 +44,7 @@ fn main() {
             Some((skills.clone(), cfg)),
         );
         eprintln!("ablation: training {label}...");
-        let rec = train_policy_distributed(
+        let rec = exit_on_train_error(train_policy_distributed(
             &mut policy,
             &mut env,
             args.episodes,
@@ -52,7 +52,7 @@ fn main() {
             args.seed,
             &args.checkpoint_config(label),
             &args.rollout_options(),
-        );
+        ));
         for metric in ["reward", "collision", "success"] {
             if let Some(series) = rec.smoothed(metric, 100) {
                 for v in series {

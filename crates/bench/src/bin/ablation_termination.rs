@@ -5,7 +5,7 @@
 //! costs (or buys) in learning terms.
 
 use hero_bench::{
-    build_method, load_or_train_skills, print_eval_row, train_policy_distributed, ExperimentArgs,
+    build_method, load_or_train_skills, print_eval_row, exit_on_train_error, train_policy_distributed, ExperimentArgs,
     Method, MethodParams,
 };
 use hero_core::config::{HeroConfig, TerminationMode};
@@ -46,7 +46,7 @@ fn main() {
             Some((skills.clone(), cfg)),
         );
         eprintln!("ablation: training {label}...");
-        let rec = train_policy_distributed(
+        let rec = exit_on_train_error(train_policy_distributed(
             &mut policy,
             &mut env,
             args.episodes,
@@ -54,7 +54,7 @@ fn main() {
             args.seed,
             &args.checkpoint_config(label),
             &args.rollout_options(),
-        );
+        ));
         for metric in ["reward", "collision", "success"] {
             if let Some(series) = rec.smoothed(metric, 100) {
                 for v in series {

@@ -2,7 +2,7 @@
 //! classifies collision causes (wall vs vehicle-vehicle) — handy when
 //! tuning scenarios or debugging learned behavior.
 
-use hero_bench::{load_or_train_skills, ExperimentArgs};
+use hero_bench::{exit_on_train_error, load_or_train_skills, ExperimentArgs};
 use hero_core::config::HeroConfig;
 use hero_core::trainer::{HeroTeam, TrainOptions};
 use hero_sim::env::EnvConfig;
@@ -23,7 +23,7 @@ fn main() {
     };
     let mut env = scenario::congestion(env_cfg, args.seed);
     let mut team = HeroTeam::new(3, env_cfg.high_dim(), skills.clone(), cfg, args.seed);
-    let _ = hero_core::rollout::train_team_actor_learner(
+    let _ = exit_on_train_error(hero_core::rollout::train_team_actor_learner(
         &mut team,
         &mut env,
         &TrainOptions {
@@ -33,7 +33,7 @@ fn main() {
         },
         &args.checkpoint_config("HERO"),
         &args.rollout_options(),
-    );
+    ));
 
     // Greedy probes with narration.
     let mut rng = StdRng::seed_from_u64(123);

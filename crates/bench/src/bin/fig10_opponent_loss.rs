@@ -5,7 +5,7 @@
 //! behaviour couples to vehicle 2's observations.
 
 use hero_bench::{
-    build_method, load_or_train_skills, train_policy_distributed, ExperimentArgs, Method,
+    build_method, load_or_train_skills, exit_on_train_error, train_policy_distributed, ExperimentArgs, Method,
     MethodParams,
 };
 use hero_core::config::HeroConfig;
@@ -32,7 +32,7 @@ fn main() {
         Some((skills, HeroConfig::default())),
     );
     eprintln!("fig10: training HERO for {} episodes...", args.episodes);
-    let _ = train_policy_distributed(
+    let _ = exit_on_train_error(train_policy_distributed(
         &mut policy,
         &mut env,
         args.episodes,
@@ -40,7 +40,7 @@ fn main() {
         args.seed,
         &args.checkpoint_config("HERO"),
         &args.rollout_options(),
-    );
+    ));
 
     let hero_bench::TrainedPolicy::Hero(team) = &policy else {
         unreachable!("built HERO above");

@@ -3,7 +3,7 @@
 //! the highest, and ≈0.048 for MAAC, the lowest).
 
 use hero_bench::{
-    build_method, load_or_train_skills, print_eval_row, train_policy_distributed, ExperimentArgs,
+    build_method, load_or_train_skills, print_eval_row, exit_on_train_error, train_policy_distributed, ExperimentArgs,
     Method, MethodParams,
 };
 use hero_core::config::HeroConfig;
@@ -37,7 +37,7 @@ fn main() {
             Some((skills.clone(), hero_cfg)),
         );
         eprintln!("fig11: training {}...", method.name());
-        let _ = train_policy_distributed(
+        let _ = exit_on_train_error(train_policy_distributed(
             &mut policy,
             &mut env,
             args.episodes,
@@ -45,7 +45,7 @@ fn main() {
             args.seed,
             &args.checkpoint_config(method.name()),
             &args.rollout_options(),
-        );
+        ));
         let stats = policy.evaluate(&mut env, args.eval_episodes, args.seed ^ 0x51ED);
         print_eval_row(method.name(), &stats);
         rec.push("mean_speed", stats.mean_speed);

@@ -7,7 +7,7 @@
 //! and prints the final-window comparison the figure's right edge shows.
 
 use hero_bench::{
-    build_method, load_or_train_skills, train_policy_distributed, ExperimentArgs, Method,
+    build_method, load_or_train_skills, exit_on_train_error, train_policy_distributed, ExperimentArgs, Method,
     MethodParams,
 };
 use hero_core::config::HeroConfig;
@@ -45,7 +45,7 @@ fn main() {
             Some((skills.clone(), hero_cfg)),
         );
         eprintln!("fig7: training {}...", method.name());
-        let rec = train_policy_distributed(
+        let rec = exit_on_train_error(train_policy_distributed(
             &mut policy,
             &mut env,
             args.episodes,
@@ -53,7 +53,7 @@ fn main() {
             args.seed,
             &args.checkpoint_config(method.name()),
             &args.rollout_options(),
-        );
+        ));
         for metric in ["reward", "collision", "success", "mean_speed"] {
             if let Some(series) = rec.smoothed(metric, 100) {
                 for v in series {

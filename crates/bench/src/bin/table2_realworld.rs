@@ -6,7 +6,7 @@
 //! rate, mean speed.
 
 use hero_bench::{
-    build_method, load_or_train_skills, print_eval_row, train_policy_distributed, ExperimentArgs,
+    build_method, load_or_train_skills, print_eval_row, exit_on_train_error, train_policy_distributed, ExperimentArgs,
     Method, MethodParams,
 };
 use hero_core::config::HeroConfig;
@@ -41,7 +41,7 @@ fn main() {
             Some((skills.clone(), hero_cfg)),
         );
         eprintln!("table2: training {} in simulation...", method.name());
-        let _ = train_policy_distributed(
+        let _ = exit_on_train_error(train_policy_distributed(
             &mut policy,
             &mut sim,
             args.episodes,
@@ -49,7 +49,7 @@ fn main() {
             args.seed,
             &args.checkpoint_config(method.name()),
             &args.rollout_options(),
-        );
+        ));
         // Deploy: same scenario behind the domain gap.
         let mut testbed = SimToRealEnv::new(
             env_cfg,

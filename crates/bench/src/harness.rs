@@ -17,7 +17,8 @@ use hero_core::config::HeroConfig;
 use hero_core::rollout::{train_team_actor_learner, RolloutOptions};
 use hero_core::skills::SkillLibrary;
 use hero_core::trainer::{
-    evaluate_team, train_team_checkpointed, CheckpointConfig, EvalStats, HeroTeam, TrainOptions,
+    evaluate_team, train_team_checkpointed, CheckpointConfig, EvalStats, HeroTeam, TrainError,
+    TrainOptions,
 };
 use hero_faultplan::KillMode;
 use hero_rl::metrics::Recorder;
@@ -385,12 +386,33 @@ pub fn train_policy<W: CooperativeWorld>(
         seed,
         &CheckpointConfig::default(),
     )
+    .expect("default checkpoint config cannot fail")
+}
+
+/// Unwraps a training result for a binary's main path: a typed
+/// [`TrainError`] (resume refusal, fleet lost) flushes telemetry, prints
+/// the message, and exits nonzero — no panic backtrace, no silent
+/// partial run.
+pub fn exit_on_train_error<T>(result: Result<T, TrainError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            let _ = telemetry::flush();
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// [`train_policy`] with crash safety: HERO gets full checkpoint/resume
 /// and fault injection through
 /// [`train_team_checkpointed`]; the flat baselines honor kill faults only
 /// (see [`train_baseline_faulted`] for why resume is HERO-only).
+///
+/// # Errors
+///
+/// Propagates [`TrainError`] from the HERO trainer (a refused cross-mode
+/// resume); the baselines cannot fail typed.
 pub fn train_policy_checkpointed<W: CooperativeWorld>(
     policy: &mut TrainedPolicy,
     env: &mut W,
@@ -398,22 +420,20 @@ pub fn train_policy_checkpointed<W: CooperativeWorld>(
     update_every: usize,
     seed: u64,
     ckpt: &CheckpointConfig,
-) -> Recorder {
+) -> Result<Recorder, TrainError> {
     match policy {
-        TrainedPolicy::Hero(team) => {
-            train_team_checkpointed(
-                team,
-                env,
-                &TrainOptions {
-                    episodes,
-                    update_every,
-                    seed,
-                },
-                ckpt,
-            )
-            .recorder
-        }
-        TrainedPolicy::Baseline(algo) => train_baseline_faulted(
+        TrainedPolicy::Hero(team) => Ok(train_team_checkpointed(
+            team,
+            env,
+            &TrainOptions {
+                episodes,
+                update_every,
+                seed,
+            },
+            ckpt,
+        )?
+        .recorder),
+        TrainedPolicy::Baseline(algo) => Ok(train_baseline_faulted(
             algo.as_mut(),
             env,
             &BaselineTrainOptions {
@@ -422,7 +442,7 @@ pub fn train_policy_checkpointed<W: CooperativeWorld>(
                 seed,
             },
             ckpt,
-        ),
+        )),
     }
 }
 
@@ -434,6 +454,11 @@ pub fn train_policy_checkpointed<W: CooperativeWorld>(
 ///
 /// Requires a concrete [`hero_sim::env::LaneChangeEnv`] because actor
 /// threads rebuild world replicas from its config/spawns/seed.
+///
+/// # Errors
+///
+/// Propagates [`TrainError`] from the engine: a refused cross-mode
+/// resume, or a lost actor fleet after the respawn budget is exhausted.
 #[allow(clippy::too_many_arguments)]
 pub fn train_policy_distributed(
     policy: &mut TrainedPolicy,
@@ -443,22 +468,20 @@ pub fn train_policy_distributed(
     seed: u64,
     ckpt: &CheckpointConfig,
     rollout: &RolloutOptions,
-) -> Recorder {
+) -> Result<Recorder, TrainError> {
     match policy {
-        TrainedPolicy::Hero(team) if rollout.is_distributed() => {
-            train_team_actor_learner(
-                team,
-                env,
-                &TrainOptions {
-                    episodes,
-                    update_every,
-                    seed,
-                },
-                ckpt,
-                rollout,
-            )
-            .recorder
-        }
+        TrainedPolicy::Hero(team) if rollout.is_distributed() => Ok(train_team_actor_learner(
+            team,
+            env,
+            &TrainOptions {
+                episodes,
+                update_every,
+                seed,
+            },
+            ckpt,
+            rollout,
+        )?
+        .recorder),
         TrainedPolicy::Baseline(_) if rollout.is_distributed() => {
             telemetry::progress(
                 "flat baselines train sequentially; ignoring --actors/--batch-worlds",

@@ -62,9 +62,9 @@ pub mod harness;
 
 pub use args::ExperimentArgs;
 pub use harness::{
-    build_method, evaluate_baseline, train_baseline, train_baseline_faulted, train_policy,
-    train_policy_checkpointed, train_policy_distributed, BaselineTrainOptions, Method,
-    MethodParams, TrainedPolicy,
+    build_method, evaluate_baseline, exit_on_train_error, train_baseline, train_baseline_faulted,
+    train_policy, train_policy_checkpointed, train_policy_distributed, BaselineTrainOptions,
+    Method, MethodParams, TrainedPolicy,
 };
 
 use std::sync::Arc;

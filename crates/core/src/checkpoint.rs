@@ -30,8 +30,13 @@ pub const FILE_PREFIX: &str = "ckpt-";
 pub const FILE_EXT: &str = ".hero";
 /// Version tag of the snapshot layout inside the "meta" section.
 const SNAPSHOT_VERSION: u32 = 1;
-/// Write attempts before a save degrades to a counted drop.
-const MAX_SAVE_ATTEMPTS: usize = 3;
+/// Default write attempts before a save degrades to a counted drop
+/// (override per store with [`CheckpointStore::set_max_attempts`]).
+pub const DEFAULT_SAVE_ATTEMPTS: usize = 3;
+/// Default backoff base: retry `k` sleeps `DEFAULT_BACKOFF_BASE_MS << k`
+/// milliseconds (override with [`CheckpointStore::set_backoff_base_ms`];
+/// 0 disables sleeping, which is what tests use).
+pub const DEFAULT_BACKOFF_BASE_MS: u64 = 1;
 
 /// Per-world rollout state captured by the batched actor/learner loop:
 /// every replica's environment RNG stream and joint last-options vector.
@@ -268,6 +273,8 @@ pub struct CheckpointStore {
     dir: PathBuf,
     retain: usize,
     next_index: u64,
+    max_attempts: usize,
+    backoff_base_ms: u64,
 }
 
 impl CheckpointStore {
@@ -289,7 +296,22 @@ impl CheckpointStore {
             dir,
             retain: retain.max(1),
             next_index,
+            max_attempts: DEFAULT_SAVE_ATTEMPTS,
+            backoff_base_ms: DEFAULT_BACKOFF_BASE_MS,
         })
+    }
+
+    /// Overrides the write attempts per save (`--checkpoint-retry N` gives
+    /// `N` retries, i.e. `N + 1` attempts). Clamped to at least one.
+    pub fn set_max_attempts(&mut self, attempts: usize) {
+        self.max_attempts = attempts.max(1);
+    }
+
+    /// Overrides the retry backoff base: retry `k` sleeps `base << k`
+    /// milliseconds. The schedule is fully deterministic (no jitter);
+    /// `0` disables sleeping entirely, so tests pay no wall-clock cost.
+    pub fn set_backoff_base_ms(&mut self, base_ms: u64) {
+        self.backoff_base_ms = base_ms;
     }
 
     /// The directory checkpoints are written to.
@@ -318,7 +340,7 @@ impl CheckpointStore {
         let path = self.dir.join(format!("{FILE_PREFIX}{index:08}{FILE_EXT}"));
         telemetry::counter_add("checkpoint/attempts", 1);
         let write_t0 = (!telemetry::disabled()).then(std::time::Instant::now);
-        for attempt in 0..MAX_SAVE_ATTEMPTS {
+        for attempt in 0..self.max_attempts {
             let result = if plan.io_error_at(index as usize, attempt) {
                 Err(CheckpointError::Io(std::io::Error::new(
                     std::io::ErrorKind::Other,
@@ -347,9 +369,19 @@ impl CheckpointStore {
                 }
                 Err(_) => {
                     telemetry::counter_add("checkpoint/save_failed", 1);
-                    if attempt + 1 < MAX_SAVE_ATTEMPTS {
-                        telemetry::counter_add("checkpoint/save_retries", 1);
-                        std::thread::sleep(Duration::from_millis(1 << attempt));
+                    if attempt + 1 < self.max_attempts {
+                        telemetry::counter_add("checkpoint/retries", 1);
+                        if self.backoff_base_ms > 0 {
+                            // Deterministic exponential schedule, no jitter:
+                            // retry k sleeps base << k ms (capped at ~4s so a
+                            // large --checkpoint-retry cannot stall training
+                            // for minutes).
+                            let ms = self
+                                .backoff_base_ms
+                                .saturating_mul(1u64 << attempt.min(12))
+                                .min(4096);
+                            std::thread::sleep(Duration::from_millis(ms));
+                        }
                     }
                 }
             }
@@ -533,6 +565,43 @@ mod tests {
     }
 
     #[test]
+    fn load_latest_falls_back_past_multiple_consecutive_corrupt_files() {
+        let dir = temp_dir("multifallback");
+        let mut store = CheckpointStore::open(&dir, 4).unwrap();
+        for tag in 1..=4u8 {
+            store.save(&dummy_sections(tag), &FaultPlan::none());
+        }
+        // Corrupt the newest THREE files, each a different way: truncation,
+        // a CRC-breaking bit flip, and outright garbage.
+        let files = list_checkpoints(&dir).unwrap();
+        assert_eq!(files.len(), 4);
+        let bytes = std::fs::read(&files[3].1).unwrap();
+        std::fs::write(&files[3].1, &bytes[..bytes.len() / 2]).unwrap();
+        hero_faultplan::corrupt_file(&files[2].1, hero_faultplan::CorruptMode::BitFlip).unwrap();
+        std::fs::write(&files[1].1, b"not a checkpoint").unwrap();
+
+        let loaded = load_latest(&dir).unwrap().expect("oldest checkpoint still valid");
+        assert_eq!(loaded.index, 0);
+        assert_eq!(loaded.corrupt_skipped, 3, "every newer corrupt file is counted");
+        assert_eq!(loaded.sections[0].1, vec![1u8; 64]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_latest_yields_none_when_every_file_is_corrupt() {
+        let dir = temp_dir("allcorrupt");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        for tag in 1..=2u8 {
+            store.save(&dummy_sections(tag), &FaultPlan::none());
+        }
+        for (_, path) in list_checkpoints(&dir).unwrap() {
+            std::fs::write(path, b"garbage").unwrap();
+        }
+        assert!(load_latest(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn io_faults_retry_then_succeed_or_drop() {
         let dir = temp_dir("iofault");
         let mut store = CheckpointStore::open(&dir, 3).unwrap();
@@ -546,6 +615,32 @@ mod tests {
         assert!(store.save(&dummy_sections(3), &FaultPlan::none()));
         let loaded = load_latest(&dir).unwrap().unwrap();
         assert_eq!(loaded.index, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retry_budget_is_configurable_and_backoff_can_be_disabled() {
+        let dir = temp_dir("retrycfg");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        store.set_backoff_base_ms(0); // deterministic AND free of wall-clock cost
+        // One attempt only: a transient first-attempt fault now drops the
+        // save instead of being retried away.
+        store.set_max_attempts(1);
+        let plan = FaultPlan::parse("io-err@save:0").unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(!store.save(&dummy_sections(1), &plan));
+        // Five attempts: a fault injected on attempts 0..4 would still fail,
+        // but the plain transient fault (attempt 0 only) succeeds on retry.
+        store.set_max_attempts(5);
+        let plan = FaultPlan::parse("io-err@save:1").unwrap();
+        assert!(store.save(&dummy_sections(2), &plan));
+        // disk-full is persistent: even five attempts end in a counted drop.
+        let plan = FaultPlan::parse("disk-full@save:2").unwrap();
+        assert!(!store.save(&dummy_sections(3), &plan));
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "zero-base backoff must not sleep through retries"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -67,5 +67,5 @@ pub use rollout::{train_team_actor_learner, RolloutOptions};
 pub use skills::{SkillLibrary, SkillTrainingConfig};
 pub use trainer::{
     evaluate_team, train_team, train_team_checkpointed, CheckpointConfig, EvalStats, HeroTeam,
-    TeamCursor, TrainOptions, TrainOutcome,
+    TeamCursor, TrainError, TrainOptions, TrainOutcome,
 };

@@ -29,8 +29,43 @@
 //! Waves never cross a `kill@ep:N` or checkpoint boundary, so fault
 //! injection and snapshot cadence behave exactly as in the sequential
 //! loop.
+//!
+//! ## Supervision
+//!
+//! The learner doubles as a supervisor over the actor fleet. Each actor
+//! slot keeps its thread's [`JoinHandle`], so a failure is classified at
+//! detection time: a `recv_timeout` **timeout** is a stall
+//! (`actor/stalled`), a **disconnect** means the thread exited — joining
+//! the handle harvests the panic payload (`actor/panicked`). Failed slots
+//! climb an escalation ladder:
+//!
+//! 1. **Respawn** — while `respawns_used < max_respawns`, the slot gets a
+//!    fresh thread, shard, and channels after a deterministic exponential
+//!    backoff (`respawn_backoff_ms << respawns_used`, capped). Because the
+//!    learner owns every world's RNG stream, each episode's start stream,
+//!    and the per-episode command log, a respawned shard is rebuilt
+//!    bit-identically: reset with the episode-start stream, replay the
+//!    logged commands (discarding already-ingested replies and telemetry),
+//!    and ingest only the missing reply. Counted under `actor/respawned`.
+//! 2. **Degrade** — a slot that exhausts its budget is retired for good
+//!    (`supervisor/degraded`); the run continues on fewer actors, which in
+//!    serial mode cannot perturb a single bit of the output.
+//! 3. **Abort** — when no live actor remains, the learner writes an
+//!    emergency checkpoint if it is at a clean episode boundary (mid-episode
+//!    state is half-ingested and would poison a resume —
+//!    `supervisor/emergency_skipped`), then fails typed with
+//!    [`TrainError::FleetLost`] instead of deadlocking or returning a
+//!    silent partial run.
+//!
+//! Fault-plan actor faults (`stall@actor:N`, `panic@actor:N`,
+//! `slow@actor:N:MS`) apply to generation 0 of a slot only, so a chaos
+//! run's respawned fleet is healthy and the final series, counter totals
+//! (ignoring `actor/` and `supervisor/`), and checkpoint bytes match a
+//! fault-free twin.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -48,7 +83,8 @@ use hero_sim::vehicle::{VehicleCommand, VehicleState};
 
 use crate::checkpoint::{self, CheckpointStore, TrainerSnapshot, WorkerStates};
 use crate::trainer::{
-    restore_snapshot, CheckpointConfig, HeroTeam, TeamCursor, TrainOptions, TrainOutcome,
+    restore_snapshot, CheckpointConfig, HeroTeam, TeamCursor, TrainError, TrainOptions,
+    TrainOutcome,
 };
 
 /// Knobs of the actor/learner rollout engine.
@@ -64,6 +100,14 @@ pub struct RolloutOptions {
     pub channel_capacity: usize,
     /// How long the learner waits on an actor before declaring it stalled.
     pub stall_timeout: Duration,
+    /// How many times the supervisor respawns a failed actor slot before
+    /// retiring it permanently (the escalation ladder's first rung).
+    pub max_respawns: usize,
+    /// Base of the deterministic exponential respawn backoff
+    /// (`respawn_backoff_ms << respawns_used`, capped at 4096 ms). Zero
+    /// disables the sleep entirely; the schedule is wall-clock only and
+    /// never consulted by any training decision.
+    pub respawn_backoff_ms: u64,
 }
 
 impl Default for RolloutOptions {
@@ -73,6 +117,8 @@ impl Default for RolloutOptions {
             batch_worlds: 1,
             channel_capacity: 4,
             stall_timeout: Duration::from_secs(30),
+            max_respawns: 2,
+            respawn_backoff_ms: 10,
         }
     }
 }
@@ -138,6 +184,75 @@ fn flags_of(shard: &BatchWorld, w: usize, n: usize) -> WorldFlags {
     }
 }
 
+/// Fault-plan behavior injected into one actor incarnation. Only
+/// generation 0 of a slot ever carries a fault; respawned incarnations
+/// are always healthy.
+#[derive(Clone, Copy, Debug, Default)]
+struct ActorFault {
+    stall: bool,
+    panic: bool,
+    slow_ms: Option<u64>,
+}
+
+impl ActorFault {
+    fn healthy() -> Self {
+        Self::default()
+    }
+}
+
+/// One supervised actor slot: the live incarnation's channels and join
+/// handle plus the slot's position on the escalation ladder.
+struct ActorSlot {
+    tx: channel::Sender<ToActor>,
+    rx: channel::Receiver<FromActor>,
+    /// Taken when the thread is joined (panic harvest or teardown).
+    handle: Option<JoinHandle<()>>,
+    /// Incarnation counter; generation 0 is the original spawn.
+    generation: u64,
+    respawns_used: usize,
+    /// Permanently degraded: the respawn budget is exhausted and the
+    /// supervisor will never revive this slot.
+    retired: bool,
+}
+
+/// Everything needed to (re)spawn an actor incarnation. Owned data only,
+/// so respawned threads are `'static` and outlive any borrow the learner
+/// holds.
+struct ActorSpawner {
+    env_cfg: EnvConfig,
+    spawns: Vec<VehicleSpawn>,
+    seed: u64,
+    worlds: usize,
+    cap: usize,
+    capture: bool,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ActorSpawner {
+    fn spawn(&self, index: usize, generation: u64, fault: ActorFault) -> ActorSlot {
+        let (tx_cmd, rx_cmd) = channel::bounded::<ToActor>(self.cap);
+        let (tx_res, rx_res) = channel::bounded::<FromActor>(self.cap);
+        let cfg = self.env_cfg;
+        let spawns = self.spawns.clone();
+        let (seed, worlds, capture) = (self.seed, self.worlds, self.capture);
+        let shutdown = Arc::clone(&self.shutdown);
+        let handle = std::thread::Builder::new()
+            .name(format!("hero-actor-{index}-gen{generation}"))
+            .spawn(move || {
+                actor_loop(cfg, spawns, seed, worlds, rx_cmd, tx_res, capture, fault, shutdown)
+            })
+            .expect("spawn actor thread");
+        ActorSlot {
+            tx: tx_cmd,
+            rx: rx_res,
+            handle: Some(handle),
+            generation,
+            respawns_used: 0,
+            retired: false,
+        }
+    }
+}
+
 /// The body of one actor thread: build the world shard, then serve
 /// reset/step requests until the command channel closes. Telemetry emitted
 /// while serving a request is captured and shipped back for the learner to
@@ -153,12 +268,17 @@ fn actor_loop(
     rx: channel::Receiver<ToActor>,
     tx: channel::Sender<FromActor>,
     capture: bool,
-    stalled: bool,
-    shutdown: &AtomicBool,
+    fault: ActorFault,
+    shutdown: Arc<AtomicBool>,
 ) {
-    if stalled {
+    if fault.panic {
+        // Injected fault: die before serving anything. The learner sees
+        // the disconnect and harvests this payload off the join handle.
+        panic!("fault plan: injected actor panic");
+    }
+    if fault.stall {
         // Injected fault: freeze before serving anything, but stay
-        // responsive to shutdown so the scoped join cannot deadlock.
+        // responsive to shutdown so engine teardown cannot deadlock.
         while !shutdown.load(Ordering::Relaxed) {
             std::thread::sleep(Duration::from_millis(2));
         }
@@ -230,6 +350,11 @@ fn actor_loop(
             },
             FromActor::StepDone { steps, .. } => FromActor::StepDone { steps, events },
         };
+        if let Some(ms) = fault.slow_ms {
+            // Injected fault: delay every reply (wall-clock only; the
+            // reply bytes are untouched, so data stays bit-identical).
+            std::thread::sleep(Duration::from_millis(ms));
+        }
         if tx.send(reply).is_err() {
             break;
         }
@@ -277,8 +402,11 @@ struct Learner<'a> {
     track: Track,
     learners: Vec<usize>,
     n_vehicles: usize,
-    to_actor: Vec<channel::Sender<ToActor>>,
-    from_actor: Vec<channel::Receiver<FromActor>>,
+    slots: Vec<ActorSlot>,
+    spawner: ActorSpawner,
+    /// Joined at teardown: threads of replaced incarnations that may
+    /// still be sleeping on the shutdown flag (stalled generation 0s).
+    zombies: Vec<JoinHandle<()>>,
     dead: Vec<bool>,
     start_episode: usize,
     // The `live/` observability plane: wall-clock process state feeding
@@ -323,6 +451,125 @@ impl Learner<'_> {
         }
     }
 
+    /// Marks actor `a` dead after its reply channel disconnected, joining
+    /// the thread to harvest the panic payload (a disconnect means the
+    /// thread already exited, so the join cannot block).
+    fn mark_disconnected(&mut self, a: usize) {
+        if self.dead[a] {
+            return;
+        }
+        self.dead[a] = true;
+        let detail = match self.slots[a].handle.take().map(JoinHandle::join) {
+            Some(Err(payload)) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                format!("panicked: {msg}")
+            }
+            Some(Ok(())) => "exited unexpectedly".to_string(),
+            None => "disconnected".to_string(),
+        };
+        telemetry::counter_add("actor/panicked", 1);
+        telemetry::flight_event(FlightEventKind::ActorPanicked { actor: a as u64 });
+        telemetry::mark_faulted();
+        self.pending_redispatch.push(a);
+        telemetry::progress(&format!("actor {a} {detail}; harvesting its work"));
+    }
+
+    /// The supervisor's ladder, applied to every failed slot: respawn
+    /// while budget remains (fresh thread/shard/channels after a
+    /// deterministic exponential backoff), else retire the slot for good.
+    /// Only called at points where no request is in flight to the slot.
+    fn supervise_failed(&mut self) {
+        for a in 0..self.slots.len() {
+            if !self.dead[a] || self.slots[a].retired {
+                continue;
+            }
+            let used = self.slots[a].respawns_used;
+            if used >= self.rollout.max_respawns {
+                self.slots[a].retired = true;
+                let remaining = self.live_actors() as u64;
+                telemetry::counter_add("supervisor/degraded", 1);
+                telemetry::flight_event(FlightEventKind::SupervisorDegraded {
+                    actor: a as u64,
+                    remaining,
+                });
+                telemetry::progress(&format!(
+                    "actor {a} exhausted its respawn budget; \
+                     continuing degraded on {remaining} actor(s)"
+                ));
+                continue;
+            }
+            let backoff = self
+                .rollout
+                .respawn_backoff_ms
+                .saturating_mul(1u64 << (used as u32).min(12))
+                .min(4096);
+            if backoff > 0 {
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+            let generation = self.slots[a].generation + 1;
+            let mut fresh = self.spawner.spawn(a, generation, ActorFault::healthy());
+            fresh.respawns_used = used + 1;
+            let old = std::mem::replace(&mut self.slots[a], fresh);
+            // Dropping the old channels lets a merely-slow thread exit on
+            // its next send; a stalled one is still sleeping on the
+            // shutdown flag, so park its handle for teardown.
+            if let Some(h) = old.handle {
+                self.zombies.push(h);
+            }
+            self.dead[a] = false;
+            self.outstanding[a] = 0;
+            telemetry::counter_add("actor/respawned", 1);
+            telemetry::flight_event(FlightEventKind::ActorRespawned {
+                actor: a as u64,
+                generation,
+            });
+            telemetry::progress(&format!("actor {a} respawned (generation {generation})"));
+        }
+    }
+
+    /// The ladder's last rung: no live actor remains. Saves an emergency
+    /// checkpoint when at a clean episode boundary (`boundary` carries the
+    /// next episode index and, in batched mode, the worker states), marks
+    /// the run faulted, and returns the typed abort for the caller to
+    /// propagate.
+    fn fleet_lost(
+        &mut self,
+        boundary: Option<(usize, Option<WorkerStates>)>,
+        episodes_run: usize,
+    ) -> TrainError {
+        telemetry::counter_add("supervisor/fleet_lost", 1);
+        telemetry::mark_faulted();
+        let saved = match boundary {
+            Some((next_episode, workers)) => self.save_checkpoint(next_episode, workers),
+            None => {
+                // Mid-episode state is half-ingested; snapshotting it
+                // would poison a resume, so the ladder skips the save.
+                telemetry::counter_add("supervisor/emergency_skipped", 1);
+                false
+            }
+        };
+        if saved {
+            telemetry::counter_add("supervisor/emergency_saved", 1);
+        }
+        telemetry::flight_event(FlightEventKind::EmergencyCheckpoint {
+            episodes: episodes_run as u64,
+            saved: saved as u64,
+        });
+        telemetry::progress(&format!(
+            "actor fleet lost after {episodes_run} episode(s); emergency checkpoint {}",
+            if saved { "saved" } else { "not saved" }
+        ));
+        let _ = telemetry::flush();
+        TrainError::FleetLost {
+            episodes_run,
+            emergency_checkpoint_saved: saved,
+        }
+    }
+
     fn live_actors(&self) -> usize {
         self.dead.iter().filter(|d| !**d).count()
     }
@@ -348,13 +595,14 @@ impl Learner<'_> {
 
     /// Sends a request to actor `a`, timing how long the bounded channel
     /// blocked and maintaining the queue-depth plane. Returns `false` on
-    /// disconnect (caller decides whether that stalls the actor).
+    /// disconnect (caller classifies the failure via
+    /// [`Self::mark_disconnected`]).
     fn send_to(&mut self, a: usize, msg: ToActor) -> bool {
         if telemetry::disabled() {
-            return self.to_actor[a].send(msg).is_ok();
+            return self.slots[a].tx.send(msg).is_ok();
         }
         let t0 = Instant::now();
-        let ok = self.to_actor[a].send(msg).is_ok();
+        let ok = self.slots[a].tx.send(msg).is_ok();
         telemetry::live_observe(
             &self.names.blocked_send[a],
             t0.elapsed().as_secs_f64() * 1e6,
@@ -367,20 +615,21 @@ impl Learner<'_> {
         ok
     }
 
-    /// Receives one message from actor `a`, marking it stalled (and
-    /// returning `None`) on timeout or disconnect.
+    /// Receives one message from actor `a`, classifying failures: a
+    /// timeout marks it stalled, a disconnect joins the thread and
+    /// harvests its panic. Returns `None` on either.
     fn recv(&mut self, a: usize) -> Option<FromActor> {
         if telemetry::disabled() {
-            return match self.from_actor[a].recv_timeout(self.rollout.stall_timeout) {
+            return match self.slots[a].rx.recv_timeout(self.rollout.stall_timeout) {
                 Ok(m) => Some(m),
-                Err(_) => {
-                    self.mark_stalled(a);
+                Err(e) => {
+                    self.note_recv_failure(a, e);
                     None
                 }
             };
         }
         let t0 = Instant::now();
-        match self.from_actor[a].recv_timeout(self.rollout.stall_timeout) {
+        match self.slots[a].rx.recv_timeout(self.rollout.stall_timeout) {
             Ok(m) => {
                 // The learner's wait for this reply approximates the
                 // actor's busy time (request/reply protocol); its ratio
@@ -399,10 +648,17 @@ impl Learner<'_> {
                 self.refresh_live_gauges();
                 Some(m)
             }
-            Err(_) => {
-                self.mark_stalled(a);
+            Err(e) => {
+                self.note_recv_failure(a, e);
                 None
             }
+        }
+    }
+
+    fn note_recv_failure(&mut self, a: usize, e: channel::RecvTimeoutError) {
+        match e {
+            channel::RecvTimeoutError::Timeout => self.mark_stalled(a),
+            channel::RecvTimeoutError::Disconnected => self.mark_disconnected(a),
         }
     }
 
@@ -438,7 +694,19 @@ impl Learner<'_> {
         }
     }
 
-    fn save_checkpoint(&mut self, next_episode: usize, workers: Option<WorkerStates>) {
+    fn worker_states(&self) -> WorkerStates {
+        WorkerStates {
+            rngs: self.world_rng.clone(),
+            last_options: self
+                .cursors
+                .iter()
+                .map(|c| c.last_options().to_vec())
+                .collect(),
+        }
+    }
+
+    /// Returns whether a snapshot actually reached disk.
+    fn save_checkpoint(&mut self, next_episode: usize, workers: Option<WorkerStates>) -> bool {
         self.team.absorb_cursor(&self.cursors[0]);
         let snap = TrainerSnapshot {
             next_episode,
@@ -453,19 +721,175 @@ impl Learner<'_> {
             team_sections: self.team.save_state(),
         };
         if let Some(store) = self.store.as_mut() {
-            store.save(&snap.to_sections(), &self.ckpt.fault_plan);
+            store.save(&snap.to_sections(), &self.ckpt.fault_plan)
+        } else {
+            false
+        }
+    }
+
+    /// Serial-mode recovery from a mid-episode actor failure: rebuild the
+    /// episode on another (or a respawned) actor by reseating the
+    /// episode-start RNG stream and replaying the logged commands. Replies
+    /// and telemetry of already-ingested steps are discarded; the final
+    /// replayed step IS the missing reply, returned for normal ingestion.
+    /// `None` means the fleet is lost.
+    fn rehost_serial(
+        &mut self,
+        episode: usize,
+        ep_rng0: &[u64],
+        cmd_log: &[Vec<VehicleCommand>],
+    ) -> Option<(usize, WorldStepMsg, Vec<CapturedEvent>)> {
+        let actors = self.slots.len();
+        loop {
+            self.supervise_failed();
+            if self.live_actors() == 0 {
+                return None;
+            }
+            'candidates: for offset in 0..actors {
+                let a = (episode + offset) % actors;
+                if self.dead[a] {
+                    continue;
+                }
+                let reset = ToActor::Reset {
+                    world: 0,
+                    rng: ep_rng0.to_vec(),
+                };
+                if !self.send_to(a, reset) {
+                    self.mark_disconnected(a);
+                    continue;
+                }
+                let Some(FromActor::ResetDone { rng, .. }) = self.recv(a) else {
+                    continue; // recv classified the failure
+                };
+                // The replayed reset must land exactly where the original
+                // did — the learner still holds that stream.
+                debug_assert_eq!(rng, self.world_rng[0]);
+                for (i, cmds) in cmd_log.iter().enumerate() {
+                    let step = ToActor::Step {
+                        worlds: vec![0],
+                        commands: vec![cmds.clone()],
+                    };
+                    if !self.send_to(a, step) {
+                        self.mark_disconnected(a);
+                        continue 'candidates;
+                    }
+                    let Some(FromActor::StepDone {
+                        steps: mut step_msgs,
+                        events,
+                    }) = self.recv(a)
+                    else {
+                        continue 'candidates;
+                    };
+                    if i + 1 == cmd_log.len() {
+                        telemetry::counter_add("actor/replayed_steps", i as u64);
+                        telemetry::flight_event(FlightEventKind::Redispatched {
+                            actor: a as u64,
+                            wave: episode as u64,
+                        });
+                        telemetry::progress(&format!(
+                            "episode {episode} recovered on actor {a} after replaying {i} step(s)"
+                        ));
+                        let msg = step_msgs.pop().expect("exactly one world stepped");
+                        return Some((a, msg, events));
+                    }
+                }
+            }
+            // Every candidate died while replaying; climb the ladder again
+            // (respawn budget permitting) or report the fleet lost.
+        }
+    }
+
+    /// Batched-mode recovery: replay actor `a`'s still-running worlds of
+    /// this wave onto a respawned incarnation. Returns `false` when the
+    /// slot is retired (its in-flight episodes are abandoned and re-run as
+    /// fresh episodes by the surviving fleet).
+    fn recover_actor_batched(
+        &mut self,
+        a: usize,
+        worlds_a: &[usize],
+        ep_rng0: &[Vec<u64>],
+        wave_cmd_log: &[Vec<Vec<VehicleCommand>>],
+        wave_no: u64,
+        msgs: &mut [Option<WorldStepMsg>],
+    ) -> bool {
+        let per_actor = self.rollout.batch_worlds;
+        'attempt: loop {
+            self.supervise_failed();
+            if self.dead[a] {
+                telemetry::counter_add("supervisor/abandoned_worlds", worlds_a.len() as u64);
+                telemetry::progress(&format!(
+                    "actor {a} unrecoverable; abandoning {} in-flight episode(s)",
+                    worlds_a.len()
+                ));
+                return false;
+            }
+            let mut replayed = 0u64;
+            for &g in worlds_a {
+                let w = g % per_actor;
+                let reset = ToActor::Reset {
+                    world: w,
+                    rng: ep_rng0[g].clone(),
+                };
+                if !self.send_to(a, reset) {
+                    self.mark_disconnected(a);
+                    continue 'attempt;
+                }
+                let Some(FromActor::ResetDone { .. }) = self.recv(a) else {
+                    continue 'attempt;
+                };
+                let log = &wave_cmd_log[g];
+                for (i, cmds) in log.iter().enumerate() {
+                    let step = ToActor::Step {
+                        worlds: vec![w],
+                        commands: vec![cmds.clone()],
+                    };
+                    if !self.send_to(a, step) {
+                        self.mark_disconnected(a);
+                        continue 'attempt;
+                    }
+                    let Some(FromActor::StepDone {
+                        steps: mut step_msgs,
+                        events,
+                    }) = self.recv(a)
+                    else {
+                        continue 'attempt;
+                    };
+                    if i + 1 == log.len() {
+                        telemetry::replay(events);
+                        msgs[g] = Some(step_msgs.pop().expect("exactly one world stepped"));
+                    } else {
+                        replayed += 1;
+                    }
+                }
+            }
+            telemetry::counter_add("actor/replayed_steps", replayed);
+            telemetry::flight_event(FlightEventKind::Redispatched {
+                actor: a as u64,
+                wave: wave_no,
+            });
+            telemetry::progress(&format!(
+                "wave {wave_no} recovered actor {a}'s {} world(s) after replaying {replayed} step(s)",
+                worlds_a.len()
+            ));
+            return true;
         }
     }
 
     /// Serial mode: one episode at a time, round-robin over live actors,
     /// single learner-owned environment stream. Bit-identical to
-    /// [`crate::trainer::train_team_checkpointed`].
-    fn serial_run(&mut self) -> (bool, usize) {
-        let actors = self.to_actor.len();
+    /// [`crate::trainer::train_team_checkpointed`] — including across
+    /// actor failures, because every episode can be replayed from its
+    /// start stream and command log.
+    fn serial_run(&mut self) -> Result<(bool, usize), TrainError> {
+        let actors = self.slots.len();
         let mut episodes_run = 0usize;
         for episode in self.start_episode..self.opts.episodes {
             if let Some(out) = self.kill_check(episode, episodes_run) {
-                return out;
+                return Ok(out);
+            }
+            self.supervise_failed();
+            if self.live_actors() == 0 {
+                return Err(self.fleet_lost(Some((episode, None)), episodes_run));
             }
             // Serial mode: one episode == one wave of one world.
             let wave_t0 = Instant::now();
@@ -473,54 +897,67 @@ impl Learner<'_> {
                 wave: episode as u64,
                 worlds: 1,
             });
+            // The episode's start stream: everything after this point can
+            // be replayed onto a fresh shard from it plus the command log.
+            let ep_rng0 = self.world_rng[0].clone();
             // Host the episode on the round-robin actor, skipping (and
-            // re-dispatching past) stalled ones. Nothing of the episode
+            // re-dispatching past) failed ones. Nothing of the episode
             // has been ingested until ResetDone arrives, so retrying the
             // reset on another actor is side-effect free.
-            let mut hosted = None;
-            for offset in 0..actors {
-                let a = (episode + offset) % actors;
-                if self.dead[a] {
-                    continue;
-                }
-                let msg = ToActor::Reset {
-                    world: 0,
-                    rng: self.world_rng[0].clone(),
-                };
-                if !self.send_to(a, msg) {
-                    self.mark_stalled(a);
-                    continue;
-                }
-                match self.recv(a) {
-                    Some(FromActor::ResetDone {
-                        observations,
-                        states,
-                        rng,
-                        flags,
-                        events,
-                        ..
-                    }) => {
-                        telemetry::replay(events);
-                        self.world_rng[0] = rng;
-                        if offset > 0 {
-                            // The round-robin host was dead or stalled:
-                            // this actor took the episode over.
-                            telemetry::flight_event(FlightEventKind::Redispatched {
-                                actor: a as u64,
-                                wave: episode as u64,
-                            });
-                        }
-                        hosted = Some((observations, states, flags, a));
-                        break;
+            let hosted = loop {
+                let mut hosted = None;
+                for offset in 0..actors {
+                    let a = (episode + offset) % actors;
+                    if self.dead[a] {
+                        continue;
                     }
-                    _ => continue, // stalled: recv already marked it
+                    let msg = ToActor::Reset {
+                        world: 0,
+                        rng: self.world_rng[0].clone(),
+                    };
+                    if !self.send_to(a, msg) {
+                        self.mark_disconnected(a);
+                        continue;
+                    }
+                    match self.recv(a) {
+                        Some(FromActor::ResetDone {
+                            observations,
+                            states,
+                            rng,
+                            flags,
+                            events,
+                            ..
+                        }) => {
+                            telemetry::replay(events);
+                            self.world_rng[0] = rng;
+                            if offset > 0 {
+                                // The round-robin host was dead or failed:
+                                // this actor took the episode over.
+                                telemetry::flight_event(FlightEventKind::Redispatched {
+                                    actor: a as u64,
+                                    wave: episode as u64,
+                                });
+                            }
+                            hosted = Some((observations, states, flags, a));
+                            break;
+                        }
+                        _ => continue, // recv classified the failure
+                    }
                 }
-            }
-            self.pending_redispatch.clear();
-            let Some((mut obs, mut states, mut flags, actor)) = hosted else {
-                return (false, episodes_run); // every actor stalled
+                self.pending_redispatch.clear();
+                if let Some(h) = hosted {
+                    break h;
+                }
+                // Every actor failed while hosting this (side-effect free)
+                // reset: climb the ladder and retry, or abort cleanly.
+                self.supervise_failed();
+                if self.live_actors() == 0 {
+                    return Err(self.fleet_lost(Some((episode, None)), episodes_run));
+                }
             };
+            let (mut obs, mut states, mut flags, mut actor) = hosted;
             self.cursors[0].begin_episode();
+            let mut cmd_log: Vec<Vec<VehicleCommand>> = Vec::new();
             let mut ep_reward = 0.0f32;
             let mut ep_speed = 0.0f32;
             let mut steps = 0usize;
@@ -537,26 +974,36 @@ impl Learner<'_> {
                     self.rng,
                     true,
                 );
-                let msg = ToActor::Step {
-                    worlds: vec![0],
-                    commands: vec![commands],
+                cmd_log.push(commands.clone());
+                let delivered = 'deliver: {
+                    let msg = ToActor::Step {
+                        worlds: vec![0],
+                        commands: vec![commands],
+                    };
+                    if self.send_to(actor, msg) {
+                        if let Some(FromActor::StepDone {
+                            steps: mut step_msgs,
+                            events,
+                        }) = self.recv(actor)
+                        {
+                            let msg = step_msgs.pop().expect("exactly one world stepped");
+                            break 'deliver Some((actor, msg, events));
+                        }
+                    } else {
+                        self.mark_disconnected(actor);
+                    }
+                    // The host failed mid-episode. Steps 0..k-1 are already
+                    // ingested, but the learner owns the episode-start RNG
+                    // and the full command log, so a fresh shard replays
+                    // the episode bit-identically.
+                    self.rehost_serial(episode, &ep_rng0, &cmd_log)
                 };
-                if !self.send_to(actor, msg) {
-                    self.mark_stalled(actor);
-                    return (false, episodes_run);
-                }
-                let Some(FromActor::StepDone {
-                    steps: mut step_msgs,
-                    events,
-                }) = self.recv(actor)
-                else {
-                    // A mid-episode stall cannot be replayed safely (half
-                    // the step stream is already ingested): surface an
-                    // incomplete run instead of deadlocking.
-                    return (false, episodes_run);
+                let Some((host, msg, events)) = delivered else {
+                    drop(rollout_span);
+                    return Err(self.fleet_lost(None, episodes_run));
                 };
+                actor = host;
                 telemetry::replay(events);
-                let msg = step_msgs.pop().expect("exactly one world stepped");
                 self.team.record_in(
                     &mut self.cursors[0],
                     &self.track,
@@ -594,13 +1041,13 @@ impl Learner<'_> {
                 self.save_checkpoint(episode + 1, None);
             }
         }
-        (true, episodes_run)
+        Ok((true, episodes_run))
     }
 
     /// Batched mode: waves of episodes across all world replicas, with
     /// per-wave resets, batched policy forwards, and batched world steps.
-    fn batched_run(&mut self) -> (bool, usize) {
-        let actors = self.to_actor.len();
+    fn batched_run(&mut self) -> Result<(bool, usize), TrainError> {
+        let actors = self.slots.len();
         let per_actor = self.rollout.batch_worlds;
         let total = actors * per_actor;
         let n_agents = self.learners.len();
@@ -613,10 +1060,14 @@ impl Learner<'_> {
 
         while completed_total < self.opts.episodes {
             if let Some(out) = self.kill_check(completed_total, episodes_run) {
-                return out;
+                return Ok(out);
             }
+            self.supervise_failed();
             if self.live_actors() == 0 {
-                return (false, episodes_run);
+                let workers = self.worker_states();
+                return Err(
+                    self.fleet_lost(Some((completed_total, Some(workers))), episodes_run)
+                );
             }
             // Wave size: every live world runs one episode, capped so the
             // wave never crosses the remaining-episode count, a scheduled
@@ -641,10 +1092,10 @@ impl Learner<'_> {
                 wave: wave_no,
                 worlds: assigned.len() as u64,
             });
-            // Worlds stranded on previously stalled actors are folded back
+            // Worlds stranded on previously failed actors are folded back
             // into this wave's live assignment.
             if !assigned.is_empty() {
-                for _stalled in std::mem::take(&mut self.pending_redispatch) {
+                for _failed in std::mem::take(&mut self.pending_redispatch) {
                     telemetry::flight_event(FlightEventKind::Redispatched {
                         actor: (assigned[0] / per_actor) as u64,
                         wave: wave_no,
@@ -654,18 +1105,22 @@ impl Learner<'_> {
 
             // Reset the wave's worlds (grouped per actor, received in
             // actor order — deterministic regardless of thread timing).
+            // Each world's start stream is kept for mid-wave replay.
+            let mut ep_rng0: Vec<Vec<u64>> = vec![Vec::new(); total];
+            let mut wave_cmd_log: Vec<Vec<Vec<VehicleCommand>>> = vec![Vec::new(); total];
             let mut sent = vec![0usize; actors];
             for &g in &assigned {
                 let a = g / per_actor;
                 if self.dead[a] {
                     continue;
                 }
+                ep_rng0[g] = self.world_rng[g].clone();
                 let msg = ToActor::Reset {
                     world: g % per_actor,
                     rng: self.world_rng[g].clone(),
                 };
                 if !self.send_to(a, msg) {
-                    self.mark_stalled(a);
+                    self.mark_disconnected(a);
                 } else {
                     sent[a] += 1;
                 }
@@ -694,12 +1149,12 @@ impl Learner<'_> {
                             self.cursors[g].begin_episode();
                             active.push(g);
                         }
-                        _ => break, // recv marked the actor stalled
+                        _ => break, // recv classified the actor's failure
                     }
                 }
             }
             if active.is_empty() {
-                continue; // all reset targets stalled; retry on live actors
+                continue; // all reset targets failed; retry after supervision
             }
 
             let mut ep_reward = vec![0.0f32; total];
@@ -712,6 +1167,7 @@ impl Learner<'_> {
                 // are batched per agent into one matmul; the RNG draws
                 // stay strictly in world order.
                 let mut msgs: Vec<Option<WorldStepMsg>> = (0..total).map(|_| None).collect();
+                let mut abandoned: Vec<usize> = Vec::new();
                 {
                     let _rollout_span = telemetry::span("rollout");
                     let mut logits: Vec<Vec<Option<Vec<f32>>>> =
@@ -755,34 +1211,62 @@ impl Learner<'_> {
                             self.rng,
                             true,
                         );
+                        wave_cmd_log[g].push(commands.clone());
                         let a = g / per_actor;
                         groups[a].0.push(g % per_actor);
                         groups[a].1.push(commands);
                     }
+                    let mut failed_send = vec![false; actors];
                     for (a, (worlds, commands)) in groups.into_iter().enumerate() {
                         if worlds.is_empty() {
                             continue;
                         }
                         if !self.send_to(a, ToActor::Step { worlds, commands }) {
-                            self.mark_stalled(a);
-                            return (false, episodes_run);
+                            self.mark_disconnected(a);
+                            failed_send[a] = true;
                         }
                     }
                     for a in 0..actors {
-                        if !running.iter().any(|&g| g / per_actor == a) {
+                        let worlds_a: Vec<usize> = running
+                            .iter()
+                            .copied()
+                            .filter(|&g| g / per_actor == a)
+                            .collect();
+                        if worlds_a.is_empty() {
                             continue;
                         }
-                        let Some(FromActor::StepDone { steps, events }) = self.recv(a) else {
-                            // Mid-episode stall: half-ingested episodes
-                            // cannot be replayed — fail the run cleanly.
-                            return (false, episodes_run);
-                        };
-                        telemetry::replay(events);
-                        for m in steps {
-                            let g = a * per_actor + m.world;
-                            msgs[g] = Some(m);
+                        let ok = !failed_send[a]
+                            && !self.dead[a]
+                            && match self.recv(a) {
+                                Some(FromActor::StepDone { steps, events }) => {
+                                    telemetry::replay(events);
+                                    for m in steps {
+                                        let g = a * per_actor + m.world;
+                                        msgs[g] = Some(m);
+                                    }
+                                    true
+                                }
+                                _ => false,
+                            };
+                        if !ok
+                            && !self.recover_actor_batched(
+                                a,
+                                &worlds_a,
+                                &ep_rng0,
+                                &wave_cmd_log,
+                                wave_no,
+                                &mut msgs,
+                            )
+                        {
+                            if self.live_actors() == 0 {
+                                return Err(self.fleet_lost(None, episodes_run));
+                            }
+                            abandoned.extend(worlds_a);
                         }
                     }
+                }
+                if !abandoned.is_empty() {
+                    running.retain(|g| !abandoned.contains(g));
                 }
 
                 // Phase A: ingest results in global world order.
@@ -838,18 +1322,11 @@ impl Learner<'_> {
                 && self.ckpt.every > 0
                 && completed_total % self.ckpt.every == 0
             {
-                let workers = WorkerStates {
-                    rngs: self.world_rng.clone(),
-                    last_options: self
-                        .cursors
-                        .iter()
-                        .map(|c| c.last_options().to_vec())
-                        .collect(),
-                };
+                let workers = self.worker_states();
                 self.save_checkpoint(completed_total, Some(workers));
             }
         }
-        (true, episodes_run)
+        Ok((true, episodes_run))
     }
 }
 
@@ -883,18 +1360,25 @@ fn record_episode_flags(
 }
 
 /// [`crate::trainer::train_team_checkpointed`] with rollout split across
-/// actor threads (see the module docs for the serial/batched contract).
+/// supervised actor threads (see the module docs for the serial/batched
+/// contract and the escalation ladder).
 ///
 /// After training, `env`'s RNG stream is advanced to world 0's position
 /// and the team's joint last-options vector reflects world 0's cursor, so
 /// downstream evaluation behaves exactly as after a sequential run.
+///
+/// # Errors
+///
+/// [`TrainError::ResumeRefused`] when `--resume` finds a checkpoint from
+/// an incompatible kernel mode, and [`TrainError::FleetLost`] when every
+/// actor slot is dead with the respawn budget exhausted.
 pub fn train_team_actor_learner(
     team: &mut HeroTeam,
     env: &mut LaneChangeEnv,
     opts: &TrainOptions,
     ckpt: &CheckpointConfig,
     rollout: &RolloutOptions,
-) -> TrainOutcome {
+) -> Result<TrainOutcome, TrainError> {
     assert!(rollout.actors >= 1, "need at least one actor thread");
     assert!(rollout.batch_worlds >= 1, "need at least one world per actor");
     let actors = rollout.actors;
@@ -942,7 +1426,7 @@ pub fn train_team_actor_learner(
                             // back to a fresh run.
                             telemetry::progress(&format!("refusing to resume: {e}"));
                             let _ = telemetry::flush();
-                            panic!("refusing to resume: {e}");
+                            return Err(TrainError::ResumeRefused(e));
                         }
                         Err(e) => {
                             telemetry::counter_add("checkpoint/corrupt_skipped", 1);
@@ -958,13 +1442,7 @@ pub fn train_team_actor_learner(
         }
     }
 
-    let mut store = if ckpt.every > 0 {
-        ckpt.dir
-            .as_ref()
-            .and_then(|dir| CheckpointStore::open(dir, ckpt.retain).ok())
-    } else {
-        None
-    };
+    let mut store = ckpt.open_store();
 
     // The learner owns every world's environment RNG stream; world 0 is
     // the canonical env's own stream (so serial mode continues it
@@ -1006,79 +1484,100 @@ pub fn train_team_actor_learner(
     let n_vehicles = env.num_vehicles();
     let cap = rollout.channel_capacity.max(per_actor).max(1);
     let capture = telemetry::is_enabled();
-    let shutdown = AtomicBool::new(false);
-    let env_cfg = *env.config();
-    let spawns: Vec<VehicleSpawn> = env.spawns().to_vec();
-    let proto_seed = env.seed();
+    let shutdown = Arc::new(AtomicBool::new(false));
 
-    let (completed, episodes_run) = crossbeam::thread::scope(|s| {
-        let mut to_actor = Vec::with_capacity(actors);
-        let mut from_actor = Vec::with_capacity(actors);
-        for a in 0..actors {
-            let (tx_cmd, rx_cmd) = channel::bounded::<ToActor>(cap);
-            let (tx_res, rx_res) = channel::bounded::<FromActor>(cap);
-            let stalled = ckpt.fault_plan.stall_actor(a);
-            let spawns = spawns.clone();
-            let shutdown = &shutdown;
-            s.spawn(move || {
-                actor_loop(
-                    env_cfg, spawns, proto_seed, per_actor, rx_cmd, tx_res, capture, stalled,
-                    shutdown,
-                )
-            });
-            to_actor.push(tx_cmd);
-            from_actor.push(rx_res);
+    let spawner = ActorSpawner {
+        env_cfg: *env.config(),
+        spawns: env.spawns().to_vec(),
+        seed: env.seed(),
+        worlds: per_actor,
+        cap,
+        capture,
+        shutdown: Arc::clone(&shutdown),
+    };
+    // Generation 0 carries the fault plan's actor faults; respawned
+    // incarnations are always healthy.
+    let slots: Vec<ActorSlot> = (0..actors)
+        .map(|a| {
+            let fault = ActorFault {
+                stall: ckpt.fault_plan.stall_actor(a),
+                panic: ckpt.fault_plan.panic_actor(a),
+                slow_ms: ckpt.fault_plan.slow_actor_ms(a),
+            };
+            spawner.spawn(a, 0, fault)
+        })
+        .collect();
+
+    let mut learner = Learner {
+        team,
+        rng: &mut rng,
+        rec: &mut rec,
+        cursors: &mut cursors,
+        world_rng: &mut world_rng,
+        step_counter: &mut step_counter,
+        update_counter: &mut update_counter,
+        store: &mut store,
+        opts,
+        ckpt,
+        rollout,
+        track,
+        learners,
+        n_vehicles,
+        slots,
+        spawner,
+        zombies: Vec::new(),
+        dead: vec![false; actors],
+        start_episode,
+        engine_start: Instant::now(),
+        outstanding: vec![0; actors],
+        busy_us: vec![0; actors],
+        wave_no: 0,
+        pending_redispatch: Vec::new(),
+        names: LiveNames::new(actors),
+    };
+    let result = if serial {
+        learner.serial_run()
+    } else {
+        learner.batched_run()
+    };
+    // Teardown: wake any stalled (sleeping) incarnations, close every
+    // command channel, and join all threads — current slots and the
+    // zombies left behind by respawns — so no actor outlives the engine.
+    let slots = std::mem::take(&mut learner.slots);
+    let zombies = std::mem::take(&mut learner.zombies);
+    drop(learner);
+    shutdown.store(true, Ordering::Relaxed);
+    for slot in slots {
+        let ActorSlot { tx, rx, handle, .. } = slot;
+        drop(tx);
+        drop(rx);
+        if let Some(h) = handle {
+            // An injected panic that was never observed mid-run still
+            // surfaces here; the payload is intentionally discarded.
+            let _ = h.join();
         }
-        let mut learner = Learner {
-            team,
-            rng: &mut rng,
-            rec: &mut rec,
-            cursors: &mut cursors,
-            world_rng: &mut world_rng,
-            step_counter: &mut step_counter,
-            update_counter: &mut update_counter,
-            store: &mut store,
-            opts,
-            ckpt,
-            rollout,
-            track,
-            learners,
-            n_vehicles,
-            to_actor,
-            from_actor,
-            dead: vec![false; actors],
-            start_episode,
-            engine_start: Instant::now(),
-            outstanding: vec![0; actors],
-            busy_us: vec![0; actors],
-            wave_no: 0,
-            pending_redispatch: Vec::new(),
-            names: LiveNames::new(actors),
-        };
-        let result = if serial {
-            learner.serial_run()
-        } else {
-            learner.batched_run()
-        };
-        // Wake any stalled (sleeping) actors and close the command
-        // channels so every actor thread exits before the scope joins.
-        drop(learner);
-        shutdown.store(true, Ordering::Relaxed);
-        result
-    });
+    }
+    for h in zombies {
+        let _ = h.join();
+    }
 
     env.set_rng_state(&world_rng[0]);
     team.absorb_cursor(&cursors[0]);
-    if !completed {
-        // Incomplete runs dump the flight recorder on the next flush
-        // (stalls and kills already marked themselves; this covers every
-        // other early-return path).
-        telemetry::mark_faulted();
-    }
-    TrainOutcome {
-        recorder: rec,
-        completed,
-        episodes_run,
+    match result {
+        Ok((completed, episodes_run)) => {
+            if !completed {
+                // Incomplete runs dump the flight recorder on the next
+                // flush (stalls and kills already marked themselves; this
+                // covers every other early-return path).
+                telemetry::mark_faulted();
+            }
+            Ok(TrainOutcome {
+                recorder: rec,
+                completed,
+                episodes_run,
+            })
+        }
+        Err(e) => Err(e),
     }
 }
 
@@ -1141,7 +1640,8 @@ mod tests {
             &opts,
             &CheckpointConfig::default(),
             &RolloutOptions::default(),
-        );
+        )
+        .expect("fault-free run cannot lose its fleet");
         assert!(out.completed);
         assert_eq!(out.episodes_run, 3);
         for name in ["reward", "collision", "mean_speed", "critic_loss"] {
@@ -1177,6 +1677,7 @@ mod tests {
                 &CheckpointConfig::default(),
                 &rollout,
             )
+            .expect("fault-free run cannot lose its fleet")
         };
         let a = run();
         let b = run();

@@ -548,8 +548,60 @@ pub fn train_team<W: CooperativeWorld>(
     opts: &TrainOptions,
 ) -> Recorder {
     // Delegates with checkpointing disabled so the plain and crash-safe
-    // loops cannot drift apart step-for-step.
-    train_team_checkpointed(team, env, opts, &CheckpointConfig::default()).recorder
+    // loops cannot drift apart step-for-step. The default config neither
+    // resumes nor runs actors, so no TrainError variant is reachable.
+    train_team_checkpointed(team, env, opts, &CheckpointConfig::default())
+        .expect("default checkpoint config cannot fail")
+        .recorder
+}
+
+/// A training run that could not start or could not finish, reported as a
+/// typed error so binaries exit nonzero with a message instead of
+/// panicking with a backtrace.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Resuming from the checkpoint directory was refused (e.g. the
+    /// checkpoint was written under a different GEMM kernel mode).
+    /// Starting fresh would silently discard the run, so the caller must
+    /// decide.
+    ResumeRefused(hero_autograd::CheckpointError),
+    /// Every rollout actor died and the supervisor's respawn budget is
+    /// exhausted: the run ends early with a typed abort instead of a
+    /// deadlock or a silent partial result.
+    FleetLost {
+        /// Episodes fully completed before the fleet was lost.
+        episodes_run: usize,
+        /// Whether a boundary-clean emergency checkpoint was durably
+        /// written before aborting (resume picks up from it).
+        emergency_checkpoint_saved: bool,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ResumeRefused(e) => write!(f, "refusing to resume: {e}"),
+            Self::FleetLost { episodes_run, emergency_checkpoint_saved } => write!(
+                f,
+                "actor fleet lost after {episodes_run} completed episode(s) with the respawn \
+                 budget exhausted ({})",
+                if *emergency_checkpoint_saved {
+                    "emergency checkpoint saved; rerun with --resume"
+                } else {
+                    "no boundary-clean state to emergency-checkpoint"
+                }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::ResumeRefused(e) => Some(e),
+            Self::FleetLost { .. } => None,
+        }
+    }
 }
 
 /// How (and whether) [`train_team_checkpointed`] checkpoints and injects
@@ -570,6 +622,12 @@ pub struct CheckpointConfig {
     pub fault_plan: FaultPlan,
     /// How a `kill@ep:N` fault terminates the run.
     pub kill_mode: KillMode,
+    /// Write attempts per checkpoint save before it degrades to a counted
+    /// drop (`--checkpoint-retry N` = `N + 1` attempts).
+    pub save_attempts: usize,
+    /// Retry-backoff base in milliseconds (retry `k` sleeps `base << k`,
+    /// deterministically — no jitter); `0` disables sleeping (tests).
+    pub save_backoff_ms: u64,
 }
 
 impl Default for CheckpointConfig {
@@ -581,7 +639,24 @@ impl Default for CheckpointConfig {
             retain: 3,
             fault_plan: FaultPlan::none(),
             kill_mode: KillMode::Return,
+            save_attempts: checkpoint::DEFAULT_SAVE_ATTEMPTS,
+            save_backoff_ms: checkpoint::DEFAULT_BACKOFF_BASE_MS,
         }
+    }
+}
+
+impl CheckpointConfig {
+    /// Opens the configured checkpoint store (when saving is enabled),
+    /// with the retry budget and backoff schedule applied.
+    pub(crate) fn open_store(&self) -> Option<CheckpointStore> {
+        if self.every == 0 {
+            return None;
+        }
+        let dir = self.dir.as_ref()?;
+        let mut store = CheckpointStore::open(dir, self.retain).ok()?;
+        store.set_max_attempts(self.save_attempts);
+        store.set_backoff_base_ms(self.save_backoff_ms);
+        Some(store)
     }
 }
 
@@ -608,12 +683,18 @@ pub struct TrainOutcome {
 /// and resumed produces bit-identical metric series and telemetry (modulo
 /// the `checkpoint/*` counters themselves) to an uninterrupted run with
 /// the same checkpoint cadence.
+///
+/// # Errors
+///
+/// [`TrainError::ResumeRefused`] when `ckpt.resume` finds a checkpoint
+/// that must not be resumed (kernel-mode mismatch); corrupt checkpoints
+/// fall back or start fresh instead.
 pub fn train_team_checkpointed<W: CooperativeWorld>(
     team: &mut HeroTeam,
     env: &mut W,
     opts: &TrainOptions,
     ckpt: &CheckpointConfig,
-) -> TrainOutcome {
+) -> Result<TrainOutcome, TrainError> {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut rec = Recorder::new();
     let mut step_counter = 0usize;
@@ -653,10 +734,11 @@ pub fn train_team_checkpointed<W: CooperativeWorld>(
                         Err(e @ hero_autograd::CheckpointError::KernelModeMismatch { .. }) => {
                             // A cross-mode resume would diverge from every
                             // golden while looking healthy; starting fresh
-                            // would silently discard the run. Refuse loudly.
+                            // would silently discard the run. Refuse with a
+                            // typed error the binary turns into exit 1.
                             telemetry::progress(&format!("refusing to resume: {e}"));
                             let _ = telemetry::flush();
-                            panic!("refusing to resume: {e}");
+                            return Err(TrainError::ResumeRefused(e));
                         }
                         Err(e) => {
                             telemetry::counter_add("checkpoint/corrupt_skipped", 1);
@@ -672,13 +754,7 @@ pub fn train_team_checkpointed<W: CooperativeWorld>(
         }
     }
 
-    let mut store = if ckpt.every > 0 {
-        ckpt.dir
-            .as_ref()
-            .and_then(|dir| CheckpointStore::open(dir, ckpt.retain).ok())
-    } else {
-        None
-    };
+    let mut store = ckpt.open_store();
 
     let mut episodes_run = 0usize;
     for episode in start_episode..opts.episodes {
@@ -692,11 +768,11 @@ pub fn train_team_checkpointed<W: CooperativeWorld>(
             match ckpt.kill_mode {
                 KillMode::Exit => std::process::exit(137),
                 KillMode::Return => {
-                    return TrainOutcome {
+                    return Ok(TrainOutcome {
                         recorder: rec,
                         completed: false,
                         episodes_run,
-                    }
+                    })
                 }
             }
         }
@@ -762,11 +838,11 @@ pub fn train_team_checkpointed<W: CooperativeWorld>(
             }
         }
     }
-    TrainOutcome {
+    Ok(TrainOutcome {
         recorder: rec,
         completed: true,
         episodes_run,
-    }
+    })
 }
 
 pub(crate) fn restore_snapshot<W: CooperativeWorld>(

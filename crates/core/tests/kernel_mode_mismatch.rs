@@ -93,56 +93,47 @@ fn verify_refuses_cross_mode_and_accepts_matching() {
     assert!(msg.contains("fast") && msg.contains("strict"), "{msg}");
 }
 
-/// Runs a tiny resuming training job against `dir` on a scratch thread
-/// and returns the panic message, if any. A thread keeps the
-/// mode-refusal panic out of this process's test harness accounting and
-/// lets callers restore global state afterwards.
+/// Runs a tiny resuming training job against `dir` and returns the
+/// typed refusal's message, if any. A cross-mode resume surfaces as
+/// [`hero_core::trainer::TrainError::ResumeRefused`] — no panic, so
+/// binaries can exit nonzero with the message instead of a backtrace.
 fn resume_outcome(dir: &std::path::Path) -> Result<(), String> {
-    let dir = dir.to_path_buf();
-    std::thread::spawn(move || {
-        let env_cfg = EnvConfig {
-            max_steps: 4,
-            ..EnvConfig::default()
-        };
-        let skills = Arc::new(SkillLibrary::untrained(
-            env_cfg,
-            SacConfig {
-                hidden: 8,
-                ..SacConfig::default()
-            },
-            0,
-        ));
-        let cfg = HeroConfig {
+    let env_cfg = EnvConfig {
+        max_steps: 4,
+        ..EnvConfig::default()
+    };
+    let skills = Arc::new(SkillLibrary::untrained(
+        env_cfg,
+        SacConfig {
             hidden: 8,
-            batch_size: 8,
-            warmup: 8,
-            ..HeroConfig::default()
-        };
-        let mut team = HeroTeam::new(2, env_cfg.high_dim(), skills, cfg, 1);
-        let mut env = scenario::two_vehicle_merge(env_cfg, 3);
-        train_team_checkpointed(
-            &mut team,
-            &mut env,
-            &TrainOptions {
-                episodes: 3,
-                update_every: 4,
-                seed: 7,
-            },
-            &CheckpointConfig {
-                dir: Some(dir),
-                resume: true,
-                ..CheckpointConfig::default()
-            },
-        );
-    })
-    .join()
+            ..SacConfig::default()
+        },
+        0,
+    ));
+    let cfg = HeroConfig {
+        hidden: 8,
+        batch_size: 8,
+        warmup: 8,
+        ..HeroConfig::default()
+    };
+    let mut team = HeroTeam::new(2, env_cfg.high_dim(), skills, cfg, 1);
+    let mut env = scenario::two_vehicle_merge(env_cfg, 3);
+    train_team_checkpointed(
+        &mut team,
+        &mut env,
+        &TrainOptions {
+            episodes: 3,
+            update_every: 4,
+            seed: 7,
+        },
+        &CheckpointConfig {
+            dir: Some(dir.to_path_buf()),
+            resume: true,
+            ..CheckpointConfig::default()
+        },
+    )
     .map(|_| ())
-    .map_err(|p| {
-        p.downcast_ref::<String>()
-            .cloned()
-            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
-            .unwrap_or_else(|| "non-string panic".to_string())
-    })
+    .map_err(|e| e.to_string())
 }
 
 fn store_snapshot(tag: &str, mode: KernelMode) -> std::path::PathBuf {
@@ -157,10 +148,10 @@ fn store_snapshot(tag: &str, mode: KernelMode) -> std::path::PathBuf {
 fn strict_run_refuses_fast_checkpoint() {
     let _guard = lock();
     let dir = store_snapshot("fast-under-strict", KernelMode::Fast);
-    let msg = resume_outcome(&dir).expect_err("resume must panic on mode mismatch");
+    let msg = resume_outcome(&dir).expect_err("resume must refuse on mode mismatch");
     assert!(
         msg.contains("refusing to resume") && msg.contains("kernel mode"),
-        "panic message should name the refusal: {msg}"
+        "refusal message should name the cause: {msg}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -174,10 +165,10 @@ fn fast_run_refuses_strict_checkpoint() {
     let outcome = resume_outcome(&dir);
     // Restore before asserting so a failure can't poison other tests.
     hero_autograd::set_kernel_mode(KernelMode::Strict).unwrap();
-    let msg = outcome.expect_err("resume must panic on mode mismatch");
+    let msg = outcome.expect_err("resume must refuse on mode mismatch");
     assert!(
         msg.contains("refusing to resume") && msg.contains("`strict`"),
-        "panic message should name the saved mode: {msg}"
+        "refusal message should name the saved mode: {msg}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -188,6 +179,6 @@ fn fast_run_refuses_strict_checkpoint() {
 fn matching_mode_resumes_cleanly() {
     let _guard = lock();
     let dir = store_snapshot("strict-under-strict", KernelMode::Strict);
-    resume_outcome(&dir).expect("matching-mode resume must not panic");
+    resume_outcome(&dir).expect("matching-mode resume must succeed");
     let _ = std::fs::remove_dir_all(&dir);
 }

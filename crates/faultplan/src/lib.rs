@@ -21,6 +21,16 @@
 //! | `bitflip@save:N` | one bit of the `N`-th checkpoint file is flipped |
 //! | `nan-grad@update:N` | the `N`-th gradient update is poisoned with NaN |
 //! | `stall@actor:N` | rollout actor thread `N` freezes at startup |
+//! | `panic@actor:N` | rollout actor thread `N` panics at startup |
+//! | `slow@actor:N:MS` | rollout actor thread `N` sleeps `MS` ms before each reply |
+//! | `disk-full@save:N` | the `N`-th checkpoint save fails on every attempt |
+//!
+//! Actor faults (`stall`, `panic`, `slow`) apply to the *first
+//! incarnation* of the named actor thread only: a supervisor that
+//! respawns the actor gets a healthy replacement, so a bounded restart
+//! budget always converges. `disk-full` is persistent across retries
+//! (unlike plain `io-err@save:N`), modelling a full disk rather than a
+//! transient write hiccup.
 //!
 //! All indices are 0-based. Example:
 //! `--fault-plan kill@ep:3,bitflip@save:1`.
@@ -61,13 +71,26 @@ pub enum CorruptMode {
     BitFlip,
 }
 
-/// Error parsing a fault-plan spec string.
+/// The accepted directive grammar, quoted in every [`ParseError`] so a
+/// typo'd `--fault-plan` names its own fix.
+pub const GRAMMAR: &str = "kill@ep:N, io-err@save:N[:persistent], truncate@save:N, \
+     bitflip@save:N, disk-full@save:N, nan-grad@update:N, stall@actor:N, \
+     panic@actor:N, slow@actor:N:MS";
+
+/// Error parsing a fault-plan spec string. The message names the
+/// offending token and lists the valid grammar.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError(String);
 
+impl ParseError {
+    fn at(token: &str, reason: &str) -> Self {
+        Self(format!("`{token}` {reason}"))
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid fault plan: {}", self.0)
+        write!(f, "invalid fault plan: {}; valid directives: {GRAMMAR}", self.0)
     }
 }
 
@@ -78,9 +101,12 @@ impl Error for ParseError {}
 pub struct FaultPlan {
     kill_at_episode: Option<usize>,
     io_err_saves: Vec<(usize, bool)>,
+    disk_full_saves: Vec<usize>,
     corrupt_saves: Vec<(usize, CorruptMode)>,
     nan_grad_updates: Vec<usize>,
     stall_actors: Vec<usize>,
+    panic_actors: Vec<usize>,
+    slow_actors: Vec<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -104,29 +130,30 @@ impl FaultPlan {
             }
             let (fault, anchor) = part
                 .split_once('@')
-                .ok_or_else(|| ParseError(format!("`{part}` is missing `@`")))?;
+                .ok_or_else(|| ParseError::at(part, "is missing `@` between fault and anchor"))?;
             let mut fields = anchor.split(':');
             let site = fields
                 .next()
-                .ok_or_else(|| ParseError(format!("`{part}` is missing an anchor site")))?;
+                .ok_or_else(|| ParseError::at(part, "is missing an anchor site"))?;
             let index: usize = fields
                 .next()
-                .ok_or_else(|| ParseError(format!("`{part}` is missing an index")))?
+                .ok_or_else(|| ParseError::at(part, "is missing an index"))?
                 .parse()
-                .map_err(|_| ParseError(format!("`{part}` has a non-numeric index")))?;
+                .map_err(|_| ParseError::at(part, "has a non-numeric index"))?;
             let modifier = fields.next();
             if fields.next().is_some() {
-                return Err(ParseError(format!("`{part}` has too many fields")));
+                return Err(ParseError::at(part, "has too many `:`-separated fields"));
             }
             match (fault, site, modifier) {
                 ("kill", "ep", None) => {
                     if plan.kill_at_episode.is_some() {
-                        return Err(ParseError("more than one kill directive".to_string()));
+                        return Err(ParseError::at(part, "duplicates an earlier kill directive"));
                     }
                     plan.kill_at_episode = Some(index);
                 }
                 ("io-err", "save", None) => plan.io_err_saves.push((index, false)),
                 ("io-err", "save", Some("persistent")) => plan.io_err_saves.push((index, true)),
+                ("disk-full", "save", None) => plan.disk_full_saves.push(index),
                 ("truncate", "save", None) => {
                     plan.corrupt_saves.push((index, CorruptMode::Truncate));
                 }
@@ -135,7 +162,17 @@ impl FaultPlan {
                 }
                 ("nan-grad", "update", None) => plan.nan_grad_updates.push(index),
                 ("stall", "actor", None) => plan.stall_actors.push(index),
-                _ => return Err(ParseError(format!("unknown directive `{part}`"))),
+                ("panic", "actor", None) => plan.panic_actors.push(index),
+                ("slow", "actor", Some(ms)) => {
+                    let ms: u64 = ms.parse().map_err(|_| {
+                        ParseError::at(part, "has a non-numeric millisecond delay")
+                    })?;
+                    plan.slow_actors.push((index, ms));
+                }
+                ("slow", "actor", None) => {
+                    return Err(ParseError::at(part, "is missing its millisecond delay"));
+                }
+                _ => return Err(ParseError::at(part, "is not a known fault@site form")),
             }
         }
         Ok(plan)
@@ -158,11 +195,20 @@ impl FaultPlan {
 
     /// Whether checkpoint save number `save_index` should fail with an IO
     /// error on attempt `attempt` (0-based; non-persistent faults only fail
-    /// attempt 0, so a retry succeeds).
+    /// attempt 0, so a retry succeeds). A `disk-full@save:N` directive
+    /// fails every attempt, like `io-err@save:N:persistent`.
     pub fn io_error_at(&self, save_index: usize, attempt: usize) -> bool {
-        self.io_err_saves
-            .iter()
-            .any(|&(idx, persistent)| idx == save_index && (persistent || attempt == 0))
+        self.disk_full_at(save_index)
+            || self
+                .io_err_saves
+                .iter()
+                .any(|&(idx, persistent)| idx == save_index && (persistent || attempt == 0))
+    }
+
+    /// Whether checkpoint save number `save_index` hits a full disk
+    /// (fails on every attempt, so the save is dropped after retries).
+    pub fn disk_full_at(&self, save_index: usize) -> bool {
+        self.disk_full_saves.contains(&save_index)
     }
 
     /// How checkpoint save number `save_index` should be corrupted after a
@@ -182,8 +228,26 @@ impl FaultPlan {
 
     /// Whether rollout actor thread `actor_index` should freeze at startup
     /// (to exercise the learner's stall detection and re-dispatch path).
+    /// Applies to the actor's first incarnation only; respawns are healthy.
     pub fn stall_actor(&self, actor_index: usize) -> bool {
         self.stall_actors.contains(&actor_index)
+    }
+
+    /// Whether rollout actor thread `actor_index` should panic at startup
+    /// (to exercise the supervisor's panic harvest and respawn path).
+    /// Applies to the actor's first incarnation only; respawns are healthy.
+    pub fn panic_actor(&self, actor_index: usize) -> bool {
+        self.panic_actors.contains(&actor_index)
+    }
+
+    /// The artificial per-reply delay for rollout actor thread
+    /// `actor_index`, if a `slow@actor:N:MS` directive names it.
+    /// Applies to the actor's first incarnation only; respawns are healthy.
+    pub fn slow_actor_ms(&self, actor_index: usize) -> Option<u64> {
+        self.slow_actors
+            .iter()
+            .find(|&&(idx, _)| idx == actor_index)
+            .map(|&(_, ms)| ms)
     }
 }
 
@@ -229,7 +293,8 @@ mod tests {
     fn full_grammar_parses() {
         let plan = FaultPlan::parse(
             "kill@ep:3, io-err@save:1, io-err@save:2:persistent, \
-             truncate@save:4, bitflip@save:5, nan-grad@update:7, stall@actor:1",
+             truncate@save:4, bitflip@save:5, nan-grad@update:7, stall@actor:1, \
+             panic@actor:2, slow@actor:3:40, disk-full@save:6",
         )
         .unwrap();
         assert!(plan.should_kill(3));
@@ -249,6 +314,15 @@ mod tests {
         assert!(!plan.nan_grad_at(6));
         assert!(plan.stall_actor(1));
         assert!(!plan.stall_actor(0));
+        assert!(plan.panic_actor(2));
+        assert!(!plan.panic_actor(1));
+        assert_eq!(plan.slow_actor_ms(3), Some(40));
+        assert_eq!(plan.slow_actor_ms(2), None);
+        // disk-full: persistent save failure on every attempt.
+        assert!(plan.disk_full_at(6));
+        assert!(plan.io_error_at(6, 0));
+        assert!(plan.io_error_at(6, 9));
+        assert!(!plan.disk_full_at(1));
     }
 
     #[test]
@@ -262,9 +336,24 @@ mod tests {
             "kill@ep:1,kill@ep:2",  // duplicate kill
             "io-err@save:1:always", // unknown modifier
             "kill@ep:1:2:3",        // too many fields
+            "slow@actor:1",         // slow needs a delay
+            "slow@actor:1:fast",    // non-numeric delay
+            "panic@actor:1:twice",  // panic takes no modifier
+            "disk-full@save:1:x",   // disk-full takes no modifier
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should fail");
         }
+    }
+
+    #[test]
+    fn parse_errors_name_the_token_and_list_the_grammar() {
+        let err = FaultPlan::parse("kill@ep:3,explode@ep:4").unwrap_err().to_string();
+        assert!(err.contains("`explode@ep:4`"), "offending token missing: {err}");
+        assert!(!err.contains("kill@ep:3,"), "error should name only the bad token: {err}");
+        assert!(err.contains(GRAMMAR), "grammar listing missing: {err}");
+
+        let err = FaultPlan::parse("slow@actor:1").unwrap_err().to_string();
+        assert!(err.contains("`slow@actor:1`") && err.contains("millisecond"), "{err}");
     }
 
     #[test]
@@ -284,5 +373,42 @@ mod tests {
         assert_eq!(bytes.iter().filter(|&&b| b != 0).count(), 1);
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary junk — including embedded `@`, `:` and `,`, and
+        /// near-miss fragments of real directive words — must parse to
+        /// Ok or a ParseError, never panic. Errors carry the grammar
+        /// listing so the user can self-serve the fix.
+        fn random_specs_never_panic(ids in prop::collection::vec(0usize..20, 0..64)) {
+            const ALPHABET: [char; 20] = [
+                'k', 'i', 'l', 'e', 'p', 's', 'a', 'v', 'o', 'w', 'n', 'r',
+                '@', ':', ',', '-', ' ', '0', '1', '9',
+            ];
+            let spec: String = ids.into_iter().map(|i| ALPHABET[i]).collect();
+            if let Err(e) = FaultPlan::parse(&spec) {
+                prop_assert!(e.to_string().contains(GRAMMAR), "grammar missing for `{spec}`");
+            }
+        }
+
+        /// Well-formed single actor directives always parse and land on
+        /// the right accessor.
+        fn valid_actor_directives_parse(which in 0usize..3, idx in 0usize..64, ms in 1u64..500) {
+            let (spec, hit) = match which {
+                0 => (format!("stall@actor:{idx}"), "stall"),
+                1 => (format!("panic@actor:{idx}"), "panic"),
+                _ => (format!("slow@actor:{idx}:{ms}"), "slow"),
+            };
+            let plan = FaultPlan::parse(&spec);
+            prop_assert!(plan.is_ok(), "`{spec}` failed: {:?}", plan.err());
+            let plan = plan.unwrap();
+            match hit {
+                "stall" => prop_assert!(plan.stall_actor(idx)),
+                "panic" => prop_assert!(plan.panic_actor(idx)),
+                _ => prop_assert_eq!(plan.slow_actor_ms(idx), Some(ms)),
+            }
+        }
     }
 }

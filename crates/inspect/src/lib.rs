@@ -507,6 +507,14 @@ pub const ENTROPY_COLLAPSE_FLOOR: f64 = 0.01;
 ///   waiting on an actor and re-dispatched its work (warning: an actor
 ///   thread wedged or fell far behind; the run completed but slower than
 ///   its actor count promises).
+/// - **Supervision** — `actor/panicked` / `actor/respawned` warn that
+///   actor threads died and were replaced (the run self-healed, but the
+///   faults deserve a look); `supervisor/degraded` warns that a slot
+///   exhausted its respawn budget and was retired, shrinking the fleet
+///   for the rest of the run; `supervisor/fleet_lost` or
+///   `supervisor/emergency_skipped` are critical — the run aborted early,
+///   and in the `emergency_skipped` case without a recoverable
+///   checkpoint.
 #[must_use]
 pub fn doctor(run: &Run) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -518,6 +526,46 @@ pub fn doctor(run: &Run) -> Vec<Finding> {
                     "actor/stalled = {} — the learner timed out waiting on an actor and \
                      re-dispatched its work; a rollout thread wedged or fell far behind",
                     c.total
+                ),
+            });
+        }
+    }
+    for (name, why) in [
+        ("actor/panicked", "actor threads died mid-run; check the flight recorder for payloads"),
+        (
+            "actor/respawned",
+            "the supervisor replaced failed actor threads; the run self-healed but the root \
+             cause deserves a look",
+        ),
+        (
+            "supervisor/degraded",
+            "an actor slot exhausted its respawn budget and was retired; the fleet ran \
+             degraded from that point on",
+        ),
+    ] {
+        if let Some(c) = run.counters.get(name) {
+            if c.total > 0 {
+                findings.push(Finding {
+                    severity: Severity::Warning,
+                    message: format!("{name} = {} — {why}", c.total),
+                });
+            }
+        }
+    }
+    if let Some(c) = run.counters.get("supervisor/fleet_lost") {
+        if c.total > 0 {
+            let saved =
+                run.counters.get("supervisor/emergency_saved").is_some_and(|c| c.total > 0);
+            findings.push(Finding {
+                severity: Severity::Critical,
+                message: format!(
+                    "supervisor/fleet_lost = {} — every actor died and the run aborted early{}",
+                    c.total,
+                    if saved {
+                        "; an emergency checkpoint was saved, rerun with --resume"
+                    } else {
+                        ", with no boundary-clean state to emergency-checkpoint"
+                    }
                 ),
             });
         }
@@ -761,6 +809,16 @@ pub fn render_top(run: &Run) -> String {
     if let Some(c) = run.counters.get("actor/stalled") {
         if c.total > 0 {
             let _ = writeln!(out, "\n!! {} stalled-actor re-dispatch(es) — see doctor", c.total);
+        }
+    }
+    if let Some(c) = run.counters.get("actor/respawned") {
+        if c.total > 0 {
+            let _ = writeln!(out, "!! {} actor respawn(s) — see doctor", c.total);
+        }
+    }
+    if let Some(c) = run.counters.get("supervisor/degraded") {
+        if c.total > 0 {
+            let _ = writeln!(out, "!! {} retired actor slot(s) — fleet is degraded", c.total);
         }
     }
     out
@@ -1086,6 +1144,58 @@ mod tests {
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].severity, Severity::Warning);
         assert!(findings[0].message.contains("actor/stalled = 1"));
+    }
+
+    #[test]
+    fn doctor_warns_on_supervision_activity_and_flags_fleet_loss() {
+        let text = r#"
+{"type":"meta","run":"chaos","elapsed_s":9}
+{"type":"counter","name":"actor/panicked","total":1,"rate_per_s":0.1}
+{"type":"counter","name":"actor/respawned","total":2,"rate_per_s":0.2}
+{"type":"counter","name":"supervisor/degraded","total":1,"rate_per_s":0.1}
+"#;
+        let findings = doctor(&parse_run(text).unwrap());
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings.iter().all(|f| f.severity == Severity::Warning), "{findings:?}");
+        assert!(findings.iter().any(|f| f.message.contains("actor/panicked = 1")));
+        assert!(findings.iter().any(|f| f.message.contains("actor/respawned = 2")));
+        assert!(findings.iter().any(|f| f.message.contains("supervisor/degraded = 1")));
+
+        let lost = r#"
+{"type":"meta","run":"lost","elapsed_s":9}
+{"type":"counter","name":"supervisor/fleet_lost","total":1,"rate_per_s":0.1}
+{"type":"counter","name":"supervisor/emergency_saved","total":1,"rate_per_s":0.1}
+"#;
+        let findings = doctor(&parse_run(lost).unwrap());
+        let crit = findings
+            .iter()
+            .find(|f| f.severity == Severity::Critical)
+            .expect("fleet loss must be critical");
+        assert!(crit.message.contains("supervisor/fleet_lost = 1"), "{crit:?}");
+        assert!(crit.message.contains("--resume"), "{crit:?}");
+
+        let unsaved = r#"
+{"type":"meta","run":"lost-unsaved","elapsed_s":9}
+{"type":"counter","name":"supervisor/fleet_lost","total":1,"rate_per_s":0.1}
+"#;
+        let findings = doctor(&parse_run(unsaved).unwrap());
+        let crit = findings
+            .iter()
+            .find(|f| f.severity == Severity::Critical)
+            .expect("fleet loss must be critical");
+        assert!(crit.message.contains("no boundary-clean state"), "{crit:?}");
+    }
+
+    #[test]
+    fn render_top_banners_respawns_and_degraded_fleet() {
+        let text = r#"
+{"type":"meta","run":"chaos","elapsed_s":9}
+{"type":"counter","name":"actor/respawned","total":2,"rate_per_s":0.2}
+{"type":"counter","name":"supervisor/degraded","total":1,"rate_per_s":0.1}
+"#;
+        let frame = render_top(&parse_run(text).unwrap());
+        assert!(frame.contains("2 actor respawn(s)"), "{frame}");
+        assert!(frame.contains("1 retired actor slot(s)"), "{frame}");
     }
 
     #[test]

@@ -179,6 +179,18 @@ pub fn flight_to_jsonl(events: &[FlightEvent]) -> String {
             FlightEventKind::KillInjected { episode } => {
                 let _ = write!(out, ",\"episode\":{episode}");
             }
+            FlightEventKind::ActorPanicked { actor } => {
+                let _ = write!(out, ",\"actor\":{actor}");
+            }
+            FlightEventKind::ActorRespawned { actor, generation } => {
+                let _ = write!(out, ",\"actor\":{actor},\"generation\":{generation}");
+            }
+            FlightEventKind::SupervisorDegraded { actor, remaining } => {
+                let _ = write!(out, ",\"actor\":{actor},\"remaining\":{remaining}");
+            }
+            FlightEventKind::EmergencyCheckpoint { episodes, saved } => {
+                let _ = write!(out, ",\"episodes\":{episodes},\"saved\":{saved}");
+            }
         }
         out.push_str("}\n");
     }

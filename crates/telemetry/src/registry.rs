@@ -266,24 +266,34 @@ impl Registry {
     /// reproduces bit-identical counter totals and value statistics.
     /// (Trace events and wall-clock elapsed time are deliberately not
     /// captured; they describe the process, not the training run.)
+    ///
+    /// Fault-recovery bookkeeping — the [`FAULT_LOCAL_PREFIXES`]
+    /// namespaces — is excluded: stalls, respawns, degrades, and
+    /// checkpoint-IO retries describe what this *process* survived, not
+    /// what the training run computed, and keeping them out is what makes
+    /// a faulted run's checkpoint bytes equal its fault-free twin's.
     pub fn export_state(&self) -> RegistryState {
+        let keep = |name: &str| !FAULT_LOCAL_PREFIXES.iter().any(|p| name.starts_with(p));
         RegistryState {
             counters: self
                 .counters
                 .read()
                 .iter()
+                .filter(|(name, _)| keep(name))
                 .map(|(name, c)| ((*name).to_string(), c.load(Ordering::Relaxed)))
                 .collect(),
             spans: self
                 .spans
                 .lock()
                 .iter()
+                .filter(|(name, _)| keep(name))
                 .map(|(name, h)| (name.clone(), h.export_state()))
                 .collect(),
             values: self
                 .values
                 .lock()
                 .iter()
+                .filter(|(name, _)| keep(name))
                 .map(|(name, h)| (name.clone(), h.export_state()))
                 .collect(),
         }
@@ -346,6 +356,13 @@ impl std::fmt::Debug for Registry {
             .finish_non_exhaustive()
     }
 }
+
+/// Metric-name prefixes that describe fault recovery in *this process*
+/// (stall/respawn/degrade bookkeeping, checkpoint-IO retries) rather than
+/// the training run itself. [`Registry::export_state`] keeps them out of
+/// checkpoints so a run that survived faults checkpoints byte-identically
+/// to one that never saw any.
+pub const FAULT_LOCAL_PREFIXES: [&str; 3] = ["actor/", "supervisor/", "checkpoint/"];
 
 /// Complete mutable state of a [`Registry`], captured by
 /// [`Registry::export_state`] for trainer checkpoints.
@@ -729,6 +746,30 @@ mod tests {
             "gauges/live/flight/faulted are process state, not training state"
         );
         assert_eq!(clean.to_bytes(), r.export_state().to_bytes());
+    }
+
+    #[test]
+    fn fault_bookkeeping_never_enters_checkpoint_state() {
+        let r = Registry::new(TelemetryConfig::default());
+        r.counter_add("env_steps", 1);
+        r.observe("reward/mean", 0.5);
+        let clean = r.export_state();
+        // Everything a supervised run records while surviving faults...
+        r.counter_add("actor/stalled", 1);
+        r.counter_add("actor/panicked", 1);
+        r.counter_add("actor/respawned", 2);
+        r.counter_add("supervisor/degraded", 1);
+        r.counter_add("checkpoint/retries", 3);
+        r.observe("actor/respawn_backoff_ms", 8.0);
+        // ...is process state: checkpoint bytes must not move.
+        assert_eq!(
+            r.export_state(),
+            clean,
+            "fault-recovery bookkeeping is process state, not training state"
+        );
+        assert_eq!(clean.to_bytes(), r.export_state().to_bytes());
+        // But it stays visible to snapshots (telemetry dumps, doctor).
+        assert_eq!(r.snapshot().counter_totals()["actor/respawned"], 2);
     }
 
     #[test]

@@ -81,6 +81,36 @@ pub enum FlightEventKind {
         /// The episode at which the kill fired.
         episode: u64,
     },
+    /// An actor thread's channel disconnected and its join handle
+    /// surfaced a panic (or an unexpected exit).
+    ActorPanicked {
+        /// The dead actor's index.
+        actor: u64,
+    },
+    /// The supervisor respawned a failed actor.
+    ActorRespawned {
+        /// The respawned actor's index.
+        actor: u64,
+        /// The new incarnation number (first respawn = 1).
+        generation: u64,
+    },
+    /// An actor exhausted its restart budget and was permanently retired;
+    /// the fleet continues degraded.
+    SupervisorDegraded {
+        /// The retired actor's index.
+        actor: u64,
+        /// Actors still alive after the degrade.
+        remaining: u64,
+    },
+    /// The whole fleet was lost; the learner wrote (or attempted) an
+    /// emergency checkpoint before the typed abort.
+    EmergencyCheckpoint {
+        /// Episodes fully completed before the abort.
+        episodes: u64,
+        /// 1 if the emergency snapshot was durably written, 0 if the run
+        /// died mid-episode and no boundary-clean state existed to save.
+        saved: u64,
+    },
 }
 
 impl FlightEventKind {
@@ -95,6 +125,10 @@ impl FlightEventKind {
             Self::Redispatched { actor, wave } => (5, actor, wave),
             Self::WatchdogSkip { update } => (6, update, 0),
             Self::KillInjected { episode } => (7, episode, 0),
+            Self::ActorPanicked { actor } => (8, actor, 0),
+            Self::ActorRespawned { actor, generation } => (9, actor, generation),
+            Self::SupervisorDegraded { actor, remaining } => (10, actor, remaining),
+            Self::EmergencyCheckpoint { episodes, saved } => (11, episodes, saved),
         }
     }
 
@@ -108,6 +142,10 @@ impl FlightEventKind {
             5 => Self::Redispatched { actor: a, wave: b },
             6 => Self::WatchdogSkip { update: a },
             7 => Self::KillInjected { episode: a },
+            8 => Self::ActorPanicked { actor: a },
+            9 => Self::ActorRespawned { actor: a, generation: b },
+            10 => Self::SupervisorDegraded { actor: a, remaining: b },
+            11 => Self::EmergencyCheckpoint { episodes: a, saved: b },
             _ => return None,
         })
     }
@@ -123,6 +161,10 @@ impl FlightEventKind {
             Self::Redispatched { .. } => "redispatched",
             Self::WatchdogSkip { .. } => "watchdog_skip",
             Self::KillInjected { .. } => "kill_injected",
+            Self::ActorPanicked { .. } => "actor_panicked",
+            Self::ActorRespawned { .. } => "actor_respawned",
+            Self::SupervisorDegraded { .. } => "supervisor_degraded",
+            Self::EmergencyCheckpoint { .. } => "emergency_checkpoint",
         }
     }
 }
@@ -313,6 +355,10 @@ mod tests {
             FlightEventKind::Redispatched { actor: 1, wave: 7 },
             FlightEventKind::WatchdogSkip { update: 9 },
             FlightEventKind::KillInjected { episode: 5 },
+            FlightEventKind::ActorPanicked { actor: 2 },
+            FlightEventKind::ActorRespawned { actor: 2, generation: 1 },
+            FlightEventKind::SupervisorDegraded { actor: 2, remaining: 1 },
+            FlightEventKind::EmergencyCheckpoint { episodes: 4, saved: 1 },
         ];
         for kind in kinds {
             let (tag, a, b) = kind.encode();

@@ -236,6 +236,85 @@ grep -q '^checkpoint/fallback,1,' "$CRASH/tel-c/counters.csv" \
          cat "$CRASH/tel-c/counters.csv"; exit 1; }
 rm -rf "$CRASH"
 
+echo "=== chaos soak (actor supervision)"
+# The self-healing ladder under a combined fault schedule on a 3-actor
+# serial run: actor 1 panics at startup, actor 2 freezes (stall), actor 0
+# is slowed on every reply, and checkpoint save 1 hits a full disk (all
+# its retries fail, so it degrades to a counted drop — never the final
+# save, which must survive for the byte comparison). The supervisor must
+# respawn both failed actors and the run must end indistinguishable from
+# its fault-free twin: zero-tolerance telemetry diff (only the fault-local
+# actor/, supervisor/, checkpoint/ namespaces excluded), byte-identical
+# figure CSVs, and a byte-identical final checkpoint.
+CHAOS=$(mktemp -d /tmp/hero-chaos.XXXXXX)
+CHAOS_PLAN='panic@actor:1,stall@actor:2,slow@actor:0:2,disk-full@save:1'
+CHAOS_FLAGS=(--episodes 6 --eval-episodes 1 --skill-episodes 2 --batch-size 8
+             --update-every 1 --seed 7 --actors 3 --checkpoint-every 2
+             --stall-timeout-ms 2000 --respawn-backoff-ms 0)
+# One shared skill bootstrap, as in the other lanes.
+./target/release/fig10_opponent_loss "${CHAOS_FLAGS[@]}" \
+    --out "$CHAOS/shared" --telemetry-out "$CHAOS/tel-warm" \
+    --checkpoint-dir "$CHAOS/ckpt-warm" >/dev/null
+
+# Fault-free twin, then the chaos run (telemetry installed for the diff).
+./target/release/fig10_opponent_loss "${CHAOS_FLAGS[@]}" \
+    --out "$CHAOS/shared" --telemetry-out "$CHAOS/tel-clean" \
+    --checkpoint-dir "$CHAOS/ckpt-clean-tel" >/dev/null
+cp "$CHAOS/shared/fig10_opponent_loss.csv" "$CHAOS/fig10_clean.csv"
+./target/release/fig10_opponent_loss "${CHAOS_FLAGS[@]}" \
+    --out "$CHAOS/shared" --telemetry-out "$CHAOS/tel-chaos" \
+    --checkpoint-dir "$CHAOS/ckpt-chaos-tel" \
+    --fault-plan "$CHAOS_PLAN" >/dev/null
+
+# The faults must actually have fired and been healed.
+grep -q '^actor/panicked,1,' "$CHAOS/tel-chaos/counters.csv" \
+    || { echo "expected actor/panicked=1"; cat "$CHAOS/tel-chaos/counters.csv"; exit 1; }
+respawned=$(awk -F, '$1 == "actor/respawned" { print $2 }' "$CHAOS/tel-chaos/counters.csv")
+test "${respawned:-0}" -ge 2 \
+    || { echo "expected actor/respawned >= 2, got ${respawned:-0}"; \
+         cat "$CHAOS/tel-chaos/counters.csv"; exit 1; }
+grep -q '^checkpoint/dropped,1,' "$CHAOS/tel-chaos/counters.csv" \
+    || { echo "expected checkpoint/dropped=1 from disk-full@save:1"; \
+         cat "$CHAOS/tel-chaos/counters.csv"; exit 1; }
+
+# Zero-tolerance diff: faults may touch nothing outside their own
+# bookkeeping namespaces. CSVs must be byte-identical.
+./target/release/hero-inspect diff "$CHAOS/tel-clean" "$CHAOS/tel-chaos" \
+    --tol-value 0 --tol-count 0 --tol-counter 0 --abs-floor 0 \
+    --ignore actor/ --ignore supervisor/ --ignore checkpoint/ --ignore live/ \
+    --fail-on-regression
+cmp "$CHAOS/fig10_clean.csv" "$CHAOS/shared/fig10_opponent_loss.csv"
+# Doctor surfaces the healed actor faults as warnings; the one critical
+# it must raise (hence exit 1) is the disk-full-induced checkpoint drop —
+# a dropped snapshot is a real pathology even when injected.
+doctor_rc=0
+doctor_out=$(./target/release/hero-inspect doctor "$CHAOS/tel-chaos") || doctor_rc=$?
+test "$doctor_rc" -eq 1 \
+    || { echo "doctor must exit 1 on the dropped checkpoint (got $doctor_rc)"; \
+         echo "$doctor_out"; exit 1; }
+grep -q 'WARN  actor/respawned' <<<"$doctor_out" \
+    || { echo "doctor must flag the respawns"; echo "$doctor_out"; exit 1; }
+test "$(grep -c '^CRIT' <<<"$doctor_out")" -eq 1 \
+    && grep -q 'CRIT  checkpoint/dropped' <<<"$doctor_out" \
+    || { echo "the only critical must be the injected checkpoint drop"; \
+         echo "$doctor_out"; exit 1; }
+
+# Byte-identical final checkpoint: rerun both without telemetry (an
+# active sink embeds wall-clock histograms in the checkpoint's telemetry
+# section, so only sink-free checkpoint files are comparable).
+./target/release/fig10_opponent_loss "${CHAOS_FLAGS[@]}" \
+    --out "$CHAOS/shared" --checkpoint-dir "$CHAOS/ckpt-clean" >/dev/null
+./target/release/fig10_opponent_loss "${CHAOS_FLAGS[@]}" \
+    --out "$CHAOS/shared" --checkpoint-dir "$CHAOS/ckpt-chaos" \
+    --fault-plan "$CHAOS_PLAN" >/dev/null
+newest_clean=$(ls "$CHAOS/ckpt-clean/HERO"/ckpt-*.hero | sort | tail -n 1)
+newest_chaos=$(ls "$CHAOS/ckpt-chaos/HERO"/ckpt-*.hero | sort | tail -n 1)
+test "$(basename "$newest_clean")" = "$(basename "$newest_chaos")" \
+    || { echo "final checkpoint index differs: $newest_clean vs $newest_chaos"; exit 1; }
+cmp "$newest_clean" "$newest_chaos" \
+    || { echo "chaos-run final checkpoint differs from the fault-free twin"; exit 1; }
+rm -rf "$CHAOS"
+
 echo "=== fast-math lane"
 # The opt-in GEMM tier: packed FMA kernels behind --features fast-math.
 # This lane runs LAST because it rebuilds target/release binaries with

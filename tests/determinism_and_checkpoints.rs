@@ -188,6 +188,18 @@ fn telemetry_fingerprint(snap: &hero_rl::telemetry::Snapshot) -> TelemetryFinger
     (counters, values)
 }
 
+/// [`telemetry_fingerprint`], additionally ignoring the fault-local
+/// supervision counters (`actor/*`, `supervisor/*`) — the only telemetry
+/// a fault is allowed to touch.
+fn supervision_free_fingerprint(snap: &hero_rl::telemetry::Snapshot) -> TelemetryFingerprint {
+    let (counters, values) = telemetry_fingerprint(snap);
+    let counters = counters
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("actor/") && !name.starts_with("supervisor/"))
+        .collect();
+    (counters, values)
+}
+
 fn recorder_series(rec: &hero_rl::metrics::Recorder) -> Vec<(String, Vec<f32>)> {
     rec.names()
         .iter()
@@ -224,7 +236,8 @@ fn hero_kill_and_resume_is_bit_identical() {
                 dir: Some(dir_a.clone()),
                 ..CheckpointConfig::default()
             },
-        );
+        )
+        .expect("run must not abort");
         assert!(out.completed);
         assert_eq!(out.episodes_run, episodes);
         (recorder_series(&out.recorder), telemetry_fingerprint(&sink.snapshot()))
@@ -247,7 +260,8 @@ fn hero_kill_and_resume_is_bit_identical() {
                 kill_mode: KillMode::Return,
                 ..CheckpointConfig::default()
             },
-        );
+        )
+        .expect("run must not abort");
         assert!(!out.completed, "the injected kill must stop the run");
         assert_eq!(out.episodes_run, 3);
     }
@@ -267,7 +281,8 @@ fn hero_kill_and_resume_is_bit_identical() {
                 resume: true,
                 ..CheckpointConfig::default()
             },
-        );
+        )
+        .expect("run must not abort");
         assert!(out.completed);
         assert!(out.episodes_run < episodes, "resume must skip completed episodes");
         let snap = sink.snapshot();
@@ -306,7 +321,8 @@ fn hero_resume_falls_back_past_corrupt_newest_checkpoint() {
                 dir: Some(dir.clone()),
                 ..CheckpointConfig::default()
             },
-        );
+        )
+        .expect("run must not abort");
         assert!(out.completed);
     }
 
@@ -331,7 +347,8 @@ fn hero_resume_falls_back_past_corrupt_newest_checkpoint() {
             resume: true,
             ..CheckpointConfig::default()
         },
-    );
+    )
+    .expect("run must not abort");
     assert!(out.completed);
     let counters = sink.snapshot().counter_totals();
     assert_eq!(counters.get("checkpoint/loaded"), Some(&1), "{counters:?}");
@@ -482,7 +499,8 @@ fn hero_actor_learner_serial_matches_sequential_trainer() {
             &mut env,
             &crash_opts(episodes, seed),
             &ckpt(&dir_seq),
-        );
+        )
+        .expect("run must not abort");
         assert!(out.completed);
         (recorder_series(&out.recorder), telemetry_fingerprint(&sink.snapshot()))
     };
@@ -495,7 +513,8 @@ fn hero_actor_learner_serial_matches_sequential_trainer() {
             &crash_opts(episodes, seed),
             &ckpt(&dir_al),
             &rollout,
-        );
+        )
+        .expect("run must not abort");
         assert!(out.completed);
         assert_eq!(out.episodes_run, episodes);
         (recorder_series(&out.recorder), telemetry_fingerprint(&sink.snapshot()))
@@ -514,7 +533,8 @@ fn hero_actor_learner_serial_matches_sequential_trainer() {
         &mut env,
         &crash_opts(episodes, seed),
         &ckpt(&dir_seq),
-    );
+    )
+    .expect("run must not abort");
     assert!(out.completed);
     let (mut env, mut team) = hero_crash_fixture(seed);
     let out = train_team_actor_learner(
@@ -523,7 +543,8 @@ fn hero_actor_learner_serial_matches_sequential_trainer() {
         &crash_opts(episodes, seed),
         &ckpt(&dir_al),
         &rollout,
-    );
+    )
+    .expect("run must not abort");
     assert!(out.completed);
     assert_eq!(
         newest_checkpoint_bytes(&dir_seq),
@@ -570,7 +591,8 @@ fn hero_actor_learner_batched_kill_and_resume_is_bit_identical() {
                 ..CheckpointConfig::default()
             },
             &rollout,
-        );
+        )
+        .expect("run must not abort");
         assert!(out.completed);
         (recorder_series(&out.recorder), telemetry_fingerprint(&sink.snapshot()))
     };
@@ -591,7 +613,8 @@ fn hero_actor_learner_batched_kill_and_resume_is_bit_identical() {
                 ..CheckpointConfig::default()
             },
             &rollout,
-        );
+        )
+        .expect("run must not abort");
         assert!(!out.completed, "the injected kill must stop the run");
     }
 
@@ -611,7 +634,8 @@ fn hero_actor_learner_batched_kill_and_resume_is_bit_identical() {
                 ..CheckpointConfig::default()
             },
             &rollout,
-        );
+        )
+        .expect("run must not abort");
         assert!(out.completed);
         assert!(out.episodes_run < episodes, "resume must skip completed episodes");
         let snap = sink.snapshot();
@@ -649,7 +673,8 @@ fn hero_actor_learner_survives_stalled_actor_bit_identically() {
             &mut env,
             &crash_opts(episodes, seed),
             &CheckpointConfig::default(),
-        );
+        )
+        .expect("run must not abort");
         assert!(out.completed);
         recorder_series(&out.recorder)
     };
@@ -670,7 +695,8 @@ fn hero_actor_learner_survives_stalled_actor_bit_identically() {
             stall_timeout: Duration::from_millis(500),
             ..RolloutOptions::default()
         },
-    );
+    )
+    .expect("run must not abort");
     assert!(out.completed, "the live actor must absorb the stalled actor's work");
     assert_eq!(out.episodes_run, episodes);
     let stalled = sink.snapshot().counter_totals().get("actor/stalled").copied();
@@ -685,19 +711,21 @@ fn hero_actor_learner_survives_stalled_actor_bit_identically() {
     );
 }
 
-/// When every actor is stalled the learner must give up after its
-/// timeout and return an incomplete outcome instead of deadlocking.
+/// When every actor is stalled and the respawn budget is zero, the
+/// supervisor must escalate to a typed [`TrainError::FleetLost`] abort
+/// instead of deadlocking or returning a silent partial run. With no
+/// checkpoint store configured there is nothing to emergency-save.
 #[test]
-fn hero_actor_learner_reports_incomplete_when_all_actors_stall() {
+fn hero_actor_learner_aborts_typed_when_all_actors_stall() {
     use hero_core::rollout::{train_team_actor_learner, RolloutOptions};
-    use hero_core::trainer::CheckpointConfig;
+    use hero_core::trainer::{CheckpointConfig, TrainError};
     use hero_faultplan::FaultPlan;
     use hero_rl::telemetry;
     use std::time::Duration;
 
-    let _sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+    let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
     let (mut env, mut team) = hero_crash_fixture(43);
-    let out = train_team_actor_learner(
+    let err = train_team_actor_learner(
         &mut team,
         &mut env,
         &crash_opts(3, 43),
@@ -709,9 +737,233 @@ fn hero_actor_learner_reports_incomplete_when_all_actors_stall() {
             actors: 1,
             batch_worlds: 1,
             stall_timeout: Duration::from_millis(150),
+            max_respawns: 0,
             ..RolloutOptions::default()
         },
+    )
+    .expect_err("an all-stalled fleet with no respawn budget must abort");
+    match err {
+        TrainError::FleetLost { episodes_run, emergency_checkpoint_saved } => {
+            assert_eq!(episodes_run, 0);
+            assert!(!emergency_checkpoint_saved, "no store configured, nothing to save");
+        }
+        other => panic!("expected FleetLost, got {other}"),
+    }
+    let counters = sink.snapshot().counter_totals();
+    assert_eq!(counters.get("supervisor/degraded"), Some(&1), "{counters:?}");
+    assert_eq!(counters.get("supervisor/fleet_lost"), Some(&1), "{counters:?}");
+}
+
+/// With the default respawn budget a stalled lone actor is harvested and
+/// respawned (faults are injected into generation 0 only), so the run
+/// self-heals and completes instead of aborting.
+#[test]
+fn hero_actor_learner_respawns_stalled_lone_actor_and_completes() {
+    use hero_core::rollout::{train_team_actor_learner, RolloutOptions};
+    use hero_core::trainer::CheckpointConfig;
+    use hero_faultplan::FaultPlan;
+    use hero_rl::telemetry;
+    use std::time::Duration;
+
+    let seed = 43;
+    let episodes = 3;
+
+    let series_seq = {
+        let _sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+        let (mut env, mut team) = hero_crash_fixture(seed);
+        let out = hero_core::trainer::train_team_checkpointed(
+            &mut team,
+            &mut env,
+            &crash_opts(episodes, seed),
+            &CheckpointConfig::default(),
+        )
+        .expect("run must not abort");
+        assert!(out.completed);
+        recorder_series(&out.recorder)
+    };
+
+    let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+    let (mut env, mut team) = hero_crash_fixture(seed);
+    let out = train_team_actor_learner(
+        &mut team,
+        &mut env,
+        &crash_opts(episodes, seed),
+        &CheckpointConfig {
+            fault_plan: FaultPlan::parse("stall@actor:0").unwrap(),
+            ..CheckpointConfig::default()
+        },
+        &RolloutOptions {
+            actors: 1,
+            batch_worlds: 1,
+            stall_timeout: Duration::from_millis(150),
+            respawn_backoff_ms: 0,
+            ..RolloutOptions::default()
+        },
+    )
+    .expect("the supervisor must respawn the stalled actor");
+    assert!(out.completed, "a respawned fleet must finish the run");
+    assert_eq!(out.episodes_run, episodes);
+    let counters = sink.snapshot().counter_totals();
+    assert!(
+        counters.get("actor/respawned").is_some_and(|&n| n >= 1),
+        "the respawn must be counted: {counters:?}"
     );
-    assert!(!out.completed, "an all-stalled fleet cannot complete the run");
-    assert_eq!(out.episodes_run, 0);
+    assert_eq!(
+        series_seq,
+        recorder_series(&out.recorder),
+        "the self-healed run must stay bit-identical to the sequential trainer"
+    );
+}
+
+/// The chaos acceptance drill: `panic@actor:1` plus `stall@actor:2` on a
+/// 3-actor serial run. The supervisor harvests both failures, respawns
+/// both actors, and the run completes all episodes with metric series,
+/// non-supervision telemetry, and final checkpoint bytes identical to
+/// the same-seed fault-free twin.
+#[test]
+fn hero_supervised_chaos_run_is_bit_identical_to_fault_free_twin() {
+    use hero_core::rollout::{train_team_actor_learner, RolloutOptions};
+    use hero_core::trainer::CheckpointConfig;
+    use hero_faultplan::FaultPlan;
+    use hero_rl::telemetry;
+    use std::time::Duration;
+
+    let base = std::env::temp_dir().join(format!("hero_chaos_it_{}", std::process::id()));
+    let dir_clean = base.join("clean");
+    let dir_chaos = base.join("chaos");
+    std::fs::remove_dir_all(&base).ok();
+    let seed = 47;
+    let episodes = 6;
+    let ckpt = |dir: &std::path::Path, plan: &str| CheckpointConfig {
+        every: 2,
+        dir: Some(dir.to_path_buf()),
+        fault_plan: FaultPlan::parse(plan).unwrap(),
+        ..CheckpointConfig::default()
+    };
+    let rollout = RolloutOptions {
+        actors: 3,
+        batch_worlds: 1,
+        stall_timeout: Duration::from_millis(300),
+        respawn_backoff_ms: 0,
+        ..RolloutOptions::default()
+    };
+
+    // Faults touch only the supervision counters, so pass 1 compares
+    // everything else under scoped sinks.
+    let run = |dir: &std::path::Path, plan: &str, sink: bool| {
+        let sink = sink.then(|| telemetry::scoped(telemetry::TelemetryConfig::default()));
+        let (mut env, mut team) = hero_crash_fixture(seed);
+        let out = train_team_actor_learner(
+            &mut team,
+            &mut env,
+            &crash_opts(episodes, seed),
+            &ckpt(dir, plan),
+            &rollout,
+        )
+        .expect("the supervisor must keep the chaos run alive");
+        assert!(out.completed, "every episode must finish despite the faults");
+        assert_eq!(out.episodes_run, episodes);
+        let fingerprint = sink.map(|s| {
+            let snap = s.snapshot();
+            let respawned = snap.counter_totals().get("actor/respawned").copied();
+            (supervision_free_fingerprint(&snap), respawned)
+        });
+        (recorder_series(&out.recorder), fingerprint)
+    };
+
+    // Pass 1: metric series + telemetry fingerprints (scoped sinks).
+    let (series_clean, fp_clean) = run(&dir_clean, "", true);
+    let (series_chaos, fp_chaos) = run(&dir_chaos, "panic@actor:1,stall@actor:2", true);
+    let (fp_clean, _) = fp_clean.unwrap();
+    let (fp_chaos, respawned) = fp_chaos.unwrap();
+    assert!(
+        respawned.is_some_and(|n| n >= 2),
+        "both faulted actors must be respawned (got {respawned:?})"
+    );
+    assert_eq!(series_clean, series_chaos, "metric series must be bit-identical");
+    assert_eq!(fp_clean.0, fp_chaos.0, "counter totals must match modulo supervision");
+    assert_eq!(fp_clean.1, fp_chaos.1, "value statistics must be bit-identical");
+
+    // Pass 2 (no sink): the final checkpoint files must be byte-identical.
+    std::fs::remove_dir_all(&base).ok();
+    let _ = run(&dir_clean, "", false);
+    let _ = run(&dir_chaos, "panic@actor:1,stall@actor:2", false);
+    assert_eq!(
+        newest_checkpoint_bytes(&dir_clean),
+        newest_checkpoint_bytes(&dir_chaos),
+        "chaos-run checkpoints must be byte-identical to the fault-free twin"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Exhausting the respawn budget with a checkpoint store configured
+/// writes a boundary-clean emergency checkpoint before the typed abort,
+/// and a plain `--resume` run picks up from it and finishes.
+#[test]
+fn hero_fleet_lost_emergency_checkpoint_resumes_cleanly() {
+    use hero_core::rollout::{train_team_actor_learner, RolloutOptions};
+    use hero_core::trainer::{CheckpointConfig, TrainError};
+    use hero_faultplan::FaultPlan;
+    use hero_rl::telemetry;
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join(format!("hero_fleetlost_it_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let seed = 53;
+    let episodes = 4;
+
+    let sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+    let (mut env, mut team) = hero_crash_fixture(seed);
+    let err = train_team_actor_learner(
+        &mut team,
+        &mut env,
+        &crash_opts(episodes, seed),
+        &CheckpointConfig {
+            every: 1,
+            dir: Some(dir.clone()),
+            fault_plan: FaultPlan::parse("stall@actor:0").unwrap(),
+            ..CheckpointConfig::default()
+        },
+        &RolloutOptions {
+            actors: 1,
+            batch_worlds: 1,
+            stall_timeout: Duration::from_millis(150),
+            max_respawns: 0,
+            ..RolloutOptions::default()
+        },
+    )
+    .expect_err("a zero-respawn budget must abort the all-stalled run");
+    match err {
+        TrainError::FleetLost { emergency_checkpoint_saved, .. } => {
+            assert!(emergency_checkpoint_saved, "a store is configured, so it must save");
+        }
+        other => panic!("expected FleetLost, got {other}"),
+    }
+    let counters = sink.snapshot().counter_totals();
+    assert_eq!(counters.get("supervisor/emergency_saved"), Some(&1), "{counters:?}");
+    drop(sink);
+
+    // The emergency checkpoint is loadable: a resume run (healthy fleet)
+    // finishes the remaining episodes.
+    let _sink = telemetry::scoped(telemetry::TelemetryConfig::default());
+    let (mut env, mut team) = hero_crash_fixture(seed);
+    let out = train_team_actor_learner(
+        &mut team,
+        &mut env,
+        &crash_opts(episodes, seed),
+        &CheckpointConfig {
+            every: 1,
+            dir: Some(dir.clone()),
+            resume: true,
+            ..CheckpointConfig::default()
+        },
+        &RolloutOptions {
+            actors: 1,
+            batch_worlds: 1,
+            ..RolloutOptions::default()
+        },
+    )
+    .expect("a healthy resume must not abort");
+    assert!(out.completed, "the resumed run must finish the remaining episodes");
+    std::fs::remove_dir_all(&dir).ok();
 }

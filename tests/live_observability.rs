@@ -130,6 +130,7 @@ fn scraped_run_is_bit_identical_to_unscraped() {
             &CheckpointConfig::default(),
             &rollout_2actors(),
         );
+        let out = out.expect("fault-free run cannot lose its fleet");
         assert!(out.completed);
         (series(&out.recorder), fingerprint(&sink.snapshot()))
     };
@@ -151,6 +152,7 @@ fn scraped_run_is_bit_identical_to_unscraped() {
         );
         done.store(true, Ordering::Relaxed);
         let scrapes = scraper.join().expect("scraper panicked");
+        let out = out.expect("fault-free run cannot lose its fleet");
         assert!(out.completed);
         (series(&out.recorder), fingerprint(&sink.snapshot()), scrapes)
     };
@@ -187,7 +189,7 @@ fn checkpoint_bytes_survive_a_busy_exporter_in_process() {
         &ckpt(&dir_quiet),
         &rollout_2actors(),
     );
-    assert!(out.completed);
+    assert!(out.expect("fault-free run cannot lose its fleet").completed);
 
     // Same run with an exporter being hammered in-process for its whole
     // duration (served from a detached registry: no sink is installed,
@@ -207,7 +209,7 @@ fn checkpoint_bytes_survive_a_busy_exporter_in_process() {
         );
         done.store(true, Ordering::Relaxed);
         assert!(scraper.join().expect("scraper panicked") >= 1);
-        assert!(out.completed);
+        assert!(out.expect("fault-free run cannot lose its fleet").completed);
     }
 
     let newest = |dir: &std::path::Path| {
@@ -256,6 +258,7 @@ fn stalled_run_dumps_flight_recorder_with_ordered_stall_story() {
                 ..RolloutOptions::default()
             },
         );
+        let out = out.expect("one live actor keeps the fleet alive");
         assert!(out.completed, "the live actor must absorb the stalled actor's work");
         // Guard drops here: the faulted run flushes its flight recorder.
     }
@@ -310,7 +313,7 @@ fn metrics_endpoint_reports_live_rollout_state_during_training() {
             ..RolloutOptions::default()
         },
     );
-    assert!(out.completed);
+    assert!(out.expect("fault-free run cannot lose its fleet").completed);
 
     // The gauges persist in the registry after the run, so this scrape
     // sees exactly what a mid-run scrape would (minus races).
@@ -361,7 +364,7 @@ fn hero_top_renders_from_live_url_and_finished_dir() {
             &CheckpointConfig::default(),
             &rollout_2actors(),
         );
-        assert!(out.completed);
+        assert!(out.expect("fault-free run cannot lose its fleet").completed);
         // Live path: scrape /snapshot (the bare-address default) and
         // render, exactly as `hero-inspect watch HOST:PORT` does.
         let body = http_get(&exporter.local_addr().to_string()).expect("scrape snapshot");
