@@ -1312,7 +1312,7 @@ fn log_softmax_row(row: &[f32], out: &mut [f32]) {
     }
 }
 
-fn sigmoid(x: f32) -> f32 {
+pub(crate) fn sigmoid(x: f32) -> f32 {
     if x >= 0.0 {
         1.0 / (1.0 + (-x).exp())
     } else {

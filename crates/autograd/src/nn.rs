@@ -8,7 +8,7 @@
 use rand::Rng;
 
 use crate::graph::{Graph, NodeId, Parameter};
-use crate::tensor::Tensor;
+use crate::tensor::{Tensor, TensorPool};
 
 /// Anything that owns trainable parameters.
 pub trait Module {
@@ -251,6 +251,66 @@ impl Mlp {
         let xn = g.input(x.clone());
         let y = self.forward(&mut g, xn);
         g.value(y).clone()
+    }
+
+    /// Inference-only forward pass: no graph, no tape, no gradient buffers.
+    ///
+    /// Activations are checked out of `pool` and returned as each layer
+    /// completes, so a warm pool makes repeated calls allocation-free
+    /// (hand the returned tensor's buffer back with
+    /// `pool.put(out.into_data())` to keep it that way). Every arithmetic
+    /// step matches the graph ops exactly — the same [`matmul_into`]
+    /// kernel dispatch, the same `x·W + b` addition order, the same
+    /// activation formulas — so under strict kernels the result is bitwise
+    /// identical to [`Mlp::infer`], and because each output element of the
+    /// matmul accumulates independently, row `r` of a `[batch, in]` call
+    /// is bitwise identical to a `[1, in]` call on that row alone.
+    ///
+    /// [`matmul_into`]: crate::tensor::matmul_into
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is not `[batch, in_dim]`.
+    pub fn infer_in(&self, x: &Tensor, pool: &mut TensorPool) -> Tensor {
+        assert_eq!(x.rank(), 2, "mlp input must be rank-2");
+        assert_eq!(x.shape()[1], self.in_dim(), "mlp input width mismatch");
+        let m = x.shape()[0];
+        let last = self.layers.len() - 1;
+        let mut cur: Option<Tensor> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let input = cur.as_ref().unwrap_or(x);
+            let n = layer.out_dim;
+            let mut data = pool.take(m * n);
+            {
+                let w = layer.weight.value();
+                crate::tensor::matmul_into(input, &w, &mut data);
+            }
+            {
+                let b = layer.bias.value();
+                let bv = b.data();
+                for r in 0..m {
+                    let row = &mut data[r * n..(r + 1) * n];
+                    for (o, &bj) in row.iter_mut().zip(bv) {
+                        *o += bj;
+                    }
+                }
+            }
+            if i < last {
+                match self.activation {
+                    Activation::Relu => data.iter_mut().for_each(|v| *v = v.max(0.0)),
+                    Activation::Tanh => data.iter_mut().for_each(|v| *v = v.tanh()),
+                    Activation::Sigmoid => {
+                        data.iter_mut().for_each(|v| *v = crate::graph::sigmoid(*v));
+                    }
+                    Activation::Identity => {}
+                }
+            }
+            if let Some(prev) = cur.take() {
+                pool.put(prev.into_data());
+            }
+            cur = Some(Tensor::from_vec(vec![m, n], data));
+        }
+        cur.expect("an MLP has at least one layer")
     }
 }
 

@@ -261,6 +261,73 @@ fn decode_params_cursor(c: &mut Cursor<'_>, params: &[Parameter]) -> Result<(), 
     Ok(())
 }
 
+/// One entry decoded from a parameter table without a model template:
+/// the stored name, shape, and raw weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamEntry {
+    /// Parameter name as written by [`encode_params`] (e.g. `actor.l0.weight`).
+    pub name: String,
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+    /// Row-major `f32` data; length is the product of `shape`.
+    pub data: Vec<f32>,
+}
+
+/// Decodes a parameter table produced by [`encode_params`] without a
+/// matching model, returning every entry's name, shape, and data.
+///
+/// [`decode_params`] is positional — it needs a live model with the same
+/// parameter list to load into. Consumers that must *discover* a model's
+/// architecture from a checkpoint (the serving daemon infers layer widths
+/// and agent counts from stored shapes) use this reader instead and build
+/// the template afterwards.
+///
+/// # Errors
+///
+/// [`CheckpointError::Truncated`] or [`CheckpointError::Malformed`] on a
+/// table that violates the format or its caps.
+pub fn decode_param_table(bytes: &[u8]) -> Result<Vec<ParamEntry>, CheckpointError> {
+    let mut c = Cursor::new(bytes);
+    let count = c.u32()? as usize;
+    if count > MAX_PARAM_COUNT {
+        return Err(CheckpointError::Malformed(format!(
+            "parameter count {count} exceeds cap {MAX_PARAM_COUNT}"
+        )));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = c.name("parameter")?;
+        let rank = c.u32()? as usize;
+        if rank > MAX_RANK {
+            return Err(CheckpointError::Malformed(format!(
+                "parameter rank {rank} exceeds cap {MAX_RANK}"
+            )));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(c.u64()? as usize);
+        }
+        let len: usize = shape.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d)).ok_or_else(
+            || CheckpointError::Malformed("parameter element count overflows".into()),
+        )?;
+        let raw = c.take(len.checked_mul(4).ok_or_else(|| {
+            CheckpointError::Malformed("parameter data length overflows".into())
+        })?)?;
+        let mut data = Vec::with_capacity(len);
+        for chunk in raw.chunks_exact(4) {
+            data.push(f32::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        entries.push(ParamEntry { name, shape, data });
+    }
+    if c.remaining() != 0 {
+        return Err(CheckpointError::Malformed(format!(
+            "{} trailing bytes after parameter table",
+            c.remaining()
+        )));
+    }
+    Ok(entries)
+}
+
 // ---------------------------------------------------------------------------
 // Optimizer-state codec.
 // ---------------------------------------------------------------------------

@@ -249,6 +249,35 @@ impl HeroAgent {
         self.high.logits_batch(&obs, &opp)
     }
 
+    /// [`HeroAgent::batch_logits`] through the inference-only forward
+    /// path: no autodiff graphs, activations recycled via `pool`. This is
+    /// the serving daemon's hot path — under strict kernels the logits
+    /// are bitwise identical to [`HeroAgent::batch_logits`], and row `r`
+    /// of an `[n, d]` batch is bitwise identical to a 1-row call on
+    /// `rows[r]` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a ragged batch (rows of differing widths).
+    pub fn batch_logits_in(
+        &self,
+        rows: &[&[f32]],
+        pool: &mut hero_autograd::TensorPool,
+    ) -> Vec<Vec<f32>> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        let d = rows[0].len();
+        let mut flat = Vec::with_capacity(rows.len() * d);
+        for row in rows {
+            assert_eq!(row.len(), d, "ragged observation batch");
+            flat.extend_from_slice(row);
+        }
+        let obs = hero_autograd::Tensor::from_vec(vec![rows.len(), d], flat);
+        let opp = self.opponent.predict_probs_batch_in(&obs, pool);
+        self.high.logits_batch_in(&obs, &opp, pool)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn start_option_from_logits(
         &mut self,

@@ -13,7 +13,9 @@
 use hero_autograd::diagnostics::StepDiagnostics;
 use hero_autograd::nn::{Activation, Mlp, Module};
 use hero_autograd::optim::{Adam, Optimizer};
-use hero_autograd::{loss, serialize, zero_grads, CheckpointError, Graph, Parameter, Tensor};
+use hero_autograd::{
+    loss, serialize, zero_grads, CheckpointError, Graph, Parameter, Tensor, TensorPool,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -151,6 +153,28 @@ impl HighLevelLearner {
         let input = concat_rows(obs, opp_probs);
         let out = self.actor.infer(&input);
         (0..obs.shape()[0]).map(|r| out.row(r).to_vec()).collect()
+    }
+
+    /// Number of high-level options in the action space.
+    pub fn n_options(&self) -> usize {
+        self.n_options
+    }
+
+    /// [`HighLevelLearner::logits_batch`] through the inference-only
+    /// forward path: no autodiff graph, actor activations recycled via
+    /// `pool`. Bitwise identical to the graph path under strict kernels.
+    pub fn logits_batch_in(
+        &self,
+        obs: &Tensor,
+        opp_probs: &[Tensor],
+        pool: &mut TensorPool,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(opp_probs.len(), self.n_opponents, "opponent arity mismatch");
+        let input = concat_rows(obs, opp_probs);
+        let out = self.actor.infer_in(&input, pool);
+        let rows = (0..obs.shape()[0]).map(|r| out.row(r).to_vec()).collect();
+        pool.put(out.into_data());
+        rows
     }
 
     /// Selects an option: greedy when `explore` is false; otherwise

@@ -13,7 +13,7 @@
 use hero_autograd::diagnostics::StepDiagnostics;
 use hero_autograd::nn::{Activation, Mlp, Module};
 use hero_autograd::optim::{Adam, Optimizer};
-use hero_autograd::{loss, serialize, CheckpointError, Graph, Parameter, Tensor};
+use hero_autograd::{loss, serialize, CheckpointError, Graph, Parameter, Tensor, TensorPool};
 use rand::rngs::StdRng;
 
 use hero_rl::buffer::ReplayBuffer;
@@ -153,6 +153,30 @@ impl OpponentModel {
                 for row in 0..n {
                     data.extend(softmax(logits.row(row)));
                 }
+                Tensor::from_vec(vec![n, self.n_options], data)
+            })
+            .collect()
+    }
+
+    /// [`OpponentModel::predict_probs_batch`] through the inference-only
+    /// forward path: no autodiff graph, activations recycled via `pool`.
+    /// Bitwise identical to the graph path under strict kernels
+    /// ([`Mlp::infer_in`] replicates the tape ops' arithmetic exactly).
+    pub fn predict_probs_batch_in(&self, obs: &Tensor, pool: &mut TensorPool) -> Vec<Tensor> {
+        let n = obs.shape()[0];
+        if !self.informative {
+            let uniform = Tensor::full(vec![n, self.n_options], 1.0 / self.n_options as f32);
+            return vec![uniform; self.nets.len()];
+        }
+        self.nets
+            .iter()
+            .map(|net| {
+                let logits = net.infer_in(obs, pool);
+                let mut data = Vec::with_capacity(n * self.n_options);
+                for row in 0..n {
+                    data.extend(softmax(logits.row(row)));
+                }
+                pool.put(logits.into_data());
                 Tensor::from_vec(vec![n, self.n_options], data)
             })
             .collect()

@@ -698,6 +698,70 @@ pub fn bench_report(run_path: &Path) -> String {
     out
 }
 
+/// Serving-latency summary from a `BENCH_serve_latency.json` next to the
+/// run (searched in the run directory, then the current directory):
+/// offered throughput, tail latency, and batch occupancy as recorded by
+/// `scripts/bench_serve.sh`. Also returns a [`Finding`] when the mean
+/// batch occupancy sits at ≈1 row per forward pass despite a wider
+/// `max_batch` — the daemon is paying the micro-batching machinery
+/// without coalescing anything, which usually means the offered load is
+/// too low or the batch deadline is too short. Empty when no bench file
+/// is found: absence of a serving benchmark is not a pathology.
+#[must_use]
+pub fn serve_report(run_path: &Path) -> (String, Vec<Finding>) {
+    let run_dir = if run_path.is_dir() { run_path } else { run_path.parent().unwrap_or(run_path) };
+    let mut out = String::new();
+    let mut findings = Vec::new();
+    for dir in [run_dir, Path::new(".")] {
+        let path = dir.join("BENCH_serve_latency.json");
+        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        let Ok(fields) = hero_telemetry::emit::parse_json_object(&text) else {
+            let _ = writeln!(out, "serve  {} unreadable (not a JSON object)", path.display());
+            return (out, findings);
+        };
+        let num = |key: &str| fields.get(key).and_then(JsonValue::as_f64);
+        let (Some(rps), Some(p99)) = (num("requests_per_s"), num("p99_us")) else {
+            let _ = writeln!(
+                out,
+                "serve  {} lacks requests_per_s / p99_us fields",
+                path.display()
+            );
+            return (out, findings);
+        };
+        let _ = writeln!(out, "serve  {}", path.display());
+        let _ = writeln!(out, "serve  requests/s                   {rps:>10.1}");
+        if let Some(p50) = num("p50_us") {
+            let _ = writeln!(out, "serve  p50 latency (us)             {p50:>10.1}");
+        }
+        if let Some(p95) = num("p95_us") {
+            let _ = writeln!(out, "serve  p95 latency (us)             {p95:>10.1}");
+        }
+        let _ = writeln!(out, "serve  p99 latency (us)             {p99:>10.1}");
+        if let Some(occ) = num("batch_occupancy") {
+            let _ = writeln!(out, "serve  batch occupancy (rows/pass)  {occ:>10.2}");
+        }
+        if let Some(s) = num("batched_vs_single_speedup") {
+            let _ = writeln!(out, "serve  batched / single speedup     {s:>10.2}");
+        }
+        let max_batch = num("max_batch").unwrap_or(f64::INFINITY);
+        if let Some(occ) = num("batch_occupancy") {
+            if occ <= 1.05 && max_batch > 1.0 {
+                findings.push(Finding {
+                    severity: Severity::Warning,
+                    message: format!(
+                        "serving batch occupancy = {occ:.2} rows per forward pass with \
+                         max_batch {max_batch:.0} — micro-batching is not engaging; the \
+                         offered load is too low for the batch deadline, so the daemon \
+                         pays dispatcher overhead for no coalescing win"
+                    ),
+                });
+            }
+        }
+        return (out, findings);
+    }
+    (out, findings)
+}
+
 /// Per-actor channel-pressure summary from the live plane: the maximum
 /// observed `live/queue_depth/<actor>` over the run. Information, not a
 /// pathology — a persistently full queue just means the learner (not the
@@ -1029,6 +1093,49 @@ mod tests {
         .unwrap();
         let text = bench_report(&dir);
         assert!(text.contains("36.9") && text.contains("strict"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_report_reads_latency_fields_and_flags_idle_batching() {
+        let dir = std::env::temp_dir().join(format!("hero-servrep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_serve_latency.json"),
+            "{\"bench\": \"serve_latency\", \"requests_per_s\": 412.7, \"p50_us\": 1800.0,\n \
+             \"p95_us\": 4100.0, \"p99_us\": 6300.0, \"batch_occupancy\": 5.4,\n \
+             \"max_batch\": 32, \"batched_vs_single_speedup\": 2.9}",
+        )
+        .unwrap();
+        let (text, findings) = serve_report(&dir);
+        assert!(text.contains("412.7") && text.contains("6300.0"), "{text}");
+        assert!(text.contains("5.40") && text.contains("2.90"), "{text}");
+        assert!(findings.is_empty(), "healthy occupancy flagged: {findings:?}");
+        // A run *file* inside the directory resolves to the same report.
+        let (via_file, _) = serve_report(&dir.join("telemetry.jsonl"));
+        assert_eq!(via_file, text);
+        // Occupancy pinned at ~1 row per pass means batching never engaged.
+        std::fs::write(
+            dir.join("BENCH_serve_latency.json"),
+            "{\"requests_per_s\": 80.0, \"p99_us\": 900.0, \"batch_occupancy\": 1.01,\n \
+             \"max_batch\": 32}",
+        )
+        .unwrap();
+        let (_, findings) = serve_report(&dir);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].severity, Severity::Warning);
+        assert!(findings[0].message.contains("not engaging"), "{}", findings[0].message);
+        // ...but occupancy 1 with max_batch 1 is the configured baseline,
+        // not a pathology.
+        std::fs::write(
+            dir.join("BENCH_serve_latency.json"),
+            "{\"requests_per_s\": 80.0, \"p99_us\": 900.0, \"batch_occupancy\": 1.0,\n \
+             \"max_batch\": 1}",
+        )
+        .unwrap();
+        let (_, findings) = serve_report(&dir);
+        assert!(findings.is_empty(), "{findings:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

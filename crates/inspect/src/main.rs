@@ -25,7 +25,10 @@
 //! mutually exclusive. `doctor` exits 1 when a critical pathology
 //! (watchdog events, dropped checkpoints) is found, and reports recorded
 //! matmul GFLOP/s when a `BENCH_train_throughput.json` sits next to the
-//! run (or in the current directory). `watch` is "hero-top": it renders a refreshing
+//! run (or in the current directory), plus serving throughput and tail
+//! latency when a `BENCH_serve_latency.json` is found the same way
+//! (warning when batch occupancy shows micro-batching never engaged).
+//! `watch` is "hero-top": it renders a refreshing
 //! terminal view of a run from either a live exporter address (anything
 //! that is not an existing path — e.g. `127.0.0.1:9464`, scraped via
 //! `GET /snapshot`) or a finished telemetry file/directory; `--frames N`
@@ -37,8 +40,8 @@ use std::process::ExitCode;
 
 use hero_inspect::{
     bench_report, diff_tolerance, diff_with, doctor, load_run, parse_run, queue_depth_report,
-    render_findings, render_top, summarize, throughput_report, PrefixTolerance, Severity,
-    Tolerances,
+    render_findings, render_top, serve_report, summarize, throughput_report, PrefixTolerance,
+    Severity, Tolerances,
 };
 
 const USAGE: &str = "usage: hero-inspect <summarize RUN | diff BASELINE CANDIDATE \
@@ -76,8 +79,11 @@ fn main() -> ExitCode {
                 Ok(loaded) => {
                     print!("{}", throughput_report(&loaded));
                     print!("{}", bench_report(Path::new(run)));
+                    let (serve_text, serve_findings) = serve_report(Path::new(run));
+                    print!("{serve_text}");
                     print!("{}", queue_depth_report(&loaded));
-                    let findings = doctor(&loaded);
+                    let mut findings = doctor(&loaded);
+                    findings.extend(serve_findings);
                     print!("{}", render_findings(&findings));
                     if findings.iter().any(|f| f.severity == Severity::Critical) {
                         ExitCode::FAILURE

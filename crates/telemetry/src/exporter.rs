@@ -7,28 +7,32 @@
 //!   ([`crate::emit::to_jsonl`]), consumed by `hero-inspect watch`
 //! * `GET /` — a short plain-text index
 //!
-//! The exporter owns one background thread; every request takes a fresh
-//! [`Registry::snapshot`], which is a strictly read-only, lock-light pass
-//! (brief mutex holds on the histogram maps, one `RwLock` read on the
-//! counter map — never a write). Nothing on the serving path mutates
-//! registry state, consumes RNG, or synchronizes with the learner thread,
-//! which is what makes a scraped run bit-identical to an unscraped one.
+//! The listener/router plumbing lives in [`crate::http`] and is shared
+//! with the policy-serving daemon (`hero-serve`); this module is just
+//! the route table. Every request takes a fresh [`Registry::snapshot`],
+//! which is a strictly read-only, lock-light pass (brief mutex holds on
+//! the histogram maps, one `RwLock` read on the counter map — never a
+//! write). Nothing on the serving path mutates registry state, consumes
+//! RNG, or synchronizes with the learner thread, which is what makes a
+//! scraped run bit-identical to an unscraped one.
 
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io;
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
 use crate::emit;
+use crate::http::{serve_http, Handler, HttpServer, Request, Response};
 use crate::registry::Registry;
+
+pub use crate::http::http_get;
+
+/// Content type of the Prometheus text exposition format (kept on every
+/// exporter route for backward compatibility with existing scrapers).
+const PROM_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 /// Handle to a running exporter; shuts the listener down on drop.
 pub struct MetricsExporter {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    server: HttpServer,
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:9464`, port `0` for ephemeral) and
@@ -39,149 +43,40 @@ pub struct MetricsExporter {
 ///
 /// Returns the bind error (address in use, permission, malformed addr).
 pub fn serve(registry: Arc<Registry>, addr: &str) -> io::Result<MetricsExporter> {
-    let listener = TcpListener::bind(addr)?;
-    let addr = listener.local_addr()?;
-    listener.set_nonblocking(true)?;
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let stop = Arc::clone(&shutdown);
-    let handle = std::thread::Builder::new()
-        .name("hero-metrics".into())
-        .spawn(move || loop {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let _ = handle_connection(stream, &registry);
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    if stop.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(_) => {
-                    if stop.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-            }
-        })?;
-    Ok(MetricsExporter {
-        addr,
-        shutdown,
-        handle: Some(handle),
-    })
+    let handler: Handler = Arc::new(move |req: &Request| {
+        if req.method != "GET" {
+            return Response::with_status(405, "only GET is served\n")
+                .content_type(PROM_CONTENT_TYPE);
+        }
+        let (status, body) = match req.path.as_str() {
+            "/metrics" => (200, emit::to_prometheus(&registry.snapshot())),
+            "/snapshot" => (200, emit::to_jsonl(&registry.snapshot())),
+            "/" => (
+                200,
+                "hero metrics exporter\n/metrics  Prometheus text format\n/snapshot JSONL snapshot\n"
+                    .to_string(),
+            ),
+            path => (404, format!("no route for {path}\n")),
+        };
+        Response::with_status(status, body).content_type(PROM_CONTENT_TYPE)
+    });
+    let server = serve_http(addr, "hero-metrics", handler)?;
+    Ok(MetricsExporter { server })
 }
 
 impl MetricsExporter {
     /// The bound address (resolves port `0` to the actual port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.server.local_addr()
     }
-}
-
-impl Drop for MetricsExporter {
-    fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, registry: &Registry) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    // Read until the end of the request head; bodies are ignored (every
-    // endpoint is a GET).
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                break
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
-    let (status, body) = if method != "GET" {
-        ("405 Method Not Allowed", "only GET is served\n".to_string())
-    } else {
-        match path {
-            "/metrics" => ("200 OK", emit::to_prometheus(&registry.snapshot())),
-            "/snapshot" => ("200 OK", emit::to_jsonl(&registry.snapshot())),
-            "/" => (
-                "200 OK",
-                "hero metrics exporter\n/metrics  Prometheus text format\n/snapshot JSONL snapshot\n"
-                    .to_string(),
-            ),
-            _ => ("404 Not Found", format!("no route for {path}\n")),
-        }
-    };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
-}
-
-/// A minimal blocking HTTP/1.1 GET, used by `hero-inspect watch` and by
-/// tests. Accepts `http://HOST:PORT/path`, `HOST:PORT/path`, or bare
-/// `HOST:PORT` (which defaults to `/snapshot`). Returns the response body.
-///
-/// # Errors
-///
-/// Returns connection errors and non-200 statuses as `io::Error`.
-pub fn http_get(url: &str) -> io::Result<String> {
-    let rest = url.strip_prefix("http://").unwrap_or(url);
-    let (host, path) = match rest.find('/') {
-        Some(i) => (&rest[..i], &rest[i..]),
-        None => (rest, "/snapshot"),
-    };
-    let mut stream = TcpStream::connect(host)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    write!(stream, "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n")?;
-    stream.flush()?;
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let text = String::from_utf8_lossy(&raw);
-    let Some((head, body)) = text.split_once("\r\n\r\n") else {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "malformed HTTP response (no header terminator)",
-        ));
-    };
-    let status_line = head.lines().next().unwrap_or("");
-    if !status_line.contains(" 200 ") {
-        return Err(io::Error::new(
-            io::ErrorKind::Other,
-            format!("HTTP error from {url}: {status_line}"),
-        ));
-    }
-    Ok(body.to_string())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::registry::TelemetryConfig;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn test_registry() -> Arc<Registry> {
         let r = Arc::new(Registry::new(TelemetryConfig {

@@ -48,6 +48,7 @@
 pub mod emit;
 pub mod exporter;
 pub mod histogram;
+pub mod http;
 pub mod registry;
 pub mod ring;
 pub mod trace;

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate, telemetry smoke test, the learning-dynamics golden diff,
-# and the fast-math kernel lane. Run from anywhere.
+# the policy-serving lane, and the fast-math kernel lane. Run from
+# anywhere.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -314,6 +315,72 @@ test "$(basename "$newest_clean")" = "$(basename "$newest_chaos")" \
 cmp "$newest_clean" "$newest_chaos" \
     || { echo "chaos-run final checkpoint differs from the fault-free twin"; exit 1; }
 rm -rf "$CHAOS"
+
+echo "=== serving lane (hero-serve + hero-load)"
+# End-to-end policy serving against a real trainer checkpoint: a short
+# seeded run writes a registry, hero-serve loads the newest checkpoint on
+# an ephemeral port, a hero-load burst must complete every request, one
+# hot-reload must succeed under the same registry, and shutdown must be
+# clean. Then the serving benchmark's quick pass validates its JSON
+# contract into a scratch dir (no tracked files or history touched).
+SERVE=$(mktemp -d /tmp/hero-serve.XXXXXX)
+./target/release/fig10_opponent_loss \
+    --episodes 2 --eval-episodes 1 --skill-episodes 2 --batch-size 8 \
+    --update-every 1 --seed 7 --checkpoint-every 1 \
+    --out "$SERVE/exp" --checkpoint-dir "$SERVE/ckpt" >/dev/null
+./target/release/hero-serve \
+    --checkpoint-dir "$SERVE/ckpt/HERO" --addr 127.0.0.1:0 \
+    --out "$SERVE/daemon" >"$SERVE/daemon.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$SERVE/daemon/serve_addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$SERVE/daemon.log"; exit 1; }
+    sleep 0.1
+done
+SERVE_ADDR=$(cat "$SERVE/daemon/serve_addr")
+./target/release/hero-load \
+    --addr "$SERVE_ADDR" --rate 400 --requests 120 --concurrency 8 \
+    >"$SERVE/load.json"
+python3 - "$SERVE/load.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    load = json.load(f)
+assert load["completed"] > 0, f"serve lane completed no requests: {load}"
+assert load["errors"] == 0, f"serve lane saw request errors: {load}"
+print(f"  {load['completed']} requests @ {load['rps']} req/s, "
+      f"p99 {load['p99_us']}us, mean batch {load['mean_batch']}")
+EOF
+reload_status=$(curl -s -o "$SERVE/reload.json" -w '%{http_code}' \
+    -X POST "http://$SERVE_ADDR/reload")
+test "$reload_status" = 200 \
+    || { echo "POST /reload returned $reload_status"; cat "$SERVE/reload.json"; exit 1; }
+curl -sf -X POST "http://$SERVE_ADDR/shutdown" >/dev/null
+wait "$serve_pid"
+# Quick benchmark pass: the emitted JSON must carry every field
+# bench_serve.sh promises (written to the scratch dir, so the tracked
+# BENCH_serve_latency.json and BENCH_history.jsonl stay untouched).
+scripts/bench_serve.sh --quick --out "$SERVE" >/dev/null
+python3 - "$SERVE/BENCH_serve_latency.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+required = [
+    "requests_per_s", "p50_us", "p95_us", "p99_us",
+    "batch_occupancy", "max_batch_rows",
+    "single_requests_per_s", "single_p99_us", "batched_vs_single_speedup",
+]
+missing = [k for k in required if k not in bench]
+assert not missing, f"BENCH_serve_latency.json missing {missing}"
+bad = [k for k in required if not (isinstance(bench[k], (int, float)) and bench[k] > 0)]
+assert not bad, f"non-positive serve bench fields: {bad}"
+assert bench.get("bench") == "serve_latency", bench.get("bench")
+assert bench.get("kernel_mode") == "fast", bench.get("kernel_mode")
+print(f"  {bench['requests_per_s']} req/s batched vs "
+      f"{bench['single_requests_per_s']} single "
+      f"({round(bench['batched_vs_single_speedup'], 2)}x), "
+      f"occupancy {bench['batch_occupancy']} rows/pass")
+EOF
+rm -rf "$SERVE"
 
 echo "=== fast-math lane"
 # The opt-in GEMM tier: packed FMA kernels behind --features fast-math.
